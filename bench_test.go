@@ -1,0 +1,497 @@
+package enmc
+
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (regenerating the experiment and reporting its
+// headline number as a custom metric), plus ablation benchmarks for
+// the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The full paper-scale regeneration lives in cmd/enmc-bench; the
+// benchmarks here use moderately reduced workloads so the whole suite
+// completes in minutes.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/cpuhost"
+	"enmc/internal/distributed"
+	"enmc/internal/dram"
+	ienmc "enmc/internal/enmc"
+	"enmc/internal/experiments"
+	"enmc/internal/funcsim"
+	"enmc/internal/host"
+	"enmc/internal/image"
+	"enmc/internal/isa"
+	"enmc/internal/metrics"
+	"enmc/internal/nmp"
+	"enmc/internal/quant"
+	"enmc/internal/system"
+	"enmc/internal/tensor"
+	"enmc/internal/workload"
+)
+
+func quickQuality() experiments.QualityOptions {
+	return experiments.QualityOptions{
+		Seed: 42, LTarget: 512, MaxHidden: 128,
+		TrainSamples: 384, TestSamples: 48, Epochs: 8,
+		Sentences: 6, SentenceLen: 10,
+	}
+}
+
+func quickPerf() experiments.PerfOptions {
+	return experiments.PerfOptions{SampleRows: 2048}
+}
+
+// parseAvgSpeedup pulls the trailing average row's ENMC column out of
+// a Fig. 13 table, for metric reporting.
+func lastCellFloat(t *experiments.Table) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	row := t.Rows[len(t.Rows)-1]
+	cell := strings.TrimSuffix(row[len(row)-1], "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2()
+	}
+}
+
+func BenchmarkTable3Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3()
+	}
+}
+
+func BenchmarkTable4Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table4()
+	}
+}
+
+func BenchmarkTable5AreaPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table5()
+	}
+}
+
+func BenchmarkFig4Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4()
+	}
+}
+
+func BenchmarkFig5aScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5a()
+	}
+}
+
+func BenchmarkFig5bRoofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5b()
+	}
+}
+
+func BenchmarkFig11QualityVsSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(quickQuality()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(quickQuality()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Performance(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig13(quickPerf())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = lastCellFloat(t)
+	}
+	b.ReportMetric(avg, "ENMC-avg-speedup-x")
+}
+
+func BenchmarkFig14Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(quickPerf()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig15(quickPerf()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) ---
+
+func ablationModel(b *testing.B) *workload.Instance {
+	b.Helper()
+	spec := workload.Spec{Name: "abl", Categories: 768, Hidden: 128, LatentRank: 32, ZipfS: 1.05}
+	return workload.Generate(spec, workload.GenOptions{Seed: 17, Train: 384, Valid: 32, Test: 64})
+}
+
+// BenchmarkAblationLearnedVsProjected compares the trained screener
+// (Algorithm 1) against the closed-form W̃ = (k/d)·W·Pᵀ seed.
+func BenchmarkAblationLearnedVsProjected(b *testing.B) {
+	inst := ablationModel(b)
+	cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3}
+	agreement := func(scr *core.Screener) float64 {
+		var top1 []int
+		var exact [][]int
+		for _, h := range inst.Test {
+			res := core.ClassifyApprox(inst.Classifier, scr, h, core.TopM(38))
+			top1 = append(top1, res.Predict())
+			exact = append(exact, []int{inst.Classifier.Predict(h)})
+		}
+		return metrics.TopKAgreement(top1, exact)
+	}
+	b.Run("learned", func(b *testing.B) {
+		var agree float64
+		for i := 0; i < b.N; i++ {
+			scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 8, Seed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agree = agreement(scr)
+		}
+		b.ReportMetric(agree, "top1-agreement")
+	})
+	b.Run("projected", func(b *testing.B) {
+		var agree float64
+		for i := 0; i < b.N; i++ {
+			scr, err := core.ProjectedScreener(inst.Classifier, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agree = agreement(scr)
+		}
+		b.ReportMetric(agree, "top1-agreement")
+	})
+}
+
+// BenchmarkAblationSelection compares top-m search against threshold
+// filtering at a matched average candidate budget.
+func BenchmarkAblationSelection(b *testing.B) {
+	inst := ablationModel(b)
+	cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 8, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const target = 38
+	th := core.CalibrateThreshold(scr, inst.Valid, target)
+	run := func(b *testing.B, sel core.Selection) {
+		var agree float64
+		for i := 0; i < b.N; i++ {
+			hits := 0
+			for _, h := range inst.Test {
+				if core.ClassifyApprox(inst.Classifier, scr, h, sel).Predict() == inst.Classifier.Predict(h) {
+					hits++
+				}
+			}
+			agree = float64(hits) / float64(len(inst.Test))
+		}
+		b.ReportMetric(agree, "top1-agreement")
+	}
+	b.Run("top-m", func(b *testing.B) { run(b, core.TopM(target)) })
+	b.Run("threshold", func(b *testing.B) { run(b, core.Threshold(th)) })
+}
+
+// BenchmarkAblationQuantGranularity compares per-row against
+// per-tensor quantization scales.
+func BenchmarkAblationQuantGranularity(b *testing.B) {
+	inst := ablationModel(b)
+	for _, perTensor := range []bool{false, true} {
+		name := "per-row"
+		if perTensor {
+			name = "per-tensor"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, PerTensor: perTensor, Seed: 3}
+			var mse float64
+			for i := 0; i < b.N; i++ {
+				scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 8, Seed: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total float64
+				for _, h := range inst.Test {
+					total += tensor.MSE(scr.Screen(h), inst.Classifier.Logits(h))
+				}
+				mse = total / float64(len(inst.Test))
+			}
+			b.ReportMetric(mse, "screen-MSE")
+		})
+	}
+}
+
+// BenchmarkAblationPipeline measures the dual-module overlap: the
+// same screened task compiled with SyncS2E pipelining versus full
+// BARRIER serialization.
+func BenchmarkAblationPipeline(b *testing.B) {
+	task := compiler.Task{Categories: 131072, Hidden: 512, Reduced: 128, Candidates: 8192, Batch: 4}
+	for _, dual := range []bool{true, false} {
+		name := "dual-module"
+		if !dual {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			tgt := compiler.ENMCTarget()
+			tgt.DualModule = dual
+			// Per-item streaming: the pipeline overlap in question is
+			// the Screener of item i+1 running under the Executor of
+			// item i, which only exists when the weight sweep repeats
+			// per item.
+			tgt.WeightReuseAcrossBatch = false
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				prog, err := compiler.Compile(task, ienmc.Default(), tgt, task.Split(64), compiler.ModeScreened)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := ienmc.New(ienmc.Default())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := eng.Run(prog.Ops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "rank-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationBatchReuse measures weight restreaming vs reuse
+// across a batch (TensorDIMM's small-queue penalty).
+func BenchmarkAblationBatchReuse(b *testing.B) {
+	task := compiler.Task{Categories: 131072, Hidden: 512, Reduced: 128, Candidates: 2621, Batch: 4}
+	for _, reuse := range []bool{true, false} {
+		name := "reuse"
+		if !reuse {
+			name = "restream"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := nmp.TensorDIMM()
+			d.Target.WeightReuseAcrossBatch = reuse
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				res, err := system.Default(d).Run(task, compiler.ModeFull)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = res.Seconds
+			}
+			b.ReportMetric(sec*1e6, "offload-us")
+		})
+	}
+}
+
+// --- micro-benchmarks of the hot kernels ---
+
+func BenchmarkScreenInference(b *testing.B) {
+	inst := ablationModel(b)
+	cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 2, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scr.Screen(h)
+	}
+}
+
+func BenchmarkFullClassification(b *testing.B) {
+	inst := ablationModel(b)
+	h := inst.Test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Classifier.Logits(h)
+	}
+}
+
+func BenchmarkINT4GEMV(b *testing.B) {
+	r := workload.Generate(workload.Spec{Name: "q", Categories: 1024, Hidden: 128, LatentRank: 16, ZipfS: 1},
+		workload.GenOptions{Seed: 1, Train: 1, Valid: 1, Test: 1})
+	qm := quant.QuantizeMatrix(r.Classifier.W, quant.INT4)
+	qx := quant.QuantizeVector(r.Test[0], quant.INT4)
+	dst := make([]float32, 1024)
+	b.SetBytes(qm.Bytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qm.MatVec(dst, qx)
+	}
+}
+
+func BenchmarkDRAMStream(b *testing.B) {
+	cfg := dram.DDR4_2400()
+	cfg.Ranks = 1
+	const bytes = 1 << 20
+	b.SetBytes(bytes)
+	for i := 0; i < b.N; i++ {
+		ch, err := dram.NewChannel(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch.SubmitRange(0, bytes, false)
+		ch.Drain()
+	}
+}
+
+func BenchmarkEngineScreeningSweep(b *testing.B) {
+	task := compiler.Task{Categories: 65536, Hidden: 512, Reduced: 128, Candidates: 1310, Batch: 1}
+	prog, err := compiler.Compile(task, ienmc.Default(), compiler.ENMCTarget(), task.Split(64), compiler.ModeScreened)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := ienmc.New(ienmc.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(prog.Ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPUModel(b *testing.B) {
+	cpu := cpuhost.Xeon8280()
+	for i := 0; i < b.N; i++ {
+		cpu.TimeScreened(267744, 512, 128, 5354, 4, quant.INT4)
+	}
+}
+
+func BenchmarkISAAssemble(b *testing.B) {
+	src := "INIT reg_5, 1024\nLDR wgt_i4, 0x1000\nMUL_ADD_INT4 feat_i4, wgt_i4\nFILTER psum_i4\nRETURN\n"
+	for i := 0; i < b.N; i++ {
+		if _, err := isa.AssembleProgram(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- extension benchmarks ---
+
+func BenchmarkExtScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtScaleOut(quickPerf()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtHostInterface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtHostInterface(quickPerf()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtGPUCliff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtGPU(quickPerf()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedClassify(b *testing.B) {
+	inst := ablationModel(b)
+	shards, err := distributed.ShardClassifier(inst.Classifier, 4, inst.Train,
+		core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3},
+		core.TrainOptions{Epochs: 4, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Test[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := distributed.Classify(shards, h, 10, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostCoexistence(b *testing.B) {
+	hw := ienmc.Default()
+	task := compiler.Task{Categories: 65536, Hidden: 512, Reduced: 128, Candidates: 1310, Batch: 1}
+	prog, err := compiler.Compile(task, hw, compiler.ENMCTarget(), task.Split(64), compiler.ModeScreened)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		res, err := host.Coexistence(hw, prog, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = res.BusyLatency
+	}
+	b.ReportMetric(lat, "host-read-latency-cycles")
+}
+
+func BenchmarkFunctionalMachine(b *testing.B) {
+	inst := ablationModel(b)
+	cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 2, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, qh, err := image.BuildFull(inst.Classifier, scr, 0, 768, inst.Test[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw := ienmc.Default()
+	task := compiler.Task{Categories: 768, Hidden: 128, Reduced: 32, Candidates: 8, Batch: 1}
+	prog, err := compiler.Compile(task, hw, compiler.ENMCTarget(),
+		compiler.RankShare{Rows: 768, Candidates: 8}, compiler.ModeScreened)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := []ienmc.Op{
+		{I: isa.Init(isa.RegThreshold, uint64(math.Float32bits(1e30)))},
+		{I: isa.Init(isa.RegFeatSize, uint64(math.Float32bits(qh.Scale)))},
+	}
+	full := append(append(pre, prog.Init...), prog.Ops...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := funcsim.New(hw, img)
+		if err := m.Run(full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

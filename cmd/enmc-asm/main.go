@@ -1,0 +1,81 @@
+// Command enmc-asm assembles and disassembles ENMC programs.
+//
+// Usage:
+//
+//	enmc-asm file.s            assemble, validate, print a listing
+//	enmc-asm -                 read assembly from stdin
+//	enmc-asm -run file.s       additionally execute the program on a
+//	                           simulated ENMC rank and print stats
+//	enmc-asm -run -trace f.s   also print a cycle trace per instruction
+//
+// The listing shows each instruction's 13-bit command word (the bits
+// carried on A0–A12 of the PRECHARGE command, Fig. 8) and its DQ
+// payload when present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"enmc"
+	"enmc/internal/isa"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program on a simulated ENMC rank")
+	trace := flag.Bool("trace", false, "with -run: print a per-instruction cycle trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: enmc-asm [-run] <file.s | ->")
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	prog, err := isa.AssembleProgram(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-6s %-8s %-10s %s\n", "idx", "cmd", "dq", "instruction")
+	for i, in := range prog {
+		cmd, data, hasData := in.Encode()
+		dq := "-"
+		if hasData {
+			dq = fmt.Sprintf("%#x", data)
+		}
+		fmt.Printf("%-6d %#06x %-10s %s\n", i, cmd, dq, in)
+	}
+
+	if *run {
+		p, err := enmc.AssembleProgram(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *trace {
+			fmt.Println("\ntrace (unit frontiers in DRAM cycles):")
+			p.SetTrace(os.Stdout)
+		}
+		res, err := p.RunOnDIMM()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nexecuted in %d cycles (%.3f µs): %d INT4 MACs, %d FP32 MACs, %d DRAM reads, hit rate %.1f%%\n",
+			res.Cycles, res.Seconds*1e6, res.INT4MACs, res.FP32MACs, res.DRAMReads, 100*res.RowHitRate)
+	}
+}

@@ -1,0 +1,59 @@
+// Command enmc-sim runs one cycle-level system simulation of a
+// classification offload and prints timing, traffic and energy.
+//
+// Usage:
+//
+//	enmc-sim -design enmc -l 670091 -d 512 -batch 4
+//	enmc-sim -design tensordimm -full -l 1000000 -d 512
+//
+// Designs: enmc, tensordimm, tensordimm-large, nda, chameleon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"enmc"
+)
+
+func main() {
+	design := flag.String("design", "enmc", "NMP design: enmc, tensordimm, tensordimm-large, nda, chameleon")
+	l := flag.Int("l", 267744, "categories")
+	d := flag.Int("d", 512, "hidden dimension")
+	k := flag.Int("k", 0, "reduced dimension (default d/4)")
+	m := flag.Int("m", 0, "candidates per inference (default l/50)")
+	batch := flag.Int("batch", 1, "batch size")
+	sigmoid := flag.Bool("sigmoid", false, "multi-label (sigmoid) output")
+	full := flag.Bool("full", false, "full classification instead of approximate screening")
+	flag.Parse()
+
+	task := enmc.SimTask{
+		Categories:         *l,
+		Hidden:             *d,
+		Reduced:            *k,
+		Candidates:         *m,
+		Batch:              *batch,
+		Sigmoid:            *sigmoid,
+		FullClassification: *full,
+	}
+	res, err := enmc.Simulate(*design, task)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mode := "approximate screening"
+	if *full {
+		mode = "full classification"
+	}
+	fmt.Printf("design:          %s (%s)\n", res.Design, mode)
+	fmt.Printf("task:            l=%d d=%d batch=%d\n", *l, *d, *batch)
+	fmt.Printf("offload time:    %.3f µs (%d rank cycles @ DDR4-2400)\n", res.Seconds*1e6, res.Cycles)
+	fmt.Printf("per inference:   %.3f µs\n", res.Seconds*1e6/float64(*batch))
+	fmt.Printf("rank traffic:    %.2f MB\n", float64(res.DRAMBytes)/(1<<20))
+	fmt.Printf("energy:          %.3f mJ total\n", res.TotalJoules()*1e3)
+	fmt.Printf("  DRAM static:   %.3f mJ\n", res.DRAMStaticJoules*1e3)
+	fmt.Printf("  DRAM access:   %.3f mJ\n", res.DRAMAccessJoules*1e3)
+	fmt.Printf("  logic:         %.3f mJ\n", res.LogicJoules*1e3)
+}

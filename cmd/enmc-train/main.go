@@ -1,0 +1,126 @@
+// Command enmc-train distills an approximate screener from a
+// serialized classifier and a feature file, completing the repo's
+// deployment flow: train once, ship the screener image to inference
+// hosts.
+//
+// Usage:
+//
+//	enmc-train -classifier cls.bin -features feats.bin -out scr.bin \
+//	           [-k 128] [-bits 4] [-epochs 8] [-seed 1]
+//	enmc-train -demo                      # generate a demo pair first
+//
+// File formats are the binary formats of SaveClassifier /
+// WriteFeatures (see internal/core). -demo writes demo-cls.bin and
+// demo-feats.bin into the current directory so the flow can be tried
+// without external data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"enmc/internal/core"
+	"enmc/internal/quant"
+	"enmc/internal/workload"
+)
+
+func main() {
+	clsPath := flag.String("classifier", "", "serialized classifier (SaveClassifier format)")
+	featPath := flag.String("features", "", "serialized hidden-state samples (WriteFeatures format)")
+	outPath := flag.String("out", "screener.bin", "output path for the trained screener")
+	k := flag.Int("k", 0, "reduced dimension (default d/4)")
+	bits := flag.Int("bits", 4, "screening precision: 2, 4 or 8")
+	epochs := flag.Int("epochs", 8, "distillation epochs")
+	seed := flag.Uint64("seed", 1, "projection/training seed")
+	demo := flag.Bool("demo", false, "write demo-cls.bin and demo-feats.bin, then exit")
+	flag.Parse()
+
+	if *demo {
+		writeDemo()
+		return
+	}
+	if *clsPath == "" || *featPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: enmc-train -classifier cls.bin -features feats.bin [-out scr.bin]")
+		os.Exit(2)
+	}
+
+	cls := loadClassifier(*clsPath)
+	feats := loadFeatures(*featPath)
+	fmt.Printf("classifier: %d classes × %d dims; %d training samples\n",
+		cls.Categories(), cls.Hidden(), len(feats))
+
+	kk := *k
+	if kk <= 0 {
+		kk = cls.Hidden() / 4
+	}
+	cfg := core.Config{
+		Categories: cls.Categories(),
+		Hidden:     cls.Hidden(),
+		Reduced:    kk,
+		Precision:  quant.Bits(*bits),
+		Seed:       *seed,
+	}
+	scr, stats, err := core.TrainScreener(cls, feats, cfg, core.TrainOptions{
+		Epochs: *epochs,
+		Seed:   *seed + 1,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	fatalIf(err)
+	fmt.Printf("converged: final MSE %.6g over %d epochs\n",
+		stats.EpochLoss[len(stats.EpochLoss)-1], len(stats.EpochLoss))
+
+	out, err := os.Create(*outPath)
+	fatalIf(err)
+	n, err := scr.WriteTo(out)
+	fatalIf(err)
+	fatalIf(out.Close())
+	fmt.Printf("wrote %s (%.2f MB; %.1f%% of the classifier)\n",
+		*outPath, float64(n)/(1<<20), 100*float64(scr.WeightBytes())/float64(cls.WeightBytes()))
+}
+
+func loadClassifier(path string) *core.Classifier {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	cls, err := core.ReadClassifier(f)
+	fatalIf(err)
+	return cls
+}
+
+func loadFeatures(path string) [][]float32 {
+	f, err := os.Open(path)
+	fatalIf(err)
+	defer f.Close()
+	feats, err := core.ReadFeatures(f)
+	fatalIf(err)
+	return feats
+}
+
+func writeDemo() {
+	spec := workload.Spec{Name: "demo", Categories: 2048, Hidden: 128, LatentRank: 32, ZipfS: 1.05}
+	inst := workload.Generate(spec, workload.GenOptions{Seed: 7, Train: 512, Valid: 32, Test: 32})
+
+	cf, err := os.Create("demo-cls.bin")
+	fatalIf(err)
+	_, err = inst.Classifier.WriteTo(cf)
+	fatalIf(err)
+	fatalIf(cf.Close())
+
+	ff, err := os.Create("demo-feats.bin")
+	fatalIf(err)
+	_, err = core.WriteFeatures(ff, inst.Train)
+	fatalIf(err)
+	fatalIf(ff.Close())
+	fmt.Println("wrote demo-cls.bin and demo-feats.bin; now run:")
+	fmt.Println("  enmc-train -classifier demo-cls.bin -features demo-feats.bin -out demo-scr.bin")
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Deployment: the full production flow end to end — train a screener,
+// serialize it, restore it on an "inference host", build the DRAM
+// image a rank would hold, and verify with the functional DIMM
+// machine that the compiled instruction stream computes exactly what
+// the software classifier computes (the Fig. 10 initialization story
+// plus this repo's correctness bridge).
+//
+//	go run ./examples/deployment
+//
+// This example reaches below the public facade into the internal
+// packages on purpose: it demonstrates how the layers of the
+// simulator fit together.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/enmc"
+	"enmc/internal/funcsim"
+	"enmc/internal/image"
+	"enmc/internal/isa"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+	"enmc/internal/workload"
+)
+
+func main() {
+	// 1. Train on the "training host".
+	spec := workload.Spec{Name: "deploy", Categories: 1024, Hidden: 128, LatentRank: 32, ZipfS: 1.05}
+	inst := workload.Generate(spec, workload.GenOptions{Seed: 3, Train: 512, Valid: 32, Test: 8})
+	cfg := core.Config{Categories: 1024, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 9}
+	scr, stats, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 10, Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained screener: final MSE %.3g, %0.1f%% of classifier size\n",
+		stats.EpochLoss[len(stats.EpochLoss)-1],
+		100*float64(scr.WeightBytes())/float64(inst.Classifier.WeightBytes()))
+
+	// 2. Ship it: serialize + restore (in-memory here; a file in
+	//    production).
+	var wire bytes.Buffer
+	if _, err := scr.WriteTo(&wire); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized screener: %d bytes on the wire\n", wire.Len())
+	restored, err := core.ReadScreener(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. On the inference host: build the DRAM image one rank holds
+	//    (packed INT4 weights, scales, bias, features).
+	query := inst.Test[0]
+	img, qh, err := image.BuildFull(inst.Classifier, restored, 0, 1024, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rank DRAM image: %.1f KB\n", float64(img.Bytes())/1024)
+
+	// 4. Compile the offload and pick a threshold admitting ~24
+	//    candidates.
+	soft := restored.Screen(query)
+	th := soft[tensor.TopK(soft, 24)[23]]
+	task := compiler.Task{Categories: 1024, Hidden: 128, Reduced: 32, Candidates: 24, Batch: 1}
+	prog, err := compiler.Compile(task, enmc.Default(), compiler.ENMCTarget(),
+		compiler.RankShare{Rows: 1024, Candidates: 24}, compiler.ModeScreened)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled program: %d instructions\n", len(prog.Ops))
+
+	// 5a. Timing: run the stream on the cycle-level engine.
+	eng, err := enmc.New(enmc.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	timing, err := eng.Run(prog.Ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycle engine: %d DRAM cycles (%.2f µs), row-hit rate %.0f%%\n",
+		timing.Cycles, timing.Seconds*1e6, 100*timing.Stats.DRAM.HitRate())
+
+	// 5b. Function: run the same stream on the functional machine and
+	//     verify bit-exactness against the software screener.
+	m := funcsim.New(enmc.Default(), img)
+	pre := []enmc.Op{
+		{I: isa.Init(isa.RegThreshold, uint64(math.Float32bits(th)))},
+		{I: isa.Init(isa.RegFeatSize, uint64(math.Float32bits(qh.Scale)))},
+	}
+	if err := m.Run(append(append(pre, prog.Init...), prog.Ops...)); err != nil {
+		log.Fatal(err)
+	}
+	mismatches := 0
+	for i := range soft {
+		if m.Z[i] != soft[i] {
+			mismatches++
+		}
+	}
+	fmt.Printf("functional machine: %d/%d outputs bit-exact vs software, %d candidates filtered\n",
+		len(soft)-mismatches, len(soft), len(m.Candidates))
+	if mismatches > 0 {
+		log.Fatal("deployment verification FAILED")
+	}
+	fmt.Println("deployment verified: compiled stream ≡ software screener")
+}

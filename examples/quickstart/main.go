@@ -1,0 +1,126 @@
+// Quickstart: train an approximate screener for a synthetic extreme
+// classifier and compare screened classification against the exact
+// layer — the paper's Section 4 pipeline end to end.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"enmc"
+)
+
+const (
+	categories = 4000 // l: number of classes
+	hidden     = 128  // d: hidden dimension
+	latent     = 24   // synthetic latent rank (hidden states live here)
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A synthetic "trained" classifier: W = A·B so logits concentrate
+	// on few classes, the structure real extreme classifiers have.
+	a := randMatrix(rng, categories, latent, 1)
+	basis := randMatrix(rng, latent, hidden, 1/math.Sqrt(latent))
+	weights := matmul(a, basis)
+	bias := make([]float32, categories)
+
+	cls, err := enmc.NewClassifier(weights, bias)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classifier: %d classes × %d dims = %.1f MB of weights\n",
+		cls.Categories(), cls.Hidden(), float64(cls.WeightBytes())/(1<<20))
+
+	// Hidden-state samples: peaked toward a class plus in-manifold
+	// noise (what a trained front-end produces).
+	samples := make([][]float32, 600)
+	labels := make([]int, len(samples))
+	for i := range samples {
+		labels[i] = rng.Intn(categories)
+		samples[i] = hiddenState(rng, weights, basis, labels[i])
+	}
+	train, test := samples[:500], samples[500:]
+
+	// Algorithm 1: distill the screener (defaults: k = d/4, INT4).
+	scr, err := enmc.TrainScreener(cls, train, enmc.ScreenerConfig{Seed: 1, Epochs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("screener:   %.2f MB (%.1f%% of the classifier)\n\n",
+		float64(scr.WeightBytes())/(1<<20),
+		100*float64(scr.WeightBytes())/float64(cls.WeightBytes()))
+
+	// Classify with a 2% candidate budget and compare to exact.
+	budget := categories / 50
+	agree := 0
+	for _, h := range test {
+		res := enmc.Classify(cls, scr, h, enmc.TopM(budget))
+		if res.Predict() == cls.Predict(h) {
+			agree++
+		}
+	}
+	fmt.Printf("candidate budget: %d of %d classes (%.0f× fewer exact dot products)\n",
+		budget, categories, float64(categories)/float64(budget))
+	fmt.Printf("top-1 agreement with exact classification: %d/%d\n\n", agree, len(test))
+
+	// One query in detail.
+	res := enmc.Classify(cls, scr, test[0], enmc.TopM(budget))
+	fmt.Printf("query 0: predicted class %d, top-5 = %v\n", res.Predict(), res.TopK(5))
+	fmt.Printf("         exact top class  %d\n", cls.Predict(test[0]))
+	p := res.Probabilities()
+	fmt.Printf("         probability of prediction: %.3f\n", p[res.Predict()])
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float32 {
+	m := make([][]float32, rows)
+	for i := range m {
+		m[i] = make([]float32, cols)
+		for j := range m[i] {
+			m[i][j] = float32(rng.NormFloat64() * scale)
+		}
+	}
+	return m
+}
+
+func matmul(a, b [][]float32) [][]float32 {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := make([][]float32, rows)
+	for i := range out {
+		out[i] = make([]float32, cols)
+		for k := 0; k < inner; k++ {
+			aik := a[i][k]
+			for j := 0; j < cols; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// hiddenState draws a state peaked toward class c with noise inside
+// the latent subspace.
+func hiddenState(rng *rand.Rand, weights, basis [][]float32, c int) []float32 {
+	h := make([]float32, hidden)
+	row := weights[c]
+	var norm float64
+	for _, v := range row {
+		norm += float64(v) * float64(v)
+	}
+	scale := 3.3 / float32(math.Sqrt(norm))
+	for j := range h {
+		h[j] = scale * row[j]
+	}
+	for k := range basis {
+		coef := float32(rng.NormFloat64() * 0.3)
+		for j := range h {
+			h[j] += coef * basis[k][j]
+		}
+	}
+	return h
+}

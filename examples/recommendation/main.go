@@ -1,0 +1,171 @@
+// Recommendation: Amazon-style multi-label top-k retrieval over a
+// large item catalogue with threshold-filtered screening, plus a
+// cycle-level comparison of running the same workload on the ENMC
+// DIMM versus the baseline NMP designs and conventional full
+// classification — the paper's recommendation story (Fig. 11(d),
+// Fig. 13, Fig. 15).
+//
+//	go run ./examples/recommendation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"enmc"
+)
+
+const (
+	items  = 30000 // catalogue size (scaled-down Amazon-670K)
+	hidden = 128
+	latent = 32
+	topK   = 5
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// Item embedding matrix with latent structure.
+	a := randMatrix(rng, items, latent, 1)
+	basis := randMatrix(rng, latent, hidden, 1/math.Sqrt(latent))
+	weights := matmul(a, basis)
+	cls, err := enmc.NewClassifier(weights, make([]float32, items))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// User feature vectors.
+	users := make([][]float32, 400)
+	for i := range users {
+		users[i] = userVector(rng, weights, basis, rng.Intn(items))
+	}
+	train, valid, test := users[:280], users[280:320], users[320:]
+
+	scr, err := enmc.TrainScreener(cls, train, enmc.ScreenerConfig{Seed: 4, Epochs: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hardware-style threshold selection, calibrated for ≈300
+	// candidates (a 100× reduction).
+	const target = 300
+	th := enmc.CalibrateThreshold(scr, valid, target)
+	fmt.Printf("catalogue %d items; calibrated threshold %.2f for ≈%d candidates\n\n", items, th, target)
+
+	// Precision@k of screened retrieval against exact retrieval.
+	var p5 float64
+	var avgCands float64
+	for _, u := range test {
+		res := enmc.Classify(cls, scr, u, enmc.Threshold(th))
+		avgCands += float64(len(res.Candidates))
+		exactTop := topIndices(cls.Logits(u), topK)
+		hits := 0
+		for _, it := range res.TopK(topK) {
+			for _, e := range exactTop {
+				if it == e {
+					hits++
+					break
+				}
+			}
+		}
+		p5 += float64(hits) / topK
+	}
+	n := float64(len(test))
+	fmt.Printf("screened retrieval: P@%d = %.3f with %.0f candidates/query on average\n\n",
+		topK, p5/n, avgCands/n)
+
+	// Architecture comparison on the full-size workload (670K items,
+	// Table 2 shape): cycle-level system simulation per design.
+	fmt.Println("cycle-level simulation, 670091 items × 512 dims, batch 4 (8 ch × 8 ranks):")
+	fmt.Printf("%-18s %-12s %-12s %s\n", "design", "time (us)", "energy (mJ)", "vs ENMC")
+	task := enmc.SimTask{Categories: 670091, Hidden: 512, Batch: 4, Sigmoid: true}
+	base, err := enmc.Simulate("enmc", task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, design := range []string{"enmc", "tensordimm", "nda", "chameleon"} {
+		r, err := enmc.Simulate(design, task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %-12.1f %-12.2f %.2fx\n",
+			r.Design, r.Seconds*1e6, r.TotalJoules()*1e3, r.Seconds/base.Seconds)
+	}
+	full := task
+	full.FullClassification = true
+	r, err := enmc.Simulate("tensordimm", full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %-12.1f %-12.2f %.2fx   (no screening)\n",
+		"TensorDIMM-full", r.Seconds*1e6, r.TotalJoules()*1e3, r.Seconds/base.Seconds)
+}
+
+func topIndices(z []float32, k int) []int {
+	idx := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range z {
+			taken := false
+			for _, j := range idx {
+				if i == j {
+					taken = true
+					break
+				}
+			}
+			if !taken && (best < 0 || v > z[best]) {
+				best = i
+			}
+		}
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+func userVector(rng *rand.Rand, weights, basis [][]float32, liked int) []float32 {
+	h := make([]float32, hidden)
+	row := weights[liked]
+	var norm float64
+	for _, v := range row {
+		norm += float64(v) * float64(v)
+	}
+	scale := 3.3 / float32(math.Sqrt(norm))
+	for j := range h {
+		h[j] = scale * row[j]
+	}
+	for k := range basis {
+		coef := float32(rng.NormFloat64() * 0.3)
+		for j := range h {
+			h[j] += coef * basis[k][j]
+		}
+	}
+	return h
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float32 {
+	m := make([][]float32, rows)
+	for i := range m {
+		m[i] = make([]float32, cols)
+		for j := range m[i] {
+			m[i][j] = float32(rng.NormFloat64() * scale)
+		}
+	}
+	return m
+}
+
+func matmul(a, b [][]float32) [][]float32 {
+	rows, inner, cols := len(a), len(b), len(b[0])
+	out := make([][]float32, rows)
+	for i := range out {
+		out[i] = make([]float32, cols)
+		for k := 0; k < inner; k++ {
+			aik := a[i][k]
+			for j := 0; j < cols; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module enmc
+
+go 1.22

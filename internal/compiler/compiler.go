@@ -1,0 +1,392 @@
+// Package compiler implements ENMC's programming support (paper
+// Section 5.4, Fig. 9): it tiles a classification task over the
+// on-DIMM buffer sizes and emits the per-rank ENMC instruction stream
+// the engine executes. The same compiler also targets the baseline
+// NMP designs (NDA, Chameleon, TensorDIMM), which run the identical
+// algorithm but on homogeneous FP32 datapaths without the dual-module
+// pipeline — precisely the contrast the paper's Fig. 13 draws.
+package compiler
+
+import (
+	"fmt"
+
+	"enmc/internal/enmc"
+	"enmc/internal/isa"
+)
+
+// Task describes one batched classification offload.
+type Task struct {
+	Categories int // l, total classes (across all ranks)
+	Hidden     int // d
+	Reduced    int // k
+	Candidates int // m per inference (across all ranks)
+	Batch      int
+	// Sigmoid selects the multi-label activation instead of softmax
+	// (the recommendation workloads).
+	Sigmoid bool
+}
+
+// Validate reports task errors.
+func (t Task) Validate() error {
+	if t.Categories <= 0 || t.Hidden <= 0 || t.Reduced <= 0 {
+		return fmt.Errorf("compiler: non-positive dimensions l=%d d=%d k=%d", t.Categories, t.Hidden, t.Reduced)
+	}
+	if t.Candidates < 0 || t.Candidates > t.Categories {
+		return fmt.Errorf("compiler: candidates %d out of range", t.Candidates)
+	}
+	if t.Batch <= 0 {
+		return fmt.Errorf("compiler: non-positive batch")
+	}
+	return nil
+}
+
+// Mode selects which pipeline is compiled.
+type Mode int
+
+// Compilation modes.
+const (
+	// ModeScreened is the paper's pipeline: INT4/FP32 screening plus
+	// candidates-only classification.
+	ModeScreened Mode = iota
+	// ModeFull is conventional full classification (what TensorDIMM
+	// natively runs in Fig. 14/15).
+	ModeFull
+)
+
+// Target describes the hardware the program is compiled for.
+type Target struct {
+	Name string
+	// ScreenOnINT4 routes screening through the INT4 Screener unit
+	// (ENMC). Homogeneous baselines execute screening on their FP32
+	// datapath instead.
+	ScreenOnINT4 bool
+	// DualModule enables the Screener→Executor pipeline overlap
+	// (SyncS2E annotations instead of full BARRIERs).
+	DualModule bool
+	// WeightReuseAcrossBatch reuses a streamed weight tile for every
+	// batch item (requires enough buffering for per-item partial
+	// sums; small-queue designs like TensorDIMM restream instead —
+	// the buffer-overflow traffic Fig. 14 attributes energy to).
+	WeightReuseAcrossBatch bool
+}
+
+// ENMCTarget is the paper's design.
+func ENMCTarget() Target {
+	return Target{Name: "ENMC", ScreenOnINT4: true, DualModule: true, WeightReuseAcrossBatch: true}
+}
+
+// RankShare is the slice of the task owned by one rank (the compiler
+// splits classes row-wise across all ranks in the system).
+type RankShare struct {
+	Rows       int // classifier rows stored and screened on this rank
+	Candidates int // candidate rows recomputed on this rank, per inference
+}
+
+// Split divides the task evenly over totalRanks.
+func (t Task) Split(totalRanks int) RankShare {
+	if totalRanks <= 0 {
+		panic("compiler: non-positive rank count")
+	}
+	return RankShare{
+		Rows:       ceil(t.Categories, totalRanks),
+		Candidates: ceil(t.Candidates, totalRanks),
+	}
+}
+
+// Layout is the per-rank address map the compiler assumes; the host
+// writes it into the status registers during initialization.
+type Layout struct {
+	ScrWBase  uint64 // quantized screening weights (row-major tiles)
+	FullWBase uint64 // FP32 classifier rows
+	FeatBase  uint64 // input features (INT4 then FP32 copies)
+	OutBase   uint64 // spill/output region
+}
+
+// LayoutFor exposes the per-rank address map Compile assumes for a
+// shard of rows classifier rows with INT4 screening weights and the
+// default hardware's burst alignment. The image package uses it to
+// build DRAM images that agree with compiled programs.
+func LayoutFor(t Task, rows int) Layout {
+	share := RankShare{Rows: rows, Candidates: max(t.Candidates, 1)}
+	return layoutFor(t, enmc.Default(), share, 0.5)
+}
+
+// layoutFor packs the rank's regions back to back.
+func layoutFor(t Task, hw enmc.Config, share RankShare, screenBytesPerElem float64) Layout {
+	align := func(x uint64) uint64 {
+		b := uint64(hw.DRAM.BurstBytes)
+		return (x + b - 1) / b * b
+	}
+	scrBytes := uint64(float64(share.Rows*t.Reduced)*screenBytesPerElem) + uint64(share.Rows*8)
+	fullBytes := uint64(share.Rows) * uint64(t.Hidden) * 4
+	featBytes := uint64(t.Batch) * (uint64(t.Reduced) + uint64(t.Hidden)*4)
+	var l Layout
+	l.ScrWBase = 0
+	l.FullWBase = align(l.ScrWBase + scrBytes)
+	l.FeatBase = align(l.FullWBase + fullBytes)
+	l.OutBase = align(l.FeatBase + featBytes)
+	return l
+}
+
+// Program is a compiled per-rank instruction stream plus the
+// bookkeeping the host and the experiment harness need.
+type Program struct {
+	Target Target
+	Mode   Mode
+	Task   Task
+	Share  RankShare
+	Layout Layout
+	Ops    []enmc.Op
+	// Init is the status-register preamble (INIT instructions).
+	Init []enmc.Op
+}
+
+type emitter struct {
+	ops []enmc.Op
+	hw  enmc.Config
+}
+
+func (e *emitter) emit(in isa.Instruction) { e.ops = append(e.ops, enmc.Op{I: in}) }
+
+// emitB emits with an explicit payload size (partial tiles).
+func (e *emitter) emitB(in isa.Instruction, bytes int) {
+	e.ops = append(e.ops, enmc.Op{I: in, Bytes: bytes})
+}
+
+func (e *emitter) emitSyncB(in isa.Instruction, bytes int) {
+	e.ops = append(e.ops, enmc.Op{I: in, SyncS2E: true, Bytes: bytes})
+}
+
+// Compile produces the per-rank program for the task on the target.
+func Compile(t Task, hw enmc.Config, target Target, share RankShare, mode Mode) (*Program, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	// Screening weights are stored INT4-packed for every target (the
+	// memory format is the algorithm's); what differs is the datapath
+	// that consumes them. Homogeneous designs dequantize into their
+	// FP32 lanes and become compute-bound — the paper's stated
+	// limitation of prior NMPs.
+	const screenBytes = 0.5
+	lay := layoutFor(t, hw, share, screenBytes)
+	p := &Program{Target: target, Mode: mode, Task: t, Share: share, Layout: lay}
+
+	p.Init = initProgram(t, lay)
+
+	e := &emitter{hw: hw}
+	switch mode {
+	case ModeScreened:
+		compileScreened(e, t, target, share, lay, screenBytes)
+	case ModeFull:
+		compileFull(e, t, target, share, lay)
+	default:
+		return nil, fmt.Errorf("compiler: unknown mode %d", mode)
+	}
+	p.Ops = e.ops
+	return p, nil
+}
+
+// initProgram writes the task parameters into the status registers
+// (the INIT sequence of Fig. 9(b)).
+func initProgram(t Task, lay Layout) []enmc.Op {
+	mk := func(r isa.Reg, v uint64) enmc.Op { return enmc.Op{I: isa.Init(r, v)} }
+	return []enmc.Op{
+		mk(isa.RegFeatAddr, lay.FeatBase),
+		mk(isa.RegScrWAddr, lay.ScrWBase),
+		mk(isa.RegFullWAddr, lay.FullWBase),
+		mk(isa.RegOutAddr, lay.OutBase),
+		mk(isa.RegVocab, uint64(t.Categories)),
+		mk(isa.RegHidden, uint64(t.Hidden)),
+		mk(isa.RegReduced, uint64(t.Reduced)),
+		mk(isa.RegBatch, uint64(t.Batch)),
+	}
+}
+
+// compileScreened emits the two-phase pipeline for every batch item.
+func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Layout, screenBytes float64) {
+	buf := e.hw.BufBytes
+	psumOutputs := buf / 4 // accumulator entries per PSUM tile
+
+	screenUnitWeightOp := isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4)
+	screenLoadBuf := isa.BufWgtINT4
+	featLoadBuf := isa.BufFeatINT4
+	filterBuf := isa.BufPsumINT4
+	// An INT4 tile of B bytes holds 2·B nibble operands, which the
+	// Screener consumes in one MULADD_INT4. A homogeneous datapath
+	// dequantizes the same tile into FP32 lanes, where one MULADD_FP32
+	// covers only B/4 operands — 8 compute ops per tile. That 8×
+	// op-count blowup is exactly why the paper says prior NMPs
+	// "hardly meet the throughput requirement in the screening phase".
+	if !target.ScreenOnINT4 {
+		screenUnitWeightOp = isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32)
+		screenLoadBuf = isa.BufWgtFP32
+		featLoadBuf = isa.BufFeatFP32
+		filterBuf = isa.BufPsumFP32
+	}
+	// emitScreenMACs charges the compute for one packed tile of
+	// `tile` bytes on the screening datapath.
+	emitScreenMACs := func(tile int) {
+		if target.ScreenOnINT4 {
+			e.emitB(screenUnitWeightOp, tile)
+			return
+		}
+		totalElems := tile * 2 // dequantized nibble operands
+		per := buf / 4         // FP32 operands per compute op
+		for done := 0; done < totalElems; done += per {
+			e.emitB(screenUnitWeightOp, min(per, totalElems-done)*4)
+		}
+	}
+
+	items := t.Batch
+	reuse := target.WeightReuseAcrossBatch
+
+	emitScreen := func(applyPerItem int) {
+		// Screening features for the item(s).
+		featBytes := int(float64(t.Reduced) * screenBytes)
+		if featBytes < 1 {
+			featBytes = 1
+		}
+		for off := 0; off < featBytes; off += buf {
+			e.emitB(isa.Ldr(featLoadBuf, lay.FeatBase+uint64(off)), min(buf, featBytes-off))
+		}
+		// Stream the rank's screening weight tiles.
+		outTiles := ceil(share.Rows, psumOutputs)
+		bytesPerOutTile := int(float64(psumOutputs*t.Reduced) * screenBytes)
+		addr := lay.ScrWBase
+		for ot := 0; ot < outTiles; ot++ {
+			for off := 0; off < bytesPerOutTile; off += buf {
+				tile := min(buf, bytesPerOutTile-off)
+				e.emitB(isa.Ldr(screenLoadBuf, addr), tile)
+				addr += uint64(tile)
+				for r := 0; r < applyPerItem; r++ {
+					emitScreenMACs(tile)
+				}
+			}
+			for r := 0; r < applyPerItem; r++ {
+				e.emit(isa.Filter(filterBuf))
+			}
+		}
+	}
+
+	emitExec := func(item int) {
+		// Candidates-only classification: chunk-outer so the feature
+		// chunk is reused across candidate rows.
+		rowBytes := t.Hidden * 4
+		chunks := ceil(rowBytes, buf)
+		first := true
+		for c := 0; c < chunks; c++ {
+			chunkBytes := min(buf, rowBytes-c*buf)
+			// The FP32 feature copy sits after the packed INT4 one
+			// ((k+1)/2 bytes).
+			featAddr := lay.FeatBase + uint64((t.Reduced+1)/2) + uint64(c*buf)
+			in := isa.Ldr(isa.BufFeatFP32, featAddr)
+			if first && target.DualModule {
+				e.emitSyncB(in, chunkBytes)
+				first = false
+			} else if first {
+				e.emit(isa.Simple(isa.OpBARRIER))
+				e.emitB(in, chunkBytes)
+				first = false
+			} else {
+				e.emitB(in, chunkBytes)
+			}
+			for cand := 0; cand < share.Candidates; cand++ {
+				// Candidate rows cluster: screener candidates come
+				// from the Zipf-hot head of the class space, which
+				// the host lays out contiguously, so the gather has
+				// DRAM-row locality. Vary the base per item.
+				row := (item*31 + cand) % max(share.Rows, 1)
+				wAddr := lay.FullWBase + uint64(row)*uint64(rowBytes) + uint64(c*buf)
+				e.emitB(isa.Ldr(isa.BufWgtFP32, wAddr), chunkBytes)
+				e.emitB(isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32), chunkBytes)
+			}
+		}
+		if t.Sigmoid {
+			e.emit(isa.Simple(isa.OpSIGMOID))
+		} else {
+			e.emit(isa.Simple(isa.OpSOFTMAX))
+		}
+		e.emit(isa.Move(isa.BufOutput, isa.BufPsumFP32))
+		e.emit(isa.Simple(isa.OpRETURN))
+	}
+
+	if reuse {
+		// One weight sweep feeds all batch items' screens, then the
+		// executor drains each item's candidates.
+		emitScreen(items)
+		for it := 0; it < items; it++ {
+			emitExec(it)
+		}
+	} else {
+		for it := 0; it < items; it++ {
+			emitScreen(1)
+			emitExec(it)
+		}
+	}
+	e.emit(isa.Simple(isa.OpBARRIER))
+}
+
+// compileFull emits conventional full classification: every weight
+// row is streamed through the FP32 datapath (the TensorDIMM-style
+// baseline operation of Fig. 14/15).
+func compileFull(e *emitter, t Task, target Target, share RankShare, lay Layout) {
+	buf := e.hw.BufBytes
+	psumOutputs := buf / 4
+	chunks := ceil(t.Hidden*4, buf)
+	rowBytes := t.Hidden * 4
+
+	sweep := func(applyPerItem int) {
+		outTiles := ceil(share.Rows, psumOutputs)
+		for ot := 0; ot < outTiles; ot++ {
+			baseRow := ot * psumOutputs
+			rows := min(psumOutputs, share.Rows-baseRow)
+			for c := 0; c < chunks; c++ {
+				chunkBytes := min(buf, rowBytes-c*buf)
+				e.emitB(isa.Ldr(isa.BufFeatFP32, lay.FeatBase+uint64(c*buf)), chunkBytes)
+				for r := 0; r < rows; r++ {
+					wAddr := lay.FullWBase + uint64(baseRow+r)*uint64(rowBytes) + uint64(c*buf)
+					e.emitB(isa.Ldr(isa.BufWgtFP32, wAddr), chunkBytes)
+					for a := 0; a < applyPerItem; a++ {
+						e.emitB(isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32), chunkBytes)
+					}
+				}
+			}
+			outBytes := rows * 4
+			if t.Sigmoid {
+				e.emitB(isa.Simple(isa.OpSIGMOID), outBytes)
+			} else {
+				e.emitB(isa.Simple(isa.OpSOFTMAX), outBytes)
+			}
+			e.emitB(isa.Move(isa.BufOutput, isa.BufPsumFP32), outBytes)
+			e.emitB(isa.Simple(isa.OpRETURN), outBytes)
+		}
+	}
+
+	if target.WeightReuseAcrossBatch {
+		sweep(t.Batch)
+	} else {
+		for it := 0; it < t.Batch; it++ {
+			sweep(1)
+		}
+	}
+	e.emit(isa.Simple(isa.OpBARRIER))
+}
+
+func ceil(a, b int) int { return (a + b - 1) / b }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

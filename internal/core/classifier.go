@@ -1,0 +1,74 @@
+// Package core implements the paper's primary contribution: the
+// approximate-screening method for extreme classification
+// (Section 4). A lightweight Screener — a sparse random projection P
+// followed by a learned reduced-dimension, quantized weight matrix W̃
+// — approximates the full classifier's logits; the most important
+// outputs (candidates) are then recomputed exactly against the full
+// weight matrix W, and the final pre-softmax vector mixes accurate
+// candidate values with approximate values everywhere else.
+package core
+
+import (
+	"fmt"
+
+	"enmc/internal/activation"
+	"enmc/internal/tensor"
+)
+
+// Classifier is the full (exact) classification layer: z = W·h + b
+// with W ∈ R^{l×d}, followed by a normalization (paper Eq. 1–2).
+type Classifier struct {
+	W *tensor.Matrix // l×d weight matrix
+	B []float32      // l bias
+}
+
+// NewClassifier validates shapes and wraps them.
+func NewClassifier(w *tensor.Matrix, b []float32) (*Classifier, error) {
+	if len(b) != w.Rows {
+		return nil, fmt.Errorf("core: bias length %d != categories %d", len(b), w.Rows)
+	}
+	return &Classifier{W: w, B: b}, nil
+}
+
+// Categories returns l, the output dimension.
+func (c *Classifier) Categories() int { return c.W.Rows }
+
+// Hidden returns d, the hidden dimension.
+func (c *Classifier) Hidden() int { return c.W.Cols }
+
+// Logits computes the full pre-softmax output z = W·h + b.
+func (c *Classifier) Logits(h []float32) []float32 {
+	z := make([]float32, c.W.Rows)
+	c.W.MatVec(z, h)
+	tensor.Add(z, z, c.B)
+	return z
+}
+
+// LogitsRows computes exact logits only for the given candidate rows
+// — the candidates-only classification kernel (paper Fig. 6(c)).
+func (c *Classifier) LogitsRows(rows []int, h []float32) []float32 {
+	z := make([]float32, len(rows))
+	c.W.MatVecRows(z, rows, h)
+	for j, r := range rows {
+		z[j] += c.B[r]
+	}
+	return z
+}
+
+// Probabilities computes softmax(W·h + b).
+func (c *Classifier) Probabilities(h []float32) []float32 {
+	z := c.Logits(h)
+	activation.Softmax(z, z)
+	return z
+}
+
+// Predict returns the argmax class of the full classifier.
+func (c *Classifier) Predict(h []float32) int {
+	return tensor.ArgMax(c.Logits(h))
+}
+
+// WeightBytes reports the FP32 footprint of the classifier weights,
+// the quantity Fig. 5(a) plots against category count.
+func (c *Classifier) WeightBytes() int64 {
+	return c.W.Bytes() + int64(len(c.B))*4
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"enmc/internal/activation"
+	"enmc/internal/tensor"
+)
+
+// Result is the outcome of screening-based classification: the mixed
+// pre-softmax vector (approximate everywhere, exact at candidates)
+// plus bookkeeping the evaluation needs.
+type Result struct {
+	// Mixed holds approximate logits with candidate entries replaced
+	// by exact values (paper Fig. 6, step 5).
+	Mixed []float32
+	// Candidates are the indices recomputed exactly.
+	Candidates []int
+	// Exact holds the exact logits for Candidates, aligned by index.
+	Exact []float32
+}
+
+// Probabilities normalizes the mixed vector with softmax.
+func (r *Result) Probabilities() []float32 {
+	p := make([]float32, len(r.Mixed))
+	activation.Softmax(p, r.Mixed)
+	return p
+}
+
+// Predict returns the argmax over the mixed vector.
+func (r *Result) Predict() int { return tensor.ArgMax(r.Mixed) }
+
+// TopPredictions returns the top-k classes of the mixed vector.
+func (r *Result) TopPredictions(k int) []int { return tensor.TopK(r.Mixed, k) }
+
+// ClassifyApprox runs the full inference pipeline of Section 4.2:
+// screen, select candidates, recompute candidates exactly against the
+// full classifier, and merge.
+func ClassifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection) *Result {
+	ztilde := scr.Screen(h)
+	cands := SelectCandidates(ztilde, sel)
+	exact := cls.LogitsRows(cands, h)
+	mixed := ztilde // screening output is consumed; reuse as the mixed vector
+	for j, c := range cands {
+		mixed[c] = exact[j]
+	}
+	return &Result{Mixed: mixed, Candidates: cands, Exact: exact}
+}
+
+// ClassifyBatch applies ClassifyApprox to a batch of hidden vectors.
+func ClassifyBatch(cls *Classifier, scr *Screener, batch [][]float32, sel Selection) []*Result {
+	out := make([]*Result, len(batch))
+	for i, h := range batch {
+		out[i] = ClassifyApprox(cls, scr, h, sel)
+	}
+	return out
+}
+
+// SigmoidProbabilities normalizes the mixed vector element-wise with
+// the logistic function — the multi-label output the recommendation
+// workloads use (paper Section 4.1: "our method is capable to other
+// non-linear functions used in classification such as sigmoid").
+func (r *Result) SigmoidProbabilities() []float32 {
+	p := make([]float32, len(r.Mixed))
+	activation.Sigmoid(p, r.Mixed)
+	return p
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"enmc/internal/projection"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+)
+
+// Config describes a screening module (paper Eq. 3): z̃ = W̃·(P·h) + b̃
+// with P ∈ sqrt(3/k)·{−1,0,1}^{k×d} and W̃ ∈ R^{l×k}, executed at a
+// reduced fixed-point precision.
+type Config struct {
+	Categories int        // l: number of classes
+	Hidden     int        // d: hidden dimension
+	Reduced    int        // k: projected dimension (k ≪ d)
+	Precision  quant.Bits // screening precision; ENMC hardware uses INT4
+	PerTensor  bool       // per-tensor instead of per-row quantization scales (ablation)
+	Seed       uint64     // seed for the projection matrix P
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Categories <= 0 || c.Hidden <= 0 || c.Reduced <= 0 {
+		return fmt.Errorf("core: non-positive dimensions l=%d d=%d k=%d", c.Categories, c.Hidden, c.Reduced)
+	}
+	if c.Reduced > c.Hidden {
+		return fmt.Errorf("core: reduced dimension k=%d exceeds hidden d=%d", c.Reduced, c.Hidden)
+	}
+	switch c.Precision {
+	case quant.INT2, quant.INT4, quant.INT8:
+	default:
+		return fmt.Errorf("core: unsupported screening precision %d", c.Precision)
+	}
+	return nil
+}
+
+// ParamScale reports the screener parameter-count ratio k/d — the
+// x-axis of Fig. 12(a); the paper selects 0.25.
+func (c Config) ParamScale() float64 {
+	return float64(c.Reduced) / float64(c.Hidden)
+}
+
+// CostScale reports the screening compute/traffic overhead relative
+// to full classification: (k/d)·(bits/32). At the paper's operating
+// point (scale 0.25, INT4) this is 3.125%, matching the 3.1%
+// screening overhead quoted in Section 7.1.
+func (c Config) CostScale() float64 {
+	return c.ParamScale() * float64(c.Precision) / 32
+}
+
+// Screener holds the trained screening module. Wt and Bt are the
+// float32 master parameters (what SGD updates); QW is the quantized
+// deployment copy the hardware streams.
+type Screener struct {
+	Cfg Config
+	P   *projection.Sparse
+	Wt  *tensor.Matrix // l×k float master weights
+	Bt  []float32      // l float bias
+	QW  *quant.Matrix  // quantized W̃ used at inference
+}
+
+// newScreener allocates an untrained screener with zero weights.
+func newScreener(cfg Config) (*Screener, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Screener{
+		Cfg: cfg,
+		P:   projection.New(cfg.Reduced, cfg.Hidden, cfg.Seed),
+		Wt:  tensor.NewMatrix(cfg.Categories, cfg.Reduced),
+		Bt:  make([]float32, cfg.Categories),
+	}, nil
+}
+
+// Freeze (re)quantizes the master weights into the deployment copy.
+// Call after training or after mutating Wt directly.
+func (s *Screener) Freeze() {
+	if s.Cfg.PerTensor {
+		s.QW = quant.QuantizeMatrixPerTensor(s.Wt, s.Cfg.Precision)
+	} else {
+		s.QW = quant.QuantizeMatrix(s.Wt, s.Cfg.Precision)
+	}
+}
+
+// Project computes the reduced feature P·h.
+func (s *Screener) Project(h []float32) []float32 {
+	return s.P.ApplyNew(h)
+}
+
+// Screen computes the approximate logits z̃ = W̃·(P·h) + b̃ on the
+// quantized datapath, exactly as the Screener hardware does: the
+// projected feature is quantized to the screening precision, the
+// integer MAC array accumulates, and the bias is added in float.
+func (s *Screener) Screen(h []float32) []float32 {
+	if len(h) != s.Cfg.Hidden {
+		panic(fmt.Sprintf("core: Screen hidden %d != %d", len(h), s.Cfg.Hidden))
+	}
+	if s.QW == nil {
+		panic("core: Screen called before Freeze")
+	}
+	ph := s.Project(h)
+	qh := quant.QuantizeVector(ph, s.Cfg.Precision)
+	z := make([]float32, s.Cfg.Categories)
+	s.QW.MatVec(z, qh)
+	tensor.Add(z, z, s.Bt)
+	return z
+}
+
+// ScreenFloat computes z̃ on the float32 master weights (no
+// quantization), used by the Fig. 12(b) quantization ablation.
+func (s *Screener) ScreenFloat(h []float32) []float32 {
+	ph := s.Project(h)
+	z := make([]float32, s.Cfg.Categories)
+	s.Wt.MatVec(z, ph)
+	tensor.Add(z, z, s.Bt)
+	return z
+}
+
+// WeightBytes reports the deployed screener footprint: quantized W̃,
+// per-row scales, float bias, and the 2-bit projection matrix.
+func (s *Screener) WeightBytes() int64 {
+	if s.QW == nil {
+		s.Freeze()
+	}
+	return s.QW.Bytes() + int64(len(s.QW.Scales))*4 + int64(len(s.Bt))*4 + s.P.Bytes()
+}
+
+// ScreenBatch computes approximate logits for a batch of hidden
+// vectors with one weight-stationary sweep over W̃ — bit-identical to
+// calling Screen per vector, but each quantized weight row is visited
+// once for the whole batch, mirroring the hardware's batched
+// streaming.
+func (s *Screener) ScreenBatch(hs [][]float32) [][]float32 {
+	if s.QW == nil {
+		panic("core: ScreenBatch called before Freeze")
+	}
+	qs := make([]*quant.Vector, len(hs))
+	for i, h := range hs {
+		if len(h) != s.Cfg.Hidden {
+			panic(fmt.Sprintf("core: ScreenBatch hidden %d != %d", len(h), s.Cfg.Hidden))
+		}
+		qs[i] = quant.QuantizeVector(s.Project(h), s.Cfg.Precision)
+	}
+	out := make([][]float32, len(hs))
+	for i := range out {
+		out[i] = make([]float32, s.Cfg.Categories)
+	}
+	s.QW.MatVecBatch(out, qs)
+	for i := range out {
+		tensor.Add(out[i], out[i], s.Bt)
+	}
+	return out
+}

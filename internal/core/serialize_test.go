@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"enmc/internal/quant"
+)
+
+func TestScreenerRoundTrip(t *testing.T) {
+	cls, samples := testModel(t, 120, 64, 40)
+	cfg := testConfig(120, 64)
+	scr, _, err := TrainScreener(cls, samples, cfg, TrainOptions{Epochs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	n, err := scr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadScreener(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cfg != scr.Cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Cfg, scr.Cfg)
+	}
+	// The restored screener must produce bit-identical outputs.
+	for _, h := range samples[:8] {
+		a, b := scr.Screen(h), got.Screen(h)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("screen output diverged at %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+	// Master weights survive (training could resume).
+	for i := range scr.Wt.Data {
+		if got.Wt.Data[i] != scr.Wt.Data[i] {
+			t.Fatal("master weights corrupted")
+		}
+	}
+}
+
+func TestScreenerRoundTripINT8PerTensor(t *testing.T) {
+	cls, samples := testModel(t, 60, 32, 20)
+	cfg := Config{Categories: 60, Hidden: 32, Reduced: 8, Precision: quant.INT8, PerTensor: true, Seed: 5}
+	scr, _, err := TrainScreener(cls, samples, cfg, TrainOptions{Epochs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := scr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScreener(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cfg.PerTensor || got.Cfg.Precision != quant.INT8 {
+		t.Fatalf("flags lost: %+v", got.Cfg)
+	}
+	h := samples[0]
+	a, b := scr.Screen(h), got.Screen(h)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("INT8 screen output diverged")
+		}
+	}
+}
+
+func TestClassifierRoundTrip(t *testing.T) {
+	cls, samples := testModel(t, 80, 32, 4)
+	var buf bytes.Buffer
+	if _, err := cls.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range samples {
+		a, b := cls.Logits(h), got.Logits(h)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("classifier logits diverged after round trip")
+			}
+		}
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	if _, err := ReadScreener(bytes.NewReader([]byte("NOTMAGIC"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadClassifier(bytes.NewReader([]byte("ENMCCLS1"))); err == nil {
+		t.Fatal("truncated classifier accepted")
+	}
+	// Screener with corrupted header dimensions.
+	cls, samples := testModel(t, 20, 16, 4)
+	scr, _, err := TrainScreener(cls, samples, testConfig(20, 16), TrainOptions{Epochs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := scr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[9] = 0xff // scribble on Categories
+	if _, err := ReadScreener(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	if _, err := scr.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadScreener(bytes.NewReader(buf2.Bytes()[:buf2.Len()/2])); err == nil {
+		t.Fatal("truncated screener accepted")
+	}
+}
+
+func TestFeaturesRoundTrip(t *testing.T) {
+	_, samples := testModel(t, 20, 16, 12)
+	var buf bytes.Buffer
+	if _, err := WriteFeatures(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFeatures(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("count %d", len(got))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != samples[i][j] {
+				t.Fatal("feature values corrupted")
+			}
+		}
+	}
+	// Ragged input rejected.
+	bad := [][]float32{make([]float32, 4), make([]float32, 5)}
+	if _, err := WriteFeatures(&buf, bad); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	if _, err := WriteFeatures(&buf, nil); err == nil {
+		t.Fatal("empty features accepted")
+	}
+	if _, err := ReadFeatures(bytes.NewReader([]byte("WRONGMAG"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

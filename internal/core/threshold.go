@@ -1,0 +1,104 @@
+package core
+
+import "enmc/internal/tensor"
+
+// ThresholdController adapts the Screener's candidate threshold
+// online so the average candidate count tracks a target — the
+// host-side control loop the paper's threshold filtering implies: the
+// threshold register is preloaded per task, and production systems
+// re-tune it as the input distribution drifts.
+//
+// The controller is a hybrid of two estimators:
+//
+//   - an EMA of the target-th order statistic of each observed
+//     screening vector, which snaps the threshold into the right
+//     neighbourhood immediately (and from any cold start), and
+//   - an integral correction on the admitted-count error, which
+//     removes the bias the quantile EMA leaves when the logit bulk
+//     shifts between inferences (per-inference quantiles alone admit
+//     far more than m on average for heavy inter-inference variance).
+type ThresholdController struct {
+	// Target is the desired mean candidates per inference.
+	Target int
+	// Alpha is the EMA weight of a new observation (default 0.1).
+	Alpha float32
+	// Gain is the integral gain on the count error (default 0.05).
+	Gain float32
+
+	qEMA      float32
+	spreadEMA float32
+	corr      float32
+	started   bool
+}
+
+// NewThresholdController starts from an initial calibration; the
+// first observation replaces it outright, so a cold start (zero
+// value) is fine too.
+func NewThresholdController(initial float32, target int) *ThresholdController {
+	return &ThresholdController{Target: target, qEMA: initial, started: initial != 0}
+}
+
+// Threshold returns the current threshold value (write it into
+// RegThreshold or use Selection()).
+func (c *ThresholdController) Threshold() float32 { return c.qEMA + c.corr }
+
+// Observe feeds one inference's approximate logits into the
+// controller and returns the candidate count the *current* threshold
+// admitted (before the update), so callers can drive selection and
+// adaptation in one pass.
+func (c *ThresholdController) Observe(ztilde []float32) int {
+	th := c.Threshold()
+	admitted := 0
+	for _, v := range ztilde {
+		if v >= th {
+			admitted++
+		}
+	}
+	target := c.Target
+	if target < 1 {
+		target = 1
+	}
+	kq := target
+	if kq > len(ztilde) {
+		kq = len(ztilde)
+	}
+	top := tensor.TopK(ztilde, kq)
+	q := ztilde[top[len(top)-1]]
+	spread := ztilde[top[0]] - q
+	if spread < 0 {
+		spread = 0
+	}
+
+	alpha := c.Alpha
+	if alpha == 0 {
+		alpha = 0.1
+	}
+	if !c.started {
+		c.qEMA = q
+		c.spreadEMA = spread
+		c.started = true
+	} else {
+		c.qEMA = (1-alpha)*c.qEMA + alpha*q
+		c.spreadEMA = (1-alpha)*c.spreadEMA + alpha*spread
+	}
+
+	// Integral correction: too many admitted → raise, too few →
+	// lower, with the relative error clamped so one outlier inference
+	// cannot slam the threshold.
+	gain := c.Gain
+	if gain == 0 {
+		gain = 0.05
+	}
+	err := float32(admitted-target) / float32(target)
+	if err > 4 {
+		err = 4
+	}
+	if err < -1 {
+		err = -1
+	}
+	c.corr += gain * err * (c.spreadEMA + 1e-6)
+	return admitted
+}
+
+// Selection returns the controller's current threshold selection.
+func (c *ThresholdController) Selection() Selection { return Threshold(c.Threshold()) }

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// TestThresholdControllerConverges: starting from a badly calibrated
+// threshold, the controller must settle near the target candidate
+// count within one pass over the stream.
+func TestThresholdControllerConverges(t *testing.T) {
+	cls, samples := testModel(t, 300, 64, 300)
+	scr, _, err := TrainScreener(cls, samples[:200], testConfig(300, 64), TrainOptions{Epochs: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 15
+	// Deliberately mis-calibrated start: everything passes.
+	ctl := NewThresholdController(-1e9, target)
+
+	stream := samples[200:]
+	var tail float64
+	var tailN int
+	for round := 0; round < 8; round++ {
+		for _, h := range stream {
+			admitted := ctl.Observe(scr.Screen(h))
+			if round >= 6 {
+				tail += float64(admitted)
+				tailN++
+			}
+		}
+	}
+	avg := tail / float64(tailN)
+	if avg < target/2 || avg > target*2 {
+		t.Fatalf("controller settled at %.1f candidates, target %d", avg, target)
+	}
+}
+
+// TestThresholdControllerColdStart: a zero-value start snaps to the
+// first observation's quantile instead of crawling.
+func TestThresholdControllerColdStart(t *testing.T) {
+	ctl := NewThresholdController(0, 2)
+	z := []float32{10, 8, 6, 4, 2}
+	ctl.Observe(z)
+	if th := ctl.Threshold(); th < 7.5 || th > 8.5 {
+		t.Fatalf("cold start threshold %v, want ≈ the 2nd largest (8)", th)
+	}
+	// Selection reflects the current threshold (the integral step may
+	// have nudged it past the 2nd value already).
+	if got := SelectCandidates(z, ctl.Selection()); len(got) < 1 || len(got) > 2 {
+		t.Fatalf("selection admitted %d", len(got))
+	}
+}
+
+// TestThresholdControllerTracksDrift: when the logit scale shifts,
+// the threshold follows at the EMA rate.
+func TestThresholdControllerTracksDrift(t *testing.T) {
+	ctl := NewThresholdController(0, 1)
+	ctl.Alpha = 0.5
+	low := []float32{1, 0.5, 0}
+	high := []float32{101, 100.5, 100}
+	ctl.Observe(low) // snaps to 1
+	for i := 0; i < 20; i++ {
+		ctl.Observe(high)
+	}
+	if ctl.Threshold() < 90 {
+		t.Fatalf("threshold %v did not follow the drift to ~101", ctl.Threshold())
+	}
+	// Target larger than the vector clamps safely.
+	ctl2 := NewThresholdController(0, 99)
+	ctl2.Observe([]float32{3, 1})
+	if th := ctl2.Threshold(); th < 0.5 || th > 1.5 {
+		t.Fatalf("clamped quantile = %v, want ≈ min value", th)
+	}
+}

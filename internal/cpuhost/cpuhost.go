@@ -1,0 +1,143 @@
+// Package cpuhost models the CPU baseline of the evaluation — an
+// Intel Xeon Platinum 8280 (28 cores @ 2.7 GHz, 6 × DDR4-2666
+// channels, 128 GB/s, Section 6.2) — with a roofline model: execution
+// time is the maximum of compute time at peak FLOP rate and transfer
+// time at peak bandwidth, plus a fixed per-kernel software overhead.
+// The paper's own Fig. 5(b) argues extreme classification is
+// bandwidth-bound on exactly this roofline, so the model reproduces
+// the CPU side of every performance figure.
+package cpuhost
+
+import (
+	"enmc/internal/core"
+	"enmc/internal/quant"
+)
+
+// Config describes the host processor.
+type Config struct {
+	Cores        int
+	ClockGHz     float64
+	FlopsPerCore float64 // FP32 FLOPs per cycle per core (FMA counted as 2)
+	MemBWGBs     float64
+	// KernelOverheadSec is the fixed software cost per offloaded
+	// kernel (framework dispatch, page faults, synchronization); it
+	// dominates tiny-batch latencies and is why NMP batch-1 speedups
+	// are so large in Fig. 13.
+	KernelOverheadSec float64
+	// IntSpeedup is how much faster the CPU executes one quantized
+	// MAC relative to an FP32 MAC (VNNI-style byte ops; modest).
+	IntSpeedup float64
+}
+
+// Xeon8280 returns the paper's CPU baseline. Peak FP32:
+// 28 cores × 2.7 GHz × 64 FLOPs/cycle (2×AVX-512 FMA) ≈ 4.8 TFLOP/s.
+func Xeon8280() Config {
+	return Config{
+		Cores:             28,
+		ClockGHz:          2.7,
+		FlopsPerCore:      64,
+		MemBWGBs:          128,
+		KernelOverheadSec: 25e-6,
+		IntSpeedup:        2,
+	}
+}
+
+// PeakFlops returns peak FP32 FLOP/s.
+func (c Config) PeakFlops() float64 {
+	return float64(c.Cores) * c.ClockGHz * 1e9 * c.FlopsPerCore
+}
+
+// Time returns the roofline execution time for one kernel with the
+// given operation tally.
+func (c Config) Time(op core.OpCount) float64 {
+	intAs := op.IntMACs
+	if c.IntSpeedup > 0 {
+		intAs /= c.IntSpeedup
+	}
+	flops := 2*(op.FP32MACs+intAs) + op.AddOps + 4*op.SFUOps // exp ≈ 4 FLOPs
+	compute := flops / c.PeakFlops()
+	transfer := op.Bytes / (c.MemBWGBs * 1e9)
+	t := compute
+	if transfer > t {
+		t = transfer
+	}
+	return t + c.KernelOverheadSec
+}
+
+// TimeFull returns the time of full classification for a batch: the
+// weight stream is shared across the batch (GEMM), compute scales
+// with batch size.
+func (c Config) TimeFull(l, d, batch int) float64 {
+	per := core.FullClassificationCost(l, d)
+	op := per.ScaleBy(float64(batch))
+	op.Bytes = per.Bytes // weights reused across the batch
+	return c.Time(op)
+}
+
+// TimeScreened returns the time of approximate-screening
+// classification (screen + candidates-only) for a batch. Screening
+// weights are reused across the batch; candidate rows are gathered
+// per inference.
+func (c Config) TimeScreened(l, d, k, m, batch int, bits quant.Bits) float64 {
+	screen := core.ScreeningCost(l, d, k, bits)
+	screenOp := screen.ScaleBy(float64(batch))
+	screenOp.Bytes = screen.Bytes
+	cand := core.CandidateCost(m, d).ScaleBy(float64(batch))
+	// Candidate rows are a random gather; scattered row reads reach
+	// roughly 60% of stream bandwidth on the host.
+	cand.Bytes /= 0.6
+	screenOp.Add(cand)
+	return c.Time(screenOp)
+}
+
+// Roofline returns (attained GFLOP/s, operational intensity) for a
+// kernel — the Fig. 5(b) coordinates.
+func (c Config) Roofline(op core.OpCount) (gflops, intensity float64) {
+	t := c.Time(op)
+	return op.TotalOps() / t / 1e9, op.Intensity()
+}
+
+// GPUConfig models the GPU side of the paper's Fig. 3 motivation: a
+// device with fast HBM but limited capacity, connected to host memory
+// over PCIe. A classifier that fits in device memory streams at HBM
+// bandwidth; anything larger pays PCIe bandwidth for the overflow —
+// the inter-device data movement the paper says GPUs "suffer from
+// when executing the memory-intensive classification layer".
+type GPUConfig struct {
+	MemBytes          int64   // device memory capacity
+	HBMGBs            float64 // device memory bandwidth
+	PCIeGBs           float64 // host link bandwidth
+	PeakTFlops        float64 // FP32 peak
+	KernelOverheadSec float64
+}
+
+// V100 returns a Tesla-V100-class device (16 GB HBM2 @ 900 GB/s,
+// PCIe 3 x16, 14 FP32 TFLOP/s).
+func V100() GPUConfig {
+	return GPUConfig{
+		MemBytes:          16 << 30,
+		HBMGBs:            900,
+		PCIeGBs:           16,
+		PeakTFlops:        14,
+		KernelOverheadSec: 10e-6,
+	}
+}
+
+// TimeFull returns the GPU's full-classification time for a batch:
+// resident weights stream from HBM, the overflow crosses PCIe every
+// batch (it cannot stay resident), compute runs at peak.
+func (g GPUConfig) TimeFull(l, d, batch int) float64 {
+	weightBytes := float64(l) * float64(d) * 4
+	resident := weightBytes
+	if resident > float64(g.MemBytes) {
+		resident = float64(g.MemBytes)
+	}
+	overflow := weightBytes - resident
+	transfer := resident/(g.HBMGBs*1e9) + overflow/(g.PCIeGBs*1e9)
+	compute := 2 * weightBytes / 4 * float64(batch) / (g.PeakTFlops * 1e12)
+	t := transfer
+	if compute > t {
+		t = compute
+	}
+	return t + g.KernelOverheadSec
+}

@@ -1,0 +1,113 @@
+package cpuhost
+
+import (
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/quant"
+)
+
+func TestPeakFlops(t *testing.T) {
+	c := Xeon8280()
+	// 28 × 2.7e9 × 64 ≈ 4.8 TFLOP/s.
+	if p := c.PeakFlops(); p < 4.5e12 || p > 5.1e12 {
+		t.Fatalf("peak = %v", p)
+	}
+}
+
+func TestClassificationIsMemoryBound(t *testing.T) {
+	c := Xeon8280()
+	op := core.FullClassificationCost(670091, 512)
+	transfer := op.Bytes / (c.MemBWGBs * 1e9)
+	got := c.Time(op)
+	// The roofline must be bandwidth-limited: time ≈ transfer +
+	// overhead, well below compute-at-1%-efficiency scenarios.
+	if got < transfer {
+		t.Fatalf("time %v below pure transfer %v", got, transfer)
+	}
+	if got > transfer*1.5+c.KernelOverheadSec {
+		t.Fatalf("classification not memory-bound: %v vs transfer %v", got, transfer)
+	}
+}
+
+func TestScreenedFasterThanFull(t *testing.T) {
+	c := Xeon8280()
+	l, d, k, m := 267744, 512, 128, 5000
+	full := c.TimeFull(l, d, 1)
+	screened := c.TimeScreened(l, d, k, m, 1, quant.INT4)
+	speedup := full / screened
+	// Paper: approximate screening gives ≈7.3× on the CPU baseline.
+	if speedup < 3 || speedup > 30 {
+		t.Fatalf("CPU AS speedup %v out of plausible range", speedup)
+	}
+}
+
+func TestBatchAmortizesWeightTraffic(t *testing.T) {
+	c := Xeon8280()
+	t1 := c.TimeFull(100000, 512, 1)
+	t4 := c.TimeFull(100000, 512, 4)
+	perInf1 := t1
+	perInf4 := t4 / 4
+	if perInf4 >= perInf1 {
+		t.Fatalf("batching did not amortize: %v vs %v", perInf4, perInf1)
+	}
+}
+
+func TestOverheadDominatesTinyKernels(t *testing.T) {
+	c := Xeon8280()
+	tiny := c.Time(core.OpCount{FP32MACs: 100, Bytes: 1000})
+	if tiny < c.KernelOverheadSec {
+		t.Fatalf("tiny kernel %v below overhead", tiny)
+	}
+	if tiny > 2*c.KernelOverheadSec {
+		t.Fatalf("tiny kernel %v should be overhead-dominated", tiny)
+	}
+}
+
+func TestRooflinePoints(t *testing.T) {
+	c := Xeon8280()
+	// Low-intensity kernel attains bandwidth-limited GFLOP/s.
+	op := core.FullClassificationCost(500000, 512)
+	gf, oi := c.Roofline(op)
+	if oi > 1 {
+		t.Fatalf("classification intensity %v should be < 1 op/byte", oi)
+	}
+	bwLimit := c.MemBWGBs * oi // GFLOP/s ceiling at this intensity
+	if gf > bwLimit*1.05 {
+		t.Fatalf("attained %v GFLOP/s above roofline %v", gf, bwLimit)
+	}
+}
+
+func TestIntSpeedupApplied(t *testing.T) {
+	fast := Xeon8280()
+	slow := Xeon8280()
+	slow.IntSpeedup = 1
+	// Compute-bound integer kernel (no memory traffic).
+	op := core.OpCount{IntMACs: 1e12}
+	if fast.Time(op) >= slow.Time(op) {
+		t.Fatal("integer speedup not applied")
+	}
+}
+
+func TestGPUCapacityCliff(t *testing.T) {
+	g := V100()
+	d := 512
+	// Below capacity: HBM-speed, far faster than the CPU.
+	small := g.TimeFull(1_000_000, d, 1) // ~2 GB
+	cpu := Xeon8280().TimeFull(1_000_000, d, 1)
+	if small >= cpu {
+		t.Fatalf("in-memory GPU (%v) not faster than CPU (%v)", small, cpu)
+	}
+	// Far beyond capacity: PCIe-bound, slower than the CPU.
+	big := g.TimeFull(100_000_000, d, 1) // ~190 GB
+	cpuBig := Xeon8280().TimeFull(100_000_000, d, 1)
+	if big <= cpuBig {
+		t.Fatalf("overflowing GPU (%v) should lose to CPU (%v)", big, cpuBig)
+	}
+	// The cliff: per-byte cost jumps sharply once capacity is crossed.
+	atCap := g.TimeFull(8_000_000, d, 1) // ~16 GB
+	past := g.TimeFull(16_000_000, d, 1) // ~31 GB
+	if past < atCap*5 {
+		t.Fatalf("no capacity cliff: %v vs %v", past, atCap)
+	}
+}

@@ -1,0 +1,205 @@
+// Package distributed implements the scale-out extension the paper
+// sketches in its related-work discussion: "our design can scale-out
+// from single-node to distributed nodes, where each node keeps an
+// approximate screener". Classes are sharded row-wise across nodes;
+// every node screens its shard locally on its own ENMC memory system,
+// recomputes its local candidates exactly, and ships only the
+// candidate (index, logit) pairs to an aggregator that merges the
+// global top-k — the same decomposition capacity-driven
+// recommendation inference uses (Lui et al., ISPASS 2021).
+//
+// Two layers are provided: a functional layer (Shard/Classify) that
+// proves the sharded computation is equivalent to single-node
+// classification, and a performance layer (Config.Run) that models
+// per-node ENMC simulation plus the scatter/gather network.
+package distributed
+
+import (
+	"fmt"
+	"sort"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/system"
+	"enmc/internal/tensor"
+)
+
+// --- functional layer ---
+
+// Shard is one node's slice of the class space: a classifier over
+// rows [Offset, Offset+Classifier.Categories) of the global problem,
+// with its own locally trained screener.
+type Shard struct {
+	Offset     int
+	Classifier *core.Classifier
+	Screener   *core.Screener
+}
+
+// Candidate is a merged result entry in global class numbering.
+type Candidate struct {
+	Class int
+	Logit float32
+}
+
+// Classify screens every shard locally with a per-shard top-m budget,
+// recomputes local candidates exactly, and merges the global top-k,
+// descending by exact logit.
+func Classify(shards []Shard, h []float32, perShardM, topK int) ([]Candidate, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("distributed: no shards")
+	}
+	var merged []Candidate
+	for i, s := range shards {
+		if s.Classifier == nil || s.Screener == nil {
+			return nil, fmt.Errorf("distributed: shard %d incomplete", i)
+		}
+		res := core.ClassifyApprox(s.Classifier, s.Screener, h, core.TopM(perShardM))
+		for j, c := range res.Candidates {
+			merged = append(merged, Candidate{Class: s.Offset + c, Logit: res.Exact[j]})
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Logit != merged[b].Logit {
+			return merged[a].Logit > merged[b].Logit
+		}
+		return merged[a].Class < merged[b].Class
+	})
+	if topK > 0 && len(merged) > topK {
+		merged = merged[:topK]
+	}
+	return merged, nil
+}
+
+// ShardClassifier splits a global classifier into n row-contiguous
+// shards and trains a screener per shard on the given samples.
+func ShardClassifier(cls *core.Classifier, n int, samples [][]float32, cfg core.Config, opt core.TrainOptions) ([]Shard, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("distributed: non-positive shard count %d", n)
+	}
+	l := cls.Categories()
+	if n > l {
+		return nil, fmt.Errorf("distributed: more shards (%d) than classes (%d)", n, l)
+	}
+	shards := make([]Shard, 0, n)
+	per := (l + n - 1) / n
+	for off := 0; off < l; off += per {
+		end := off + per
+		if end > l {
+			end = l
+		}
+		sub := &tensor.Matrix{
+			Rows: end - off,
+			Cols: cls.Hidden(),
+			Data: cls.W.Data[off*cls.Hidden() : end*cls.Hidden()],
+		}
+		subCls, err := core.NewClassifier(sub, cls.B[off:end])
+		if err != nil {
+			return nil, err
+		}
+		shardCfg := cfg
+		shardCfg.Categories = end - off
+		shardCfg.Seed = cfg.Seed + uint64(off)
+		scr, _, err := core.TrainScreener(subCls, samples, shardCfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, Shard{Offset: off, Classifier: subCls, Screener: scr})
+	}
+	return shards, nil
+}
+
+// --- performance layer ---
+
+// Config describes a multi-node deployment.
+type Config struct {
+	Nodes int
+	// System is the per-node ENMC memory system (the Table 3 8×8
+	// topology by default).
+	System system.Config
+	// LinkBandwidthGBs is the per-node network bandwidth (e.g. 12.5
+	// for 100 GbE).
+	LinkBandwidthGBs float64
+	// LinkLatencySec is the one-way message latency.
+	LinkLatencySec float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("distributed: non-positive node count")
+	}
+	if c.LinkBandwidthGBs <= 0 || c.LinkLatencySec < 0 {
+		return fmt.Errorf("distributed: bad network parameters")
+	}
+	return nil
+}
+
+// Result reports a distributed offload.
+type Result struct {
+	Nodes          int
+	PerNodeSeconds float64 // slowest node's local classification
+	ScatterSeconds float64 // broadcast of the query features
+	GatherSeconds  float64 // candidate collection at the aggregator
+	TotalSeconds   float64
+	// EnergyJoules sums all nodes' memory-system energy.
+	EnergyJoules float64
+}
+
+// Run shards the task across nodes and models one batched offload.
+func (c Config) Run(task compiler.Task, mode compiler.Mode) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	shard := task
+	shard.Categories = ceilDiv(task.Categories, c.Nodes)
+	shard.Candidates = ceilDiv(task.Candidates, c.Nodes)
+	if shard.Candidates > shard.Categories {
+		shard.Candidates = shard.Categories
+	}
+
+	nodeRes, err := c.System.Run(shard, mode)
+	if err != nil {
+		return Result{}, err
+	}
+
+	out := Result{Nodes: c.Nodes, PerNodeSeconds: nodeRes.Seconds}
+	bw := c.LinkBandwidthGBs * 1e9
+
+	// Scatter: the query batch's hidden vectors go to every node.
+	scatterBytes := float64(task.Batch) * float64(task.Hidden) * 4
+	out.ScatterSeconds = c.LinkLatencySec + scatterBytes/bw
+
+	// Gather: each node returns (index, logit) pairs for its local
+	// candidates; the aggregator's fan-in serializes the streams.
+	gatherBytes := float64(c.Nodes) * float64(task.Batch) * float64(shard.Candidates) * 8
+	out.GatherSeconds = c.LinkLatencySec + gatherBytes/bw
+
+	out.TotalSeconds = out.PerNodeSeconds + out.ScatterSeconds + out.GatherSeconds
+	out.EnergyJoules = nodeRes.Energy.TotalJ() * float64(c.Nodes)
+	return out, nil
+}
+
+// ScaleOutEfficiency runs the task on 1..maxNodes nodes and returns
+// the parallel efficiency curve speedup(n)/n — the quantity that
+// shows where the network starts to dominate.
+func (c Config) ScaleOutEfficiency(task compiler.Task, mode compiler.Mode, maxNodes int) ([]float64, error) {
+	single := c
+	single.Nodes = 1
+	base, err := single.Run(task, mode)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, maxNodes)
+	for n := 1; n <= maxNodes; n++ {
+		cn := c
+		cn.Nodes = n
+		r, err := cn.Run(task, mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, base.TotalSeconds/r.TotalSeconds/float64(n))
+	}
+	return out, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,164 @@
+package distributed
+
+import (
+	"testing"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/nmp"
+	"enmc/internal/quant"
+	"enmc/internal/system"
+	"enmc/internal/workload"
+)
+
+func testInstance(t *testing.T) *workload.Instance {
+	t.Helper()
+	spec := workload.Spec{Name: "dist", Categories: 480, Hidden: 64, LatentRank: 16, ZipfS: 1}
+	return workload.Generate(spec, workload.GenOptions{Seed: 13, Train: 256, Valid: 16, Test: 24})
+}
+
+func trainCfg() core.Config {
+	return core.Config{Categories: 480, Hidden: 64, Reduced: 16, Precision: quant.INT4, Seed: 2}
+}
+
+func TestShardClassifierSplits(t *testing.T) {
+	inst := testInstance(t)
+	shards, err := ShardClassifier(inst.Classifier, 4, inst.Train, trainCfg(), core.TrainOptions{Epochs: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Classifier.Categories()
+	}
+	if total != 480 {
+		t.Fatalf("shards cover %d classes", total)
+	}
+	if _, err := ShardClassifier(inst.Classifier, 0, inst.Train, trainCfg(), core.TrainOptions{}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := ShardClassifier(inst.Classifier, 481, inst.Train, trainCfg(), core.TrainOptions{}); err == nil {
+		t.Fatal("more shards than classes accepted")
+	}
+}
+
+// TestShardedMatchesSingleNode: the distributed classification must
+// recover the same global top classes as a single-node screener with
+// the same total budget (both approximate the same exact layer, so we
+// compare both against exact).
+func TestShardedMatchesSingleNode(t *testing.T) {
+	inst := testInstance(t)
+	shards, err := ShardClassifier(inst.Classifier, 4, inst.Train, trainCfg(), core.TrainOptions{Epochs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, h := range inst.Test {
+		merged, err := Classify(shards, h, 12, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) != 5 {
+			t.Fatalf("merged top-k = %d", len(merged))
+		}
+		exact := inst.Classifier.Predict(h)
+		if merged[0].Class == exact {
+			hits++
+		}
+		// Exact logits must be carried through the merge.
+		full := inst.Classifier.Logits(h)
+		for _, c := range merged {
+			if full[c.Class] != c.Logit {
+				t.Fatalf("merged logit for class %d not exact", c.Class)
+			}
+		}
+		// Descending order.
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Logit > merged[i-1].Logit {
+				t.Fatal("merge not sorted")
+			}
+		}
+	}
+	if hits < len(inst.Test)*8/10 {
+		t.Fatalf("distributed top-1 recovery %d/%d", hits, len(inst.Test))
+	}
+}
+
+func TestClassifyValidation(t *testing.T) {
+	if _, err := Classify(nil, nil, 1, 1); err == nil {
+		t.Fatal("empty shards accepted")
+	}
+	if _, err := Classify([]Shard{{}}, make([]float32, 4), 1, 1); err == nil {
+		t.Fatal("incomplete shard accepted")
+	}
+}
+
+func perfConfig() Config {
+	sys := system.Default(nmp.ENMC())
+	sys.SampleRows = 1024
+	return Config{
+		Nodes:            4,
+		System:           sys,
+		LinkBandwidthGBs: 12.5,
+		LinkLatencySec:   5e-6,
+	}
+}
+
+func TestRunPerformance(t *testing.T) {
+	task := compiler.Task{Categories: 1_000_000, Hidden: 512, Reduced: 128, Candidates: 20000, Batch: 1}
+	cfg := perfConfig()
+	res, err := cfg.Run(task, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds <= 0 || res.PerNodeSeconds <= 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+	if res.TotalSeconds < res.PerNodeSeconds {
+		t.Fatal("network time went negative")
+	}
+	// Four nodes must beat one node on a large workload.
+	one := cfg
+	one.Nodes = 1
+	r1, err := one.Run(task, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds >= r1.TotalSeconds {
+		t.Fatalf("4 nodes (%v s) not faster than 1 (%v s)", res.TotalSeconds, r1.TotalSeconds)
+	}
+}
+
+func TestScaleOutEfficiencyDecays(t *testing.T) {
+	task := compiler.Task{Categories: 2_000_000, Hidden: 512, Reduced: 128, Candidates: 40000, Batch: 1}
+	eff, err := perfConfig().ScaleOutEfficiency(task, compiler.ModeScreened, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff) != 8 {
+		t.Fatalf("efficiency points = %d", len(eff))
+	}
+	if eff[0] < 0.99 || eff[0] > 1.01 {
+		t.Fatalf("single-node efficiency %v, want 1", eff[0])
+	}
+	// Efficiency must decay as the network grows relative to compute.
+	if eff[7] >= eff[0] {
+		t.Fatalf("efficiency did not decay: %v", eff)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := perfConfig()
+	bad.Nodes = 0
+	if _, err := bad.Run(compiler.Task{Categories: 10, Hidden: 4, Reduced: 2, Candidates: 1, Batch: 1}, compiler.ModeScreened); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad = perfConfig()
+	bad.LinkBandwidthGBs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package dram
+
+import "fmt"
+
+// Loc is a decoded channel-local physical location.
+type Loc struct {
+	Rank, BankGroup, Bank, Row, Col int
+}
+
+// MapPolicy selects the physical address layout.
+type MapPolicy int
+
+const (
+	// MapBGInterleave rotates consecutive bursts across bank groups:
+	// layout Row : Rank : Bank : Col : BankGroup (bank-group bits
+	// lowest). Back-to-back column commands then land in different
+	// bank groups and obey the short tCCD_S instead of tCCD_L — the
+	// standard DDR4 controller mapping, and the only way a stream
+	// reaches peak bandwidth. This is the default.
+	MapBGInterleave MapPolicy = iota
+	// MapRowContiguous keeps a whole row's bursts consecutive:
+	// layout Row : Rank : BankGroup : Bank : Col. Simpler, but a
+	// stream is tCCD_L-bound. Kept for the mapping ablation.
+	MapRowContiguous
+)
+
+// Mapper translates byte addresses to locations.
+type Mapper struct {
+	cfg    Config
+	policy MapPolicy
+}
+
+// NewMapper builds a mapper with the default bank-group-interleaved
+// policy.
+func NewMapper(cfg Config) *Mapper { return &Mapper{cfg: cfg, policy: MapBGInterleave} }
+
+// NewMapperPolicy builds a mapper with an explicit policy.
+func NewMapperPolicy(cfg Config, p MapPolicy) *Mapper { return &Mapper{cfg: cfg, policy: p} }
+
+// Decode splits a byte address into its location. Addresses beyond
+// the channel capacity wrap (the compiler lays workloads out within
+// capacity; wrapping keeps synthetic sweeps simple).
+func (m *Mapper) Decode(addr uint64) Loc {
+	c := m.cfg
+	burst := addr / uint64(c.BurstBytes)
+	var l Loc
+	switch m.policy {
+	case MapRowContiguous:
+		l.Col = int(burst % uint64(c.ColumnsPerRow))
+		burst /= uint64(c.ColumnsPerRow)
+		l.Bank = int(burst % uint64(c.BanksPerGroup))
+		burst /= uint64(c.BanksPerGroup)
+		l.BankGroup = int(burst % uint64(c.BankGroups))
+		burst /= uint64(c.BankGroups)
+	default: // MapBGInterleave
+		l.BankGroup = int(burst % uint64(c.BankGroups))
+		burst /= uint64(c.BankGroups)
+		l.Col = int(burst % uint64(c.ColumnsPerRow))
+		burst /= uint64(c.ColumnsPerRow)
+		l.Bank = int(burst % uint64(c.BanksPerGroup))
+		burst /= uint64(c.BanksPerGroup)
+	}
+	l.Rank = int(burst % uint64(c.Ranks))
+	burst /= uint64(c.Ranks)
+	l.Row = int(burst % uint64(c.Rows))
+	return l
+}
+
+// Encode is the inverse of Decode (offset within the burst is zero).
+func (m *Mapper) Encode(l Loc) uint64 {
+	c := m.cfg
+	if l.Rank < 0 || l.Rank >= c.Ranks || l.BankGroup < 0 || l.BankGroup >= c.BankGroups ||
+		l.Bank < 0 || l.Bank >= c.BanksPerGroup || l.Row < 0 || l.Row >= c.Rows ||
+		l.Col < 0 || l.Col >= c.ColumnsPerRow {
+		panic(fmt.Sprintf("dram: Encode out-of-range location %+v", l))
+	}
+	burst := uint64(l.Row)
+	burst = burst*uint64(c.Ranks) + uint64(l.Rank)
+	switch m.policy {
+	case MapRowContiguous:
+		burst = burst*uint64(c.BankGroups) + uint64(l.BankGroup)
+		burst = burst*uint64(c.BanksPerGroup) + uint64(l.Bank)
+		burst = burst*uint64(c.ColumnsPerRow) + uint64(l.Col)
+	default:
+		burst = burst*uint64(c.BanksPerGroup) + uint64(l.Bank)
+		burst = burst*uint64(c.ColumnsPerRow) + uint64(l.Col)
+		burst = burst*uint64(c.BankGroups) + uint64(l.BankGroup)
+	}
+	return burst * uint64(c.BurstBytes)
+}
+
+// flatBank returns the rank-local bank index of a location.
+func (m *Mapper) flatBank(l Loc) int {
+	return l.BankGroup*m.cfg.BanksPerGroup + l.Bank
+}

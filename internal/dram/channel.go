@@ -1,0 +1,446 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Request is one burst-sized (BurstBytes) memory access.
+type Request struct {
+	Addr  uint64
+	Write bool
+	// Done is the cycle the data transfer finished, or -1 while the
+	// request is outstanding.
+	Done int64
+
+	loc       Loc
+	seq       int64
+	activated bool // an ACT was issued on behalf of this request
+}
+
+type bank struct {
+	openRow  int
+	actReady int64
+	rdReady  int64
+	wrReady  int64
+	preReady int64
+}
+
+type rank struct {
+	banks      []bank
+	rrdReady   int64
+	ccdReady   int64 // earliest column command (tCCD_S from the last one)
+	lastColBG  int   // bank group of the last column command
+	lastColAt  int64 // issue cycle of the last column command
+	wtrReady   int64 // earliest read start after a write burst
+	rtwReady   int64 // earliest write start after a read burst
+	faw        [4]int64
+	fawIdx     int
+	refDue     int64
+	refBusyEnd int64
+}
+
+// Channel simulates one memory channel. With PerRankBus=false the
+// ranks share one command/data bus (conventional host controller);
+// with true every rank has a private bus, modeling per-rank NMP
+// engines that talk only to their own devices.
+type Channel struct {
+	cfg        Config
+	mapper     *Mapper
+	perRankBus bool
+
+	ranks []rank
+	// Bus state, indexed by rank when perRankBus, else single entry.
+	dataBusFree []int64
+	cmdBusFree  []int64
+
+	queue    []*Request
+	now      int64
+	finishAt int64
+	seq      int64
+	stats    Stats
+}
+
+// NewChannel validates the config and builds an idle channel with the
+// default bank-group-interleaved address mapping.
+func NewChannel(cfg Config, perRankBus bool) (*Channel, error) {
+	return NewChannelPolicy(cfg, perRankBus, MapBGInterleave)
+}
+
+// NewChannelPolicy builds a channel with an explicit mapping policy.
+func NewChannelPolicy(cfg Config, perRankBus bool, policy MapPolicy) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch := &Channel{
+		cfg:        cfg,
+		mapper:     NewMapperPolicy(cfg, policy),
+		perRankBus: perRankBus,
+		ranks:      make([]rank, cfg.Ranks),
+	}
+	nBus := 1
+	if perRankBus {
+		nBus = cfg.Ranks
+	}
+	ch.dataBusFree = make([]int64, nBus)
+	ch.cmdBusFree = make([]int64, nBus)
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		rk.lastColBG = -1
+		rk.lastColAt = math.MinInt64 / 2
+		rk.banks = make([]bank, cfg.BanksPerRank())
+		for b := range rk.banks {
+			rk.banks[b].openRow = -1
+		}
+		rk.refDue = int64(cfg.REFI)
+		for i := range rk.faw {
+			rk.faw[i] = math.MinInt64 / 2
+		}
+	}
+	return ch, nil
+}
+
+// Mapper exposes the channel's address mapper.
+func (ch *Channel) Mapper() *Mapper { return ch.mapper }
+
+// Now returns the current simulated cycle.
+func (ch *Channel) Now() int64 { return ch.now }
+
+// Pending returns the number of outstanding requests.
+func (ch *Channel) Pending() int { return len(ch.queue) }
+
+// Stats returns a snapshot of activity counters with Cycles set to
+// the latest completion time seen.
+func (ch *Channel) Stats() Stats {
+	s := ch.stats
+	s.Cycles = ch.finishAt
+	if ch.now > s.Cycles {
+		s.Cycles = ch.now
+	}
+	return s
+}
+
+func (ch *Channel) busIdx(rankID int) int {
+	if ch.perRankBus {
+		return rankID
+	}
+	return 0
+}
+
+// Submit enqueues a burst access; if the scheduler window is full it
+// advances the simulation until space frees up. The returned request
+// can be polled for Done after Drain.
+func (ch *Channel) Submit(addr uint64, write bool) *Request {
+	for len(ch.queue) >= ch.cfg.QueueDepth {
+		if !ch.step() {
+			panic("dram: scheduler stalled with a full queue")
+		}
+	}
+	req := &Request{Addr: addr, Write: write, Done: -1, loc: ch.mapper.Decode(addr), seq: ch.seq}
+	ch.seq++
+	ch.queue = append(ch.queue, req)
+	return req
+}
+
+// Drain runs the simulation until every queued request completes and
+// returns the cycle of the last data transfer. The command clock
+// (Now) is left at the last issue time, not the data-end time, so
+// later requests pipeline behind in-flight data exactly as they would
+// on real hardware.
+func (ch *Channel) Drain() int64 {
+	for len(ch.queue) > 0 {
+		if !ch.step() {
+			panic("dram: scheduler stalled during drain")
+		}
+	}
+	return ch.Horizon()
+}
+
+// Horizon returns the furthest point simulated: the later of the
+// command clock and the last data completion.
+func (ch *Channel) Horizon() int64 {
+	if ch.finishAt > ch.now {
+		return ch.finishAt
+	}
+	return ch.now
+}
+
+// AdvanceTo moves idle time forward (e.g. while compute consumes a
+// buffered tile), processing any refreshes that fall due.
+func (ch *Channel) AdvanceTo(cycle int64) {
+	if cycle <= ch.now {
+		return
+	}
+	ch.now = cycle
+	for r := range ch.ranks {
+		ch.refreshIfDue(r)
+	}
+}
+
+// candidate describes the next command for one request.
+type candidate struct {
+	req    *Request
+	t      int64 // earliest feasible issue cycle
+	column bool  // RD/WR (vs ACT/PRE)
+}
+
+// step issues exactly one command (or processes one refresh) and
+// advances time. It returns false only if the queue is empty.
+func (ch *Channel) step() bool {
+	if len(ch.queue) == 0 {
+		return false
+	}
+
+	// Process any refresh already due.
+	for r := range ch.ranks {
+		ch.refreshIfDue(r)
+	}
+
+	best := candidate{t: math.MaxInt64}
+	window := ch.queue
+	if len(window) > ch.cfg.QueueDepth {
+		window = window[:ch.cfg.QueueDepth]
+	}
+	for _, req := range window {
+		c := ch.nextCommand(req)
+		if better(c, best) {
+			best = c
+		}
+	}
+	if best.req == nil {
+		panic("dram: no issuable command")
+	}
+
+	// Refresh has priority: if the chosen command would issue at or
+	// after its rank's refresh deadline, refresh first and rescan.
+	rk := &ch.ranks[best.req.loc.Rank]
+	if best.t >= rk.refDue {
+		ch.doRefresh(best.req.loc.Rank)
+		return true
+	}
+
+	ch.issue(best)
+	return true
+}
+
+// better orders candidates: earlier time first; at equal times column
+// commands (row hits) beat row commands (FR-FCFS), then older wins.
+func better(a, b candidate) bool {
+	if a.req == nil {
+		return false
+	}
+	if b.req == nil {
+		return true
+	}
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.column != b.column {
+		return a.column
+	}
+	return a.req.seq < b.req.seq
+}
+
+// nextCommand computes the next command and earliest feasible cycle
+// for a request given current bank/rank/bus state.
+func (ch *Channel) nextCommand(req *Request) candidate {
+	cfg := &ch.cfg
+	rk := &ch.ranks[req.loc.Rank]
+	bk := &rk.banks[ch.mapper.flatBank(req.loc)]
+	bus := ch.busIdx(req.loc.Rank)
+
+	t := ch.now
+	if rk.refBusyEnd > t {
+		t = rk.refBusyEnd
+	}
+	if ch.cmdBusFree[bus] > t {
+		t = ch.cmdBusFree[bus]
+	}
+
+	switch {
+	case bk.openRow == req.loc.Row:
+		// Column command. Back-to-back column commands to the same
+		// bank group obey the longer tCCD_L.
+		if ccdl := int64(cfg.CCDL); ccdl > 0 && req.loc.BankGroup == rk.lastColBG {
+			if t2 := rk.lastColAt + ccdl; t2 > t {
+				t = t2
+			}
+		}
+		if req.Write {
+			if bk.wrReady > t {
+				t = bk.wrReady
+			}
+			if rk.ccdReady > t {
+				t = rk.ccdReady
+			}
+			if rk.rtwReady > t {
+				t = rk.rtwReady
+			}
+			if need := ch.dataBusFree[bus] - int64(cfg.CWL); need > t {
+				t = need
+			}
+		} else {
+			if bk.rdReady > t {
+				t = bk.rdReady
+			}
+			if rk.ccdReady > t {
+				t = rk.ccdReady
+			}
+			if rk.wtrReady > t {
+				t = rk.wtrReady
+			}
+			if need := ch.dataBusFree[bus] - int64(cfg.CL); need > t {
+				t = need
+			}
+		}
+		return candidate{req: req, t: t, column: true}
+
+	case bk.openRow >= 0:
+		// Conflict: precharge.
+		if bk.preReady > t {
+			t = bk.preReady
+		}
+		return candidate{req: req, t: t}
+
+	default:
+		// Closed: activate.
+		if bk.actReady > t {
+			t = bk.actReady
+		}
+		if rk.rrdReady > t {
+			t = rk.rrdReady
+		}
+		if fawT := rk.faw[rk.fawIdx] + int64(cfg.FAW); fawT > t {
+			t = fawT
+		}
+		return candidate{req: req, t: t}
+	}
+}
+
+// issue executes the candidate command at its feasible time.
+func (ch *Channel) issue(c candidate) {
+	cfg := &ch.cfg
+	req := c.req
+	rk := &ch.ranks[req.loc.Rank]
+	bk := &rk.banks[ch.mapper.flatBank(req.loc)]
+	bus := ch.busIdx(req.loc.Rank)
+	t := c.t
+	ch.now = t
+	ch.cmdBusFree[bus] = t + 1
+
+	switch {
+	case bk.openRow == req.loc.Row:
+		var dataStart int64
+		if req.Write {
+			dataStart = t + int64(cfg.CWL)
+			dataEnd := dataStart + int64(cfg.BurstCycles)
+			if p := dataEnd + int64(cfg.WR); p > bk.preReady {
+				bk.preReady = p
+			}
+			rk.wtrReady = dataEnd + int64(cfg.WTR)
+			rk.ccdReady = t + int64(cfg.CCD)
+			rk.lastColBG = req.loc.BankGroup
+			rk.lastColAt = t
+			ch.dataBusFree[bus] = dataEnd
+			ch.complete(req, dataEnd)
+			ch.stats.Writes++
+			ch.stats.BytesWritten += int64(cfg.BurstBytes)
+		} else {
+			dataStart = t + int64(cfg.CL)
+			dataEnd := dataStart + int64(cfg.BurstCycles)
+			if p := t + int64(cfg.RTP); p > bk.preReady {
+				bk.preReady = p
+			}
+			rk.rtwReady = dataEnd + 2
+			rk.ccdReady = t + int64(cfg.CCD)
+			rk.lastColBG = req.loc.BankGroup
+			rk.lastColAt = t
+			ch.dataBusFree[bus] = dataEnd
+			ch.complete(req, dataEnd)
+			ch.stats.Reads++
+			ch.stats.BytesRead += int64(cfg.BurstBytes)
+		}
+		ch.stats.DataBusBusy += int64(cfg.BurstCycles)
+		if req.activated {
+			ch.stats.RowMisses++
+		} else {
+			ch.stats.RowHits++
+		}
+
+	case bk.openRow >= 0:
+		bk.openRow = -1
+		if a := t + int64(cfg.RP); a > bk.actReady {
+			bk.actReady = a
+		}
+		ch.stats.Precharges++
+
+	default:
+		bk.openRow = req.loc.Row
+		bk.rdReady = t + int64(cfg.RCD)
+		bk.wrReady = t + int64(cfg.RCD)
+		bk.preReady = t + int64(cfg.RAS)
+		bk.actReady = t + int64(cfg.RC)
+		rk.rrdReady = t + int64(cfg.RRD)
+		rk.faw[rk.fawIdx] = t
+		rk.fawIdx = (rk.fawIdx + 1) % 4
+		req.activated = true
+		ch.stats.Activates++
+	}
+}
+
+// complete finishes a request and removes it from the queue.
+func (ch *Channel) complete(req *Request, cycle int64) {
+	req.Done = cycle
+	if cycle > ch.finishAt {
+		ch.finishAt = cycle
+	}
+	for i, q := range ch.queue {
+		if q == req {
+			ch.queue = append(ch.queue[:i], ch.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("dram: completed request %v not in queue", req.Addr))
+}
+
+// refreshIfDue processes all refreshes that have fallen due for rank r.
+func (ch *Channel) refreshIfDue(r int) {
+	for ch.ranks[r].refDue <= ch.now {
+		ch.doRefresh(r)
+	}
+}
+
+// doRefresh performs an all-bank refresh on rank r: close every open
+// row, then hold the rank busy for tRFC.
+func (ch *Channel) doRefresh(r int) {
+	cfg := &ch.cfg
+	rk := &ch.ranks[r]
+	start := rk.refDue
+	if ch.now > start {
+		start = ch.now
+	}
+	if rk.refBusyEnd > start {
+		start = rk.refBusyEnd
+	}
+	for b := range rk.banks {
+		bk := &rk.banks[b]
+		if bk.openRow >= 0 {
+			if bk.preReady > start {
+				start = bk.preReady
+			}
+			bk.openRow = -1
+			ch.stats.Precharges++
+		}
+	}
+	start += int64(cfg.RP)
+	end := start + int64(cfg.RFC)
+	rk.refBusyEnd = end
+	for b := range rk.banks {
+		bk := &rk.banks[b]
+		if end > bk.actReady {
+			bk.actReady = end
+		}
+	}
+	rk.refDue += int64(cfg.REFI)
+	ch.stats.Refreshes++
+}

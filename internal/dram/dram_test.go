@@ -1,0 +1,449 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enmc/internal/xrand"
+)
+
+func testCfg() Config {
+	cfg := DDR4_2400()
+	cfg.Ranks = 2
+	cfg.Rows = 256
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DDR4_2400().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DDR4_2400()
+	bad.Ranks = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestCapacityAndBandwidth(t *testing.T) {
+	cfg := DDR4_2400()
+	// 32 banks/rank… 4 groups × 4 banks = 16 banks, 65536 rows,
+	// 128 cols × 64 B = 8 KB rows → 8 GB per rank.
+	if got := cfg.RankCapacityBytes(); got != 16*65536*128*64 {
+		t.Fatalf("rank capacity = %d", got)
+	}
+	// Peak: 64 B per 4 cycles at 1200 MHz = 19.2 GB/s.
+	if bw := cfg.PeakBandwidthGBs(); bw < 19 || bw > 20 {
+		t.Fatalf("peak bandwidth = %v GB/s", bw)
+	}
+}
+
+func TestMapperRoundTrip(t *testing.T) {
+	cfg := testCfg()
+	m := NewMapper(cfg)
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		loc := Loc{
+			Rank:      r.Intn(cfg.Ranks),
+			BankGroup: r.Intn(cfg.BankGroups),
+			Bank:      r.Intn(cfg.BanksPerGroup),
+			Row:       r.Intn(cfg.Rows),
+			Col:       r.Intn(cfg.ColumnsPerRow),
+		}
+		return m.Decode(m.Encode(loc)) == loc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperSequentialInterleavesBankGroups(t *testing.T) {
+	cfg := testCfg()
+	m := NewMapper(cfg)
+	// Default policy: consecutive bursts rotate across bank groups
+	// (tCCD_S) while staying in the same bank/row/rank for a long
+	// stretch — the bandwidth-friendly DDR4 mapping.
+	first := m.Decode(0)
+	for i := 1; i < cfg.BankGroups*cfg.ColumnsPerRow; i++ {
+		loc := m.Decode(uint64(i * cfg.BurstBytes))
+		if loc.BankGroup != i%cfg.BankGroups {
+			t.Fatalf("burst %d bank group = %d, want %d", i, loc.BankGroup, i%cfg.BankGroups)
+		}
+		if loc.Row != first.Row || loc.Bank != first.Bank || loc.Rank != first.Rank {
+			t.Fatalf("burst %d left its row set: %+v vs %+v", i, loc, first)
+		}
+		if loc.Col != i/cfg.BankGroups {
+			t.Fatalf("burst %d col = %d", i, loc.Col)
+		}
+	}
+}
+
+func TestMapperRowContiguousPolicy(t *testing.T) {
+	cfg := testCfg()
+	m := NewMapperPolicy(cfg, MapRowContiguous)
+	first := m.Decode(0)
+	for i := 1; i < cfg.ColumnsPerRow; i++ {
+		loc := m.Decode(uint64(i * cfg.BurstBytes))
+		if loc.Row != first.Row || loc.Bank != first.Bank || loc.BankGroup != first.BankGroup {
+			t.Fatalf("burst %d left the row: %+v vs %+v", i, loc, first)
+		}
+		if loc.Col != i {
+			t.Fatalf("burst %d col = %d", i, loc.Col)
+		}
+	}
+	// Round trip under the alternate policy too.
+	loc := Loc{Rank: 1, BankGroup: 2, Bank: 3, Row: 17, Col: 5}
+	if m.Decode(m.Encode(loc)) != loc {
+		t.Fatal("row-contiguous round trip failed")
+	}
+}
+
+// TestBankGroupInterleavingRecoversBandwidth shows why the default
+// mapping exists: the same stream is tCCD_L-bound (≈ CCDL cycles per
+// burst) under the contiguous policy but reaches the tCCD_S rate
+// under interleaving.
+func TestBankGroupInterleavingRecoversBandwidth(t *testing.T) {
+	cfg := testCfg()
+	const bytes = 256 * 1024
+
+	inter, _ := NewChannel(cfg, false)
+	inter.SubmitRange(0, bytes, false)
+	fast := inter.Drain()
+
+	contig, err := NewChannelPolicy(cfg, false, MapRowContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contig.SubmitRange(0, bytes, false)
+	slow := contig.Drain()
+
+	// Contiguous: CCDL-bound (6 cyc/burst); interleaved: 4 cyc/burst.
+	if float64(slow) < float64(fast)*1.3 {
+		t.Fatalf("tCCD_L penalty missing: contiguous %d vs interleaved %d", slow, fast)
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	cfg := testCfg()
+	ch, err := NewChannel(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := ch.Submit(0, false)
+	ch.Drain()
+	// Closed bank: ACT@0 → RD@tRCD → data ends at tRCD+CL+burst.
+	want := int64(cfg.RCD + cfg.CL + cfg.BurstCycles)
+	if req.Done != want {
+		t.Fatalf("first read done at %d, want %d", req.Done, want)
+	}
+}
+
+func TestRowHitBackToBack(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	m := ch.Mapper()
+	a := ch.Submit(m.Encode(Loc{Col: 0}), false)
+	b := ch.Submit(m.Encode(Loc{Col: 1}), false) // same bank+row, next column
+	ch.Drain()
+	// Second read hits the open row; same bank group, so it is
+	// tCCD_L-limited (CCDL > BurstCycles here).
+	gap := int64(cfg.CCDL)
+	if int64(cfg.BurstCycles) > gap {
+		gap = int64(cfg.BurstCycles)
+	}
+	if b.Done != a.Done+gap {
+		t.Fatalf("row hit done at %d, want %d", b.Done, a.Done+gap)
+	}
+	s := ch.Stats()
+	if s.RowHits != 1 || s.RowMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d", s.RowHits, s.RowMisses)
+	}
+}
+
+func TestRowConflictPaysPrechargeActivate(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	m := ch.Mapper()
+	sameBankOtherRow := m.Encode(Loc{Row: 1})
+	a := ch.Submit(0, false)
+	b := ch.Submit(sameBankOtherRow, false)
+	ch.Drain()
+	// Conflict must cost at least tRP+tRCD beyond the hit case.
+	minGap := int64(cfg.RP + cfg.RCD)
+	if b.Done-a.Done < minGap {
+		t.Fatalf("conflict gap %d < %d", b.Done-a.Done, minGap)
+	}
+	if ch.Stats().Precharges == 0 {
+		t.Fatal("no precharge issued on conflict")
+	}
+}
+
+func TestSequentialStreamNearsPeakBandwidth(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	const bytes = 1 << 20 // 1 MiB
+	ch.SubmitRange(0, bytes, false)
+	done := ch.Drain()
+	bw := float64(bytes) / float64(done) // bytes per cycle
+	peak := float64(cfg.BurstBytes) / float64(cfg.BurstCycles)
+	if bw < 0.85*peak {
+		t.Fatalf("stream bandwidth %.2f B/cyc below 85%% of peak %.2f", bw, peak)
+	}
+	if hr := ch.Stats().HitRate(); hr < 0.95 {
+		t.Fatalf("sequential hit rate %.3f too low", hr)
+	}
+}
+
+func TestRandomAccessMuchSlowerThanSequential(t *testing.T) {
+	// A shallow queue exposes access latency; with a deep FR-FCFS
+	// window, bank-level parallelism legitimately hides most of the
+	// random-access penalty.
+	cfg := testCfg()
+	cfg.QueueDepth = 4
+	seq, _ := NewChannel(cfg, false)
+	seq.SubmitRange(0, 64*1024, false)
+	seqDone := seq.Drain()
+
+	rnd, _ := NewChannel(cfg, false)
+	r := xrand.New(1)
+	cap64 := uint64(cfg.ChannelCapacityBytes())
+	for i := 0; i < 1024; i++ {
+		addr := (uint64(r.Uint64()) % (cap64 / 64)) * 64
+		rnd.Submit(addr, false)
+	}
+	rndDone := rnd.Drain()
+	if rndDone < seqDone*2 {
+		t.Fatalf("random (%d) not much slower than sequential (%d)", rndDone, seqDone)
+	}
+}
+
+func TestPerRankBusScalesBandwidth(t *testing.T) {
+	cfg := DDR4_2400()
+	cfg.Rows = 256
+	perRankBytes := int64(256 * 1024)
+
+	run := func(perRank bool) int64 {
+		ch, _ := NewChannel(cfg, perRank)
+		m := ch.Mapper()
+		// Stream the same volume from every rank concurrently by
+		// interleaving submissions round-robin.
+		bursts := int(perRankBytes) / cfg.BurstBytes
+		for i := 0; i < bursts; i++ {
+			for rk := 0; rk < cfg.Ranks; rk++ {
+				col := i % cfg.ColumnsPerRow
+				rowStep := i / cfg.ColumnsPerRow
+				loc := Loc{
+					Rank: rk,
+					Bank: rowStep % cfg.BanksPerGroup,
+					Row:  rowStep / cfg.BanksPerGroup % cfg.Rows,
+					Col:  col,
+				}
+				ch.Submit(m.Encode(loc), false)
+			}
+		}
+		return ch.Drain()
+	}
+
+	shared := run(false)
+	private := run(true)
+	speedup := float64(shared) / float64(private)
+	// 8 private buses should approach 8× but at least 4×.
+	if speedup < 4 {
+		t.Fatalf("per-rank bus speedup %.2f, want ≥ 4 (shared %d, private %d)", speedup, shared, private)
+	}
+}
+
+func TestRefreshHappens(t *testing.T) {
+	cfg := testCfg()
+	cfg.REFI = 2000 // force frequent refresh
+	ch, _ := NewChannel(cfg, false)
+	ch.SubmitRange(0, 256*1024, false)
+	ch.Drain()
+	if ch.Stats().Refreshes == 0 {
+		t.Fatal("no refreshes over a long stream")
+	}
+}
+
+func TestRefreshSlowsExecution(t *testing.T) {
+	base := testCfg()
+	base.REFI = 1 << 40 // effectively disable refresh
+	noRef, _ := NewChannel(base, false)
+	noRef.SubmitRange(0, 512*1024, false)
+	fast := noRef.Drain()
+
+	cfg := testCfg()
+	cfg.REFI = 1500
+	withRef, _ := NewChannel(cfg, false)
+	withRef.SubmitRange(0, 512*1024, false)
+	slow := withRef.Drain()
+	if slow <= fast {
+		t.Fatalf("refresh did not cost time: %d vs %d", slow, fast)
+	}
+}
+
+func TestAdvanceToProcessesRefresh(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	ch.AdvanceTo(int64(cfg.REFI) * 3)
+	if ch.Stats().Refreshes < 2 {
+		t.Fatalf("idle refreshes = %d", ch.Stats().Refreshes)
+	}
+	before := ch.Now()
+	ch.AdvanceTo(before - 10) // moving backwards is a no-op
+	if ch.Now() != before {
+		t.Fatal("AdvanceTo moved backwards")
+	}
+}
+
+func TestWriteThenReadTurnaround(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	w := ch.Submit(0, true)
+	r := ch.Submit(uint64(cfg.BurstBytes), false)
+	ch.Drain()
+	if w.Done < 0 || r.Done < 0 {
+		t.Fatal("requests not completed")
+	}
+	// Read must wait at least tWTR after write data.
+	if r.Done < w.Done+int64(cfg.WTR) {
+		t.Fatalf("WTR violated: write done %d, read done %d", w.Done, r.Done)
+	}
+	s := ch.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.BytesWritten != int64(cfg.BurstBytes) {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestBankParallelismOverlapsActivates(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	m := ch.Mapper()
+	// Two different banks: total time must be far below 2× serial.
+	a := ch.Submit(m.Encode(Loc{Bank: 0}), false)
+	b := ch.Submit(m.Encode(Loc{Bank: 1}), false)
+	ch.Drain()
+	serial := int64(cfg.RCD+cfg.CL+cfg.BurstCycles) * 2
+	if b.Done >= serial {
+		t.Fatalf("bank-parallel reads took %d, serial would be %d", b.Done, serial)
+	}
+	_ = a
+}
+
+func TestStatsAggregation(t *testing.T) {
+	var a, b Stats
+	a.Reads, a.Cycles = 5, 100
+	b.Reads, b.Cycles = 7, 80
+	a.Add(b)
+	if a.Reads != 12 || a.Cycles != 100 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+}
+
+func TestSubmitRangeEdge(t *testing.T) {
+	cfg := testCfg()
+	ch, _ := NewChannel(cfg, false)
+	if got := ch.SubmitRange(0, 0, false); got != nil {
+		t.Fatal("zero-byte range")
+	}
+	reqs := ch.SubmitRange(0, 65, false) // rounds to 2 bursts
+	if len(reqs) != 2 {
+		t.Fatalf("65 bytes → %d bursts", len(reqs))
+	}
+	ch.Drain()
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	cfg := testCfg()
+	cfg.QueueDepth = 4
+	ch, _ := NewChannel(cfg, false)
+	// Submitting far more than the queue depth must auto-drain, not
+	// deadlock or grow without bound.
+	for i := 0; i < 64; i++ {
+		ch.Submit(uint64(i*cfg.BurstBytes), false)
+		if ch.Pending() > 4 {
+			t.Fatalf("queue exceeded depth: %d", ch.Pending())
+		}
+	}
+	ch.Drain()
+	if ch.Stats().Reads != 64 {
+		t.Fatalf("reads = %d", ch.Stats().Reads)
+	}
+}
+
+// TestFAWLimitsActivateRate: with a binding four-activate window,
+// bursts of row misses to many banks must slow to ≈ 4 ACTs per tFAW.
+func TestFAWLimitsActivateRate(t *testing.T) {
+	cfg := testCfg()
+	cfg.FAW = 200 // strongly binding (4 ACTs per 200 cycles)
+	cfg.QueueDepth = 32
+	ch, _ := NewChannel(cfg, false)
+	m := ch.Mapper()
+	// 16 row misses across 16 different banks of one rank.
+	const n = 16
+	for i := 0; i < n; i++ {
+		ch.Submit(m.Encode(Loc{BankGroup: i % cfg.BankGroups, Bank: i / cfg.BankGroups % cfg.BanksPerGroup, Row: 1}), false)
+	}
+	done := ch.Drain()
+	// 16 ACTs at 4 per 200 cycles → at least 3 full windows.
+	if done < 3*200 {
+		t.Fatalf("FAW not binding: done at %d", done)
+	}
+
+	relaxed := testCfg()
+	relaxed.QueueDepth = 32
+	ch2, _ := NewChannel(relaxed, false)
+	for i := 0; i < n; i++ {
+		ch2.Submit(ch2.Mapper().Encode(Loc{BankGroup: i % cfg.BankGroups, Bank: i / cfg.BankGroups % cfg.BanksPerGroup, Row: 1}), false)
+	}
+	if fast := ch2.Drain(); fast >= done {
+		t.Fatalf("relaxed FAW (%d) not faster than binding (%d)", fast, done)
+	}
+}
+
+// TestWriteRecoveryDelaysPrecharge: after a write, the bank cannot
+// precharge until tWR past the data burst, so a row conflict after a
+// write costs more than after a read.
+func TestWriteRecoveryDelaysPrecharge(t *testing.T) {
+	cfg := testCfg()
+	m := NewMapper(cfg)
+	sameBankRow1 := m.Encode(Loc{Row: 1})
+
+	afterRead, _ := NewChannel(cfg, false)
+	afterRead.Submit(0, false)
+	r := afterRead.Submit(sameBankRow1, false)
+	afterRead.Drain()
+
+	afterWrite, _ := NewChannel(cfg, false)
+	afterWrite.Submit(0, true)
+	w := afterWrite.Submit(sameBankRow1, false)
+	afterWrite.Drain()
+
+	if w.Done <= r.Done {
+		t.Fatalf("write recovery missing: conflict after write %d vs after read %d", w.Done, r.Done)
+	}
+}
+
+// TestRanksRefreshIndependently: refresh on one rank must not stall
+// traffic on another.
+func TestRanksRefreshIndependently(t *testing.T) {
+	cfg := testCfg()
+	cfg.REFI = 2000
+	ch, _ := NewChannel(cfg, true) // per-rank buses
+	m := ch.Mapper()
+	// Saturate rank 0 with a long stream; rank 1 idle until late.
+	for i := 0; i < 2048; i++ {
+		col := i % cfg.ColumnsPerRow
+		bg := i / cfg.ColumnsPerRow % cfg.BankGroups
+		row := i / (cfg.ColumnsPerRow * cfg.BankGroups)
+		ch.Submit(m.Encode(Loc{Rank: 0, BankGroup: bg, Row: row % cfg.Rows, Col: col}), false)
+	}
+	// One access to rank 1 amid rank-0 refreshes.
+	late := ch.Submit(m.Encode(Loc{Rank: 1}), false)
+	ch.Drain()
+	if late.Done <= 0 {
+		t.Fatal("rank-1 access never completed")
+	}
+	if ch.Stats().Refreshes == 0 {
+		t.Fatal("expected refreshes during the stream")
+	}
+}

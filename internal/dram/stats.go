@@ -1,0 +1,51 @@
+package dram
+
+// Stats counts DRAM activity; the energy model consumes these tallies
+// directly (Fig. 14's breakdown is built from them).
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	Activates    int64
+	Precharges   int64
+	Refreshes    int64
+	RowHits      int64 // column commands issued to an already-open row
+	RowMisses    int64 // column commands that required ACT (and maybe PRE)
+	BytesRead    int64
+	BytesWritten int64
+	DataBusBusy  int64 // cycles the data bus carried a burst
+	Cycles       int64 // final simulated cycle (set on Drain)
+}
+
+// Add accumulates other into s (for aggregating channels).
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Activates += other.Activates
+	s.Precharges += other.Precharges
+	s.Refreshes += other.Refreshes
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.DataBusBusy += other.DataBusBusy
+	if other.Cycles > s.Cycles {
+		s.Cycles = other.Cycles
+	}
+}
+
+// HitRate returns the row-buffer hit rate of column accesses.
+func (s Stats) HitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Bandwidth returns achieved data bandwidth in bytes/cycle.
+func (s Stats) Bandwidth() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BytesRead+s.BytesWritten) / float64(s.Cycles)
+}

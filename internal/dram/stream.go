@@ -1,0 +1,24 @@
+package dram
+
+// SubmitRange submits a contiguous byte range as individual burst
+// requests (the unit every weight-streaming kernel in this repo
+// uses). bytes is rounded up to whole bursts.
+func (ch *Channel) SubmitRange(addr uint64, bytes int64, write bool) []*Request {
+	if bytes <= 0 {
+		return nil
+	}
+	bb := int64(ch.cfg.BurstBytes)
+	n := (bytes + bb - 1) / bb
+	reqs := make([]*Request, 0, n)
+	for i := int64(0); i < n; i++ {
+		reqs = append(reqs, ch.Submit(addr+uint64(i*bb), write))
+	}
+	return reqs
+}
+
+// ReadRange submits and fully drains a contiguous read, returning the
+// completion cycle of the last burst.
+func (ch *Channel) ReadRange(addr uint64, bytes int64) int64 {
+	ch.SubmitRange(addr, bytes, false)
+	return ch.Drain()
+}

@@ -1,0 +1,140 @@
+// Package energy implements the energy model behind Fig. 14 and the
+// area/power estimation of Tables 4 and 5. Energy splits into three
+// components, exactly as the paper breaks it down:
+//
+//   - DRAM static: background + refresh power integrated over runtime,
+//   - DRAM access: per-activate and per-bit transfer energy driven by
+//     the dram package's activity counters,
+//   - computation & control logic: the synthesized on-DIMM logic's
+//     power, with MAC arrays charged by their busy fraction and the
+//     always-on control/buffer/DRAM-controller blocks by wall time.
+package energy
+
+import "enmc/internal/enmc"
+
+// LogicPower holds the synthesized block powers of Table 5 (mW at
+// 400 MHz, TSMC 28 nm).
+type LogicPower struct {
+	INT4MACmW   float64 // full INT4 MAC array
+	FP32MACmW   float64 // full FP32 MAC array
+	ComputeBufW float64 // compute buffers (mW)
+	ControlBufW float64 // control buffers (mW)
+	CtrlmW      float64 // ENMC controller
+	DRAMCtrlmW  float64 // on-DIMM DRAM controller
+}
+
+// ENMCLogic returns the Table 5 power breakdown.
+func ENMCLogic() LogicPower {
+	return LogicPower{
+		INT4MACmW:   10.4,
+		FP32MACmW:   58.0,
+		ComputeBufW: 56.8,
+		ControlBufW: 49.3,
+		CtrlmW:      32.9,
+		DRAMCtrlmW:  78.0,
+	}
+}
+
+// TotalmW sums all blocks (Table 5 total: 285.4 mW).
+func (p LogicPower) TotalmW() float64 {
+	return p.INT4MACmW + p.FP32MACmW + p.ComputeBufW + p.ControlBufW + p.CtrlmW + p.DRAMCtrlmW
+}
+
+// AreaMM2 holds the Table 5 area breakdown (mm²).
+type AreaMM2 struct {
+	INT4MAC, FP32MAC, ComputeBuf, ControlBuf, Ctrl, DRAMCtrl float64
+}
+
+// ENMCArea returns the Table 5 areas (total 0.442 mm²).
+func ENMCArea() AreaMM2 {
+	return AreaMM2{
+		INT4MAC:    0.013,
+		FP32MAC:    0.145,
+		ComputeBuf: 0.061,
+		ControlBuf: 0.053,
+		Ctrl:       0.035,
+		DRAMCtrl:   0.135,
+	}
+}
+
+// Total sums the block areas.
+func (a AreaMM2) Total() float64 {
+	return a.INT4MAC + a.FP32MAC + a.ComputeBuf + a.ControlBuf + a.Ctrl + a.DRAMCtrl
+}
+
+// DRAMEnergy parameterizes the memory-side energy. Defaults are
+// representative DDR4 x8 numbers (activate energy per row cycle,
+// transfer energy per bit including I/O, per-rank background power
+// including periodic refresh).
+type DRAMEnergy struct {
+	StaticMWPerRank  float64 // background + refresh power per rank
+	ActivateNJ       float64 // per ACT/PRE pair
+	TransferPJPerBit float64
+}
+
+// DDR4Energy returns the default DDR4-2400 8Gb×8-rank parameters.
+func DDR4Energy() DRAMEnergy {
+	return DRAMEnergy{
+		StaticMWPerRank:  396, // 8 chips × ~49.5 mW background+refresh
+		ActivateNJ:       2.1,
+		TransferPJPerBit: 12,
+	}
+}
+
+// Breakdown is one run's energy split (joules), the Fig. 14 bars.
+type Breakdown struct {
+	DRAMStaticJ float64
+	DRAMAccessJ float64
+	LogicJ      float64
+}
+
+// TotalJ sums the components.
+func (b Breakdown) TotalJ() float64 { return b.DRAMStaticJ + b.DRAMAccessJ + b.LogicJ }
+
+// Add accumulates another breakdown.
+func (b *Breakdown) Add(o Breakdown) {
+	b.DRAMStaticJ += o.DRAMStaticJ
+	b.DRAMAccessJ += o.DRAMAccessJ
+	b.LogicJ += o.LogicJ
+}
+
+// Scale multiplies all components by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{b.DRAMStaticJ * f, b.DRAMAccessJ * f, b.LogicJ * f}
+}
+
+// Compute derives the energy of one rank-engine run.
+//
+// seconds is the run's wall time; stats are the engine's activity
+// counters for that run. MAC arrays are charged by busy fraction,
+// everything else by wall time.
+func Compute(stats enmc.Stats, seconds float64, logic LogicPower, dramE DRAMEnergy) Breakdown {
+	var b Breakdown
+	// DRAM static: one rank's background power over the runtime.
+	b.DRAMStaticJ = dramE.StaticMWPerRank / 1e3 * seconds
+
+	// DRAM access energy from activity counters.
+	d := stats.DRAM
+	bits := float64(d.BytesRead+d.BytesWritten) * 8
+	b.DRAMAccessJ = float64(d.Activates)*dramE.ActivateNJ*1e-9 +
+		bits*dramE.TransferPJPerBit*1e-12
+
+	// Logic: always-on blocks over wall time, MAC arrays by busy
+	// fraction.
+	cycles := float64(stats.DRAM.Cycles)
+	if cycles <= 0 {
+		cycles = 1
+	}
+	int4Busy := float64(stats.ScreenerBusy) / cycles
+	fp32Busy := float64(stats.ExecutorBusy) / cycles
+	if int4Busy > 1 {
+		int4Busy = 1
+	}
+	if fp32Busy > 1 {
+		fp32Busy = 1
+	}
+	alwaysOn := logic.ComputeBufW + logic.ControlBufW + logic.CtrlmW + logic.DRAMCtrlmW
+	logicMW := alwaysOn + logic.INT4MACmW*int4Busy + logic.FP32MACmW*fp32Busy
+	b.LogicJ = logicMW / 1e3 * seconds
+	return b
+}

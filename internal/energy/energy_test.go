@@ -1,0 +1,85 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"enmc/internal/dram"
+	"enmc/internal/enmc"
+)
+
+func TestTable5Totals(t *testing.T) {
+	if got := ENMCLogic().TotalmW(); math.Abs(got-285.4) > 0.01 {
+		t.Fatalf("Table 5 power total = %v, want 285.4", got)
+	}
+	if got := ENMCArea().Total(); math.Abs(got-0.442) > 0.001 {
+		t.Fatalf("Table 5 area total = %v, want 0.442", got)
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{1, 2, 3}
+	if b.TotalJ() != 6 {
+		t.Fatal("TotalJ")
+	}
+	b.Add(Breakdown{1, 1, 1})
+	if b.DRAMStaticJ != 2 || b.LogicJ != 4 {
+		t.Fatalf("Add: %+v", b)
+	}
+	s := b.Scale(2)
+	if s.DRAMAccessJ != 6 {
+		t.Fatalf("Scale: %+v", s)
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	stats := enmc.Stats{}
+	stats.DRAM = dram.Stats{Cycles: 1000}
+	a := Compute(stats, 1.0, ENMCLogic(), DDR4Energy())
+	b := Compute(stats, 2.0, ENMCLogic(), DDR4Energy())
+	if math.Abs(b.DRAMStaticJ-2*a.DRAMStaticJ) > 1e-12 {
+		t.Fatal("static energy must scale with runtime")
+	}
+	if math.Abs(b.LogicJ-2*a.LogicJ) > 1e-12 {
+		t.Fatal("always-on logic energy must scale with runtime")
+	}
+}
+
+func TestAccessScalesWithTraffic(t *testing.T) {
+	mk := func(bytes int64, acts int64) Breakdown {
+		s := enmc.Stats{}
+		s.DRAM = dram.Stats{BytesRead: bytes, Activates: acts, Cycles: 100}
+		return Compute(s, 1.0, ENMCLogic(), DDR4Energy())
+	}
+	small := mk(1<<20, 100)
+	big := mk(1<<24, 1600)
+	if big.DRAMAccessJ <= small.DRAMAccessJ*10 {
+		t.Fatalf("access energy did not scale: %v vs %v", big.DRAMAccessJ, small.DRAMAccessJ)
+	}
+}
+
+func TestMACsChargedByBusyFraction(t *testing.T) {
+	idle := enmc.Stats{}
+	idle.DRAM = dram.Stats{Cycles: 1000}
+	busy := idle
+	busy.ScreenerBusy = 1000
+	busy.ExecutorBusy = 1000
+
+	eIdle := Compute(idle, 1.0, ENMCLogic(), DDR4Energy())
+	eBusy := Compute(busy, 1.0, ENMCLogic(), DDR4Energy())
+	diff := (eBusy.LogicJ - eIdle.LogicJ) * 1e3 // back to mW over 1s
+	want := ENMCLogic().INT4MACmW + ENMCLogic().FP32MACmW
+	if math.Abs(diff-want) > 0.01 {
+		t.Fatalf("MAC busy charge = %v mW, want %v", diff, want)
+	}
+}
+
+func TestBusyFractionClamped(t *testing.T) {
+	s := enmc.Stats{ScreenerBusy: 5000, ExecutorBusy: 5000}
+	s.DRAM = dram.Stats{Cycles: 1000}
+	b := Compute(s, 1.0, ENMCLogic(), DDR4Energy())
+	maxLogic := ENMCLogic().TotalmW() / 1e3
+	if b.LogicJ > maxLogic+1e-9 {
+		t.Fatalf("logic energy %v exceeds full-power bound %v", b.LogicJ, maxLogic)
+	}
+}

@@ -1,0 +1,421 @@
+// Package enmc implements the cycle-level model of the ENMC DIMM
+// micro-architecture (paper Section 5 and Fig. 7): per-rank logic
+// consisting of an ENMC controller (status registers, instruction
+// FIFO, decoder, generator), a simplified DRAM controller driving the
+// rank's devices, a Screener (INT4 MAC array + threshold filter) and
+// an Executor (FP32 MAC array + special-function unit + output
+// buffer).
+//
+// The engine executes ENMC instruction streams produced by the
+// compiler package. It is a timing and activity simulator in the
+// tradition of Ramulator-based NMP studies: DRAM accesses are timed
+// by the cycle-accurate dram package, compute instructions occupy
+// their unit for the cycles a sized MAC array needs, and the two
+// units overlap exactly as the dual-module pipeline allows.
+// Functional correctness of the algorithm itself is validated by the
+// core package; the engine validates and accounts for every
+// instruction but does not interpret data values.
+package enmc
+
+import (
+	"fmt"
+	"io"
+
+	"enmc/internal/dram"
+	"enmc/internal/isa"
+)
+
+// Config sizes the per-rank ENMC logic; defaults follow Table 3.
+type Config struct {
+	DRAM dram.Config // the rank's devices (configure Ranks=1)
+	// ClockRatio is DRAM clock cycles per ENMC logic cycle. The logic
+	// runs at 400 MHz against a 1200 MHz DDR4-2400 memory clock → 3.
+	ClockRatio int
+	INT4MACs   int // Screener MAC array width (Table 3: 128)
+	FP32MACs   int // Executor MAC array width (Table 3: 16)
+	BufBytes   int // per-buffer capacity (Table 3: 256 B)
+	// FilterWidth is the comparator-array width (comparisons/cycle).
+	FilterWidth int
+	// SFUWidth is special-function evaluations per cycle.
+	SFUWidth int
+}
+
+// Default returns the paper's ENMC configuration for one rank.
+func Default() Config {
+	d := dram.DDR4_2400()
+	d.Ranks = 1
+	return Config{
+		DRAM:        d,
+		ClockRatio:  3,
+		INT4MACs:    128,
+		FP32MACs:    16,
+		BufBytes:    256,
+		FilterWidth: 16,
+		SFUWidth:    4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.ClockRatio <= 0:
+		return fmt.Errorf("enmc: non-positive clock ratio")
+	case c.INT4MACs <= 0 || c.FP32MACs <= 0:
+		return fmt.Errorf("enmc: non-positive MAC counts")
+	case c.BufBytes < c.DRAM.BurstBytes:
+		return fmt.Errorf("enmc: buffer (%dB) smaller than a DRAM burst (%dB)", c.BufBytes, c.DRAM.BurstBytes)
+	case c.FilterWidth <= 0 || c.SFUWidth <= 0:
+		return fmt.Errorf("enmc: non-positive filter/SFU width")
+	}
+	return nil
+}
+
+// Op is one instruction in an engine program, annotated with the
+// cross-unit dependency the hardware's instruction generator
+// enforces: an Op with SyncS2E waits until all previously issued
+// Screener work completes before the Executor proceeds (candidates
+// must be known before candidate-only compute starts). BARRIER in the
+// ISA syncs *both* units; SyncS2E is one-directional and is what
+// keeps the dual-module pipeline flowing across batch items.
+type Op struct {
+	I       isa.Instruction
+	SyncS2E bool
+	// Bytes is the payload size of the op: transfer length for
+	// LDR/STR/MOVE/RETURN, operand bytes for compute/FILTER/SFU ops.
+	// 0 means a full buffer. The compiler sets it for partial tiles
+	// (e.g. a 2 KB weight row streamed through a 4 KB buffer) so
+	// neither traffic nor MAC work is over-charged.
+	Bytes int
+}
+
+// payload resolves the op's effective byte count.
+func (o Op) payload(bufBytes int) int {
+	if o.Bytes > 0 && o.Bytes < bufBytes {
+		return o.Bytes
+	}
+	return bufBytes
+}
+
+// Stats tallies engine activity for the performance and energy
+// models.
+type Stats struct {
+	Instructions int64
+	INT4MACOps   int64 // individual INT4 multiply-accumulates
+	FP32MACOps   int64
+	FilterOps    int64 // comparator evaluations
+	SFUOps       int64 // special-function evaluations
+	BufMoves     int64 // buffer-to-buffer transfers (bytes)
+	ReturnBytes  int64 // bytes returned to the host
+	DRAM         dram.Stats
+	// Busy cycles per unit, in DRAM clock cycles.
+	ScreenerBusy int64
+	ExecutorBusy int64
+}
+
+// Result summarizes one program execution.
+type Result struct {
+	Cycles  int64 // total elapsed DRAM clock cycles
+	Seconds float64
+	Stats   Stats
+}
+
+// Engine simulates one rank's ENMC logic.
+type Engine struct {
+	cfg   Config
+	ch    *dram.Channel
+	trace io.Writer
+
+	regs [isa.NumRegs]uint64
+
+	ctrlTime     int64 // controller decode frontier (dram cycles)
+	screenerFree int64
+	executorFree int64
+	// Double-buffer backpressure: completion time of the
+	// before-previous compute on each unit; a new load for a unit may
+	// not start earlier (only two tile buffers exist).
+	screenerPrev [2]int64
+	executorPrev [2]int64
+
+	stats Stats
+}
+
+// New builds an idle engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ch, err := dram.NewChannel(cfg.DRAM, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, ch: ch}, nil
+}
+
+// Reg returns a status register value (QUERY from the host side).
+func (e *Engine) Reg(r isa.Reg) uint64 { return e.regs[r] }
+
+// SetTrace directs a per-instruction execution trace to w (nil
+// disables tracing). Each line carries the unit frontiers after the
+// instruction, in DRAM cycles — the waveform-level view a bring-up
+// engineer wants.
+func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
+
+// enmcCycles converts n ENMC logic cycles to DRAM cycles.
+func (e *Engine) enmcCycles(n int64) int64 { return n * int64(e.cfg.ClockRatio) }
+
+// unitFor maps a buffer to the unit that owns it.
+func bufUnit(b isa.Buffer) int {
+	switch b {
+	case isa.BufFeatINT4, isa.BufWgtINT4, isa.BufPsumINT4, isa.BufIndex:
+		return 0 // Screener
+	default:
+		return 1 // Executor
+	}
+}
+
+// Run executes the program to completion and returns timing/activity.
+// Engines are reusable: each Run continues from the current DRAM
+// clock (call Elapsed for cumulative time).
+func (e *Engine) Run(prog []Op) (Result, error) {
+	start := e.maxTime()
+	for i, op := range prog {
+		if err := op.I.Validate(); err != nil {
+			return Result{}, fmt.Errorf("enmc: op %d: %w", i, err)
+		}
+		if op.SyncS2E && e.screenerFree > e.executorFree {
+			e.executorFree = e.screenerFree
+		}
+		e.exec(op)
+		if e.trace != nil {
+			fmt.Fprintf(e.trace, "%6d  ctrl=%-10d scr=%-10d exe=%-10d dram=%-10d %s\n",
+				i, e.ctrlTime, e.screenerFree, e.executorFree, e.ch.Horizon(), op.I)
+		}
+	}
+	end := e.maxTime()
+	e.ch.AdvanceTo(end)
+	res := Result{Cycles: end - start, Seconds: e.cfg.DRAM.CyclesToSeconds(end - start)}
+	e.stats.DRAM = e.ch.Stats()
+	res.Stats = e.stats
+	return res, nil
+}
+
+// Elapsed returns the total DRAM cycles since engine creation.
+func (e *Engine) Elapsed() int64 { return e.maxTime() }
+
+func (e *Engine) maxTime() int64 {
+	t := e.ctrlTime
+	if e.screenerFree > t {
+		t = e.screenerFree
+	}
+	if e.executorFree > t {
+		t = e.executorFree
+	}
+	if n := e.ch.Horizon(); n > t {
+		t = n
+	}
+	return t
+}
+
+// exec dispatches one instruction.
+func (e *Engine) exec(op Op) {
+	in := op.I
+	nbytes := op.payload(e.cfg.BufBytes)
+	e.stats.Instructions++
+	// Decoding costs one ENMC cycle of controller time.
+	e.ctrlTime += e.enmcCycles(1)
+
+	switch in.Op {
+	case isa.OpNOP:
+		// Decode cost only.
+
+	case isa.OpREG:
+		if in.RW {
+			e.regs[in.Reg] = in.Data
+		}
+		e.regs[isa.RegInstrCount]++
+
+	case isa.OpLDR:
+		e.load(in.Buf0, in.Data, nbytes)
+
+	case isa.OpSTR:
+		e.store(in.Buf0, in.Data, nbytes)
+
+	case isa.OpMOVE:
+		// Buffer-to-buffer transfer on the unit owning the source,
+		// one ENMC cycle per 64 B lane.
+		unit := bufUnit(in.Buf1)
+		cycles := e.enmcCycles(int64((nbytes + 63) / 64))
+		e.occupy(unit, e.ctrlTime, cycles)
+		e.stats.BufMoves += int64(nbytes)
+
+	case isa.OpMULADDINT4, isa.OpADDINT4, isa.OpMULINT4:
+		elems := int64(nbytes * 2) // packed nibbles
+		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.INT4MACs)))
+		e.computeOn(0, cycles)
+		e.stats.INT4MACOps += elems
+
+	case isa.OpMULADDFP32, isa.OpADDFP32, isa.OpMULFP32:
+		elems := int64(nbytes / 4)
+		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.FP32MACs)))
+		e.computeOn(1, cycles)
+		e.stats.FP32MACOps += elems
+
+	case isa.OpFILTER:
+		elems := int64(nbytes / 4) // int32 partial sums
+		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.FilterWidth)))
+		// The comparator array sits with whichever unit owns the
+		// filtered PSUM: the Screener on ENMC, the FP32 datapath on
+		// homogeneous baselines.
+		e.computeOn(bufUnit(in.Buf0), cycles)
+		e.stats.FilterOps += elems
+
+	case isa.OpSOFTMAX, isa.OpSIGMOID:
+		elems := int64(nbytes / 4)
+		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.SFUWidth)))
+		e.computeOn(1, cycles)
+		e.stats.SFUOps += elems
+
+	case isa.OpBARRIER:
+		t := e.maxTime()
+		e.ctrlTime = t
+		e.screenerFree = t
+		e.executorFree = t
+
+	case isa.OpRETURN:
+		// Output buffer travels to the host over the channel; the
+		// host-side link is not this rank's bottleneck, so charge the
+		// executor a drain latency and count the bytes.
+		cycles := e.enmcCycles(int64((nbytes + 63) / 64))
+		e.occupy(1, e.ctrlTime, cycles)
+		e.stats.ReturnBytes += int64(nbytes)
+
+	case isa.OpCLR:
+		t := e.maxTime()
+		e.ctrlTime = t
+		e.screenerFree = t
+		e.executorFree = t
+		for i := range e.regs {
+			e.regs[i] = 0
+		}
+
+	default:
+		panic(fmt.Sprintf("enmc: unhandled opcode %v", in.Op))
+	}
+}
+
+// load streams one tile of nbytes from DRAM into buf.
+func (e *Engine) load(buf isa.Buffer, addr uint64, nbytes int) {
+	unit := bufUnit(buf)
+	// The DRAM request cannot be issued before the instruction is
+	// decoded.
+	gate := e.ctrlTime
+	// Double-buffer backpressure: with two tile buffers, the load for
+	// tile n may not begin before tile n-2's compute finished.
+	if unit == 0 {
+		if e.screenerPrev[0] > gate {
+			gate = e.screenerPrev[0]
+		}
+	} else {
+		if e.executorPrev[0] > gate {
+			gate = e.executorPrev[0]
+		}
+	}
+	if e.ch.Now() < gate {
+		e.ch.AdvanceTo(gate)
+	}
+	reqs := e.ch.SubmitRange(addr, int64(nbytes), false)
+	e.ch.Drain()
+	var done int64
+	for _, r := range reqs {
+		if r.Done > done {
+			done = r.Done
+		}
+	}
+	// The consuming unit cannot start its next compute before the
+	// data arrived; model by raising the unit's ready frontier.
+	if unit == 0 {
+		if done > e.screenerFree {
+			e.screenerFree = done
+		}
+	} else {
+		if done > e.executorFree {
+			e.executorFree = done
+		}
+	}
+}
+
+// store writes one buffer back to DRAM (e.g. PSUM spill).
+func (e *Engine) store(buf isa.Buffer, addr uint64, nbytes int) {
+	unit := bufUnit(buf)
+	if e.ch.Now() < e.ctrlTime {
+		e.ch.AdvanceTo(e.ctrlTime)
+	}
+	reqs := e.ch.SubmitRange(addr, int64(nbytes), true)
+	e.ch.Drain()
+	var done int64
+	for _, r := range reqs {
+		if r.Done > done {
+			done = r.Done
+		}
+	}
+	if unit == 0 {
+		if done > e.screenerFree {
+			e.screenerFree = done
+		}
+	} else {
+		if done > e.executorFree {
+			e.executorFree = done
+		}
+	}
+}
+
+// computeOn occupies a unit for a compute instruction and updates the
+// double-buffer history.
+func (e *Engine) computeOn(unit int, cycles int64) {
+	var frees *int64
+	var prev *[2]int64
+	if unit == 0 {
+		frees, prev = &e.screenerFree, &e.screenerPrev
+	} else {
+		frees, prev = &e.executorFree, &e.executorPrev
+	}
+	start := *frees
+	if e.ctrlTime > start {
+		start = e.ctrlTime
+	}
+	end := start + cycles
+	*frees = end
+	prev[0] = prev[1]
+	prev[1] = end
+	if unit == 0 {
+		e.stats.ScreenerBusy += cycles
+	} else {
+		e.stats.ExecutorBusy += cycles
+	}
+}
+
+// occupy blocks a unit for a fixed latency starting no earlier than
+// at.
+func (e *Engine) occupy(unit int, at, cycles int64) {
+	var frees *int64
+	if unit == 0 {
+		frees = &e.screenerFree
+	} else {
+		frees = &e.executorFree
+	}
+	start := *frees
+	if at > start {
+		start = at
+	}
+	*frees = start + cycles
+	if unit == 0 {
+		e.stats.ScreenerBusy += cycles
+	} else {
+		e.stats.ExecutorBusy += cycles
+	}
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

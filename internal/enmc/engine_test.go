@@ -1,0 +1,321 @@
+package enmc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"enmc/internal/isa"
+)
+
+func testCfg() Config {
+	c := Default()
+	c.DRAM.Rows = 1024
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.INT4MACs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad = Default()
+	bad.BufBytes = 8
+	if err := bad.Validate(); err == nil {
+		t.Fatal("buffer smaller than burst accepted")
+	}
+}
+
+func TestDefaultMatchesTable3(t *testing.T) {
+	c := Default()
+	if c.INT4MACs != 128 || c.FP32MACs != 16 || c.BufBytes != 256 {
+		t.Fatalf("Table 3 mismatch: %+v", c)
+	}
+	// 400 MHz logic vs 1200 MHz DRAM clock.
+	if c.ClockRatio != 3 {
+		t.Fatalf("clock ratio = %d", c.ClockRatio)
+	}
+}
+
+func TestBasicProgram(t *testing.T) {
+	e, err := New(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := []Op{
+		{I: isa.Init(isa.RegVocab, 1000)},
+		{I: isa.Ldr(isa.BufFeatINT4, 0)},
+		{I: isa.Ldr(isa.BufWgtINT4, 4096)},
+		{I: isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4)},
+		{I: isa.Filter(isa.BufPsumINT4)},
+		{I: isa.Ldr(isa.BufWgtFP32, 8192), SyncS2E: true},
+		{I: isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32)},
+		{I: isa.Simple(isa.OpSOFTMAX)},
+		{I: isa.Move(isa.BufOutput, isa.BufPsumFP32)},
+		{I: isa.Simple(isa.OpRETURN)},
+		{I: isa.Simple(isa.OpBARRIER)},
+	}
+	res, err := e.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles elapsed")
+	}
+	s := res.Stats
+	if s.Instructions != int64(len(prog)) {
+		t.Fatalf("instructions = %d", s.Instructions)
+	}
+	if s.INT4MACOps != 512 { // 256 B of nibbles
+		t.Fatalf("INT4 MACs = %d", s.INT4MACOps)
+	}
+	if s.FP32MACOps != 64 {
+		t.Fatalf("FP32 MACs = %d", s.FP32MACOps)
+	}
+	if s.FilterOps != 64 || s.SFUOps != 64 {
+		t.Fatalf("filter/SFU = %d/%d", s.FilterOps, s.SFUOps)
+	}
+	if s.DRAM.Reads != 3*4 { // three 256 B loads, 4 bursts each
+		t.Fatalf("DRAM reads = %d", s.DRAM.Reads)
+	}
+	if e.Reg(isa.RegVocab) != 1000 {
+		t.Fatal("INIT did not write register")
+	}
+}
+
+func TestInvalidInstructionRejected(t *testing.T) {
+	e, _ := New(testCfg())
+	_, err := e.Run([]Op{{I: isa.Instruction{Op: isa.OpLDR, Buf0: isa.BufFeatINT4}}})
+	if err == nil {
+		t.Fatal("LDR without payload accepted")
+	}
+}
+
+func TestCLRResetsRegisters(t *testing.T) {
+	e, _ := New(testCfg())
+	if _, err := e.Run([]Op{{I: isa.Init(isa.RegVocab, 7)}, {I: isa.Simple(isa.OpCLR)}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Reg(isa.RegVocab) != 0 {
+		t.Fatal("CLR did not reset registers")
+	}
+}
+
+// TestDualModuleOverlap verifies the paper's key architectural claim:
+// running the Screener and Executor in parallel (SyncS2E) beats full
+// BARRIER serialization.
+func TestDualModuleOverlap(t *testing.T) {
+	mkProg := func(dual bool) []Op {
+		var ops []Op
+		emit := func(i isa.Instruction) { ops = append(ops, Op{I: i}) }
+		// Two "items": screen item, then executor work for the item;
+		// the screener of item 2 can overlap the executor of item 1.
+		for item := 0; item < 2; item++ {
+			for tile := 0; tile < 32; tile++ {
+				emit(isa.Ldr(isa.BufWgtINT4, uint64(item*32+tile)*256))
+				emit(isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4))
+			}
+			emit(isa.Filter(isa.BufPsumINT4))
+			if dual {
+				ops = append(ops, Op{I: isa.Ldr(isa.BufWgtFP32, 1<<20), SyncS2E: true})
+			} else {
+				emit(isa.Simple(isa.OpBARRIER))
+				emit(isa.Ldr(isa.BufWgtFP32, 1<<20))
+			}
+			for c := 0; c < 32; c++ {
+				emit(isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32))
+			}
+		}
+		ops = append(ops, Op{I: isa.Simple(isa.OpBARRIER)})
+		return ops
+	}
+
+	eDual, _ := New(testCfg())
+	dual, err := eDual.Run(mkProg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSer, _ := New(testCfg())
+	serial, err := eSer.Run(mkProg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.Cycles >= serial.Cycles {
+		t.Fatalf("dual-module %d cycles not faster than serialized %d", dual.Cycles, serial.Cycles)
+	}
+}
+
+// TestComputeBoundBackpressure: with a single INT4 MAC the engine is
+// compute-bound and elapsed time must scale with MAC work, not memory.
+func TestComputeBoundBackpressure(t *testing.T) {
+	fast := testCfg()
+	slow := testCfg()
+	slow.INT4MACs = 1
+
+	prog := func() []Op {
+		var ops []Op
+		for tile := 0; tile < 64; tile++ {
+			ops = append(ops,
+				Op{I: isa.Ldr(isa.BufWgtINT4, uint64(tile)*256)},
+				Op{I: isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4)})
+		}
+		ops = append(ops, Op{I: isa.Simple(isa.OpBARRIER)})
+		return ops
+	}
+
+	eFast, _ := New(fast)
+	rFast, _ := eFast.Run(prog())
+	eSlow, _ := New(slow)
+	rSlow, _ := eSlow.Run(prog())
+	// 512 MACs per tile on 1 MAC at 1/3 DRAM clock = 1536 dram
+	// cycles per tile vs ~16 for the load: hugely compute-bound.
+	if rSlow.Cycles < rFast.Cycles*10 {
+		t.Fatalf("compute-bound run %d not ≫ memory-bound %d", rSlow.Cycles, rFast.Cycles)
+	}
+}
+
+// TestStreamingIsMemoryBound: at Table 3 widths the screener keeps up
+// with the rank bandwidth, so elapsed ≈ DRAM stream time.
+func TestStreamingIsMemoryBound(t *testing.T) {
+	e, _ := New(testCfg())
+	var ops []Op
+	const tiles = 256
+	for tile := 0; tile < tiles; tile++ {
+		ops = append(ops,
+			Op{I: isa.Ldr(isa.BufWgtINT4, uint64(tile)*256)},
+			Op{I: isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4)})
+	}
+	ops = append(ops, Op{I: isa.Simple(isa.OpBARRIER)})
+	res, err := e.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure stream time: tiles×4 bursts × 4 cycles each = tiles×16.
+	pure := int64(tiles * 16)
+	if res.Cycles > pure*3/2 {
+		t.Fatalf("streaming run %d cycles, pure stream %d — not memory-bound", res.Cycles, pure)
+	}
+}
+
+func TestEngineReusableAcrossRuns(t *testing.T) {
+	e, _ := New(testCfg())
+	r1, err := e.Run([]Op{{I: isa.Ldr(isa.BufWgtINT4, 0)}, {I: isa.Simple(isa.OpBARRIER)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run([]Op{{I: isa.Ldr(isa.BufWgtINT4, 256)}, {I: isa.Simple(isa.OpBARRIER)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles <= 0 || r2.Cycles <= 0 {
+		t.Fatal("per-run cycles must be positive")
+	}
+	if e.Elapsed() < r1.Cycles+r2.Cycles {
+		t.Fatalf("elapsed %d < %d+%d", e.Elapsed(), r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	e, _ := New(testCfg())
+	res, _ := e.Run([]Op{{I: isa.Ldr(isa.BufWgtINT4, 0)}, {I: isa.Simple(isa.OpBARRIER)}})
+	want := float64(res.Cycles) / (testCfg().DRAM.ClockMHz * 1e6)
+	if res.Seconds != want {
+		t.Fatalf("seconds = %v, want %v", res.Seconds, want)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	e, _ := New(testCfg())
+	var buf bytes.Buffer
+	e.SetTrace(&buf)
+	prog := []Op{
+		{I: isa.Ldr(isa.BufWgtINT4, 0)},
+		{I: isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4)},
+		{I: isa.Simple(isa.OpBARRIER)},
+	}
+	if _, err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("trace lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "MUL_ADD_INT4") || !strings.Contains(lines[1], "scr=") {
+		t.Fatalf("trace line malformed: %q", lines[1])
+	}
+	// Disabling stops output.
+	e.SetTrace(nil)
+	if _, err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("trace kept writing after disable: %d lines", got)
+	}
+}
+
+func TestPartialPayloadScalesWork(t *testing.T) {
+	e, _ := New(testCfg())
+	res, err := e.Run([]Op{
+		{I: isa.Ldr(isa.BufWgtINT4, 0), Bytes: 64},
+		{I: isa.Compute(isa.OpMULADDINT4, isa.BufFeatINT4, isa.BufWgtINT4), Bytes: 64},
+		{I: isa.Simple(isa.OpBARRIER)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.INT4MACOps != 128 { // 64 bytes → 128 nibbles
+		t.Fatalf("partial tile MACs = %d", res.Stats.INT4MACOps)
+	}
+	if res.Stats.DRAM.Reads != 1 {
+		t.Fatalf("partial tile bursts = %d", res.Stats.DRAM.Reads)
+	}
+}
+
+func TestStoreAndMoveOps(t *testing.T) {
+	e, _ := New(testCfg())
+	res, err := e.Run([]Op{
+		{I: isa.Ldr(isa.BufPsumFP32, 0)},
+		{I: isa.Move(isa.BufOutput, isa.BufPsumFP32)},
+		{I: isa.Str(isa.BufPsumFP32, 4096)},
+		{I: isa.Simple(isa.OpBARRIER)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DRAM.Writes != 4 { // 256 B spill = 4 bursts
+		t.Fatalf("DRAM writes = %d", res.Stats.DRAM.Writes)
+	}
+	if res.Stats.BufMoves != 256 {
+		t.Fatalf("buffer moves = %d bytes", res.Stats.BufMoves)
+	}
+	if res.Stats.DRAM.BytesWritten != 256 {
+		t.Fatalf("bytes written = %d", res.Stats.DRAM.BytesWritten)
+	}
+}
+
+func TestStatsScaleMethod(t *testing.T) {
+	s := Stats{
+		Instructions: 10, INT4MACOps: 100, FP32MACOps: 50, FilterOps: 8,
+		SFUOps: 4, BufMoves: 256, ReturnBytes: 64, ScreenerBusy: 30, ExecutorBusy: 20,
+	}
+	s.DRAM.Reads = 40
+	s.DRAM.BytesRead = 2560
+	s.DRAM.Cycles = 1000
+	got := s.Scale(2.5)
+	if got.Instructions != 25 || got.INT4MACOps != 250 || got.DRAM.Reads != 100 {
+		t.Fatalf("scaled stats wrong: %+v", got)
+	}
+	if got.DRAM.Cycles != 2500 {
+		t.Fatalf("scaled cycles = %d", got.DRAM.Cycles)
+	}
+	// Busy fraction preserved under scaling.
+	before := float64(s.ScreenerBusy) / float64(s.DRAM.Cycles)
+	after := float64(got.ScreenerBusy) / float64(got.DRAM.Cycles)
+	if before != after {
+		t.Fatalf("busy fraction changed: %v vs %v", before, after)
+	}
+}

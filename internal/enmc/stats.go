@@ -1,0 +1,33 @@
+package enmc
+
+// Scale multiplies all activity counters by f, used by sampled
+// simulation to extrapolate a measurement window to the full
+// workload. Cycle-like fields scale too, so derived rates (busy
+// fractions, bandwidth) are preserved.
+func (s Stats) Scale(f float64) Stats {
+	si := func(v int64) int64 { return int64(float64(v) * f) }
+	out := Stats{
+		Instructions: si(s.Instructions),
+		INT4MACOps:   si(s.INT4MACOps),
+		FP32MACOps:   si(s.FP32MACOps),
+		FilterOps:    si(s.FilterOps),
+		SFUOps:       si(s.SFUOps),
+		BufMoves:     si(s.BufMoves),
+		ReturnBytes:  si(s.ReturnBytes),
+		ScreenerBusy: si(s.ScreenerBusy),
+		ExecutorBusy: si(s.ExecutorBusy),
+	}
+	out.DRAM = s.DRAM
+	out.DRAM.Reads = si(s.DRAM.Reads)
+	out.DRAM.Writes = si(s.DRAM.Writes)
+	out.DRAM.Activates = si(s.DRAM.Activates)
+	out.DRAM.Precharges = si(s.DRAM.Precharges)
+	out.DRAM.Refreshes = si(s.DRAM.Refreshes)
+	out.DRAM.RowHits = si(s.DRAM.RowHits)
+	out.DRAM.RowMisses = si(s.DRAM.RowMisses)
+	out.DRAM.BytesRead = si(s.DRAM.BytesRead)
+	out.DRAM.BytesWritten = si(s.DRAM.BytesWritten)
+	out.DRAM.DataBusBusy = si(s.DRAM.DataBusBusy)
+	out.DRAM.Cycles = si(s.DRAM.Cycles)
+	return out
+}

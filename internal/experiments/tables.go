@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"enmc/internal/dram"
+	"enmc/internal/energy"
+	"enmc/internal/nmp"
+	"enmc/internal/workload"
+)
+
+// Table2 restates the evaluated models and datasets.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2 — evaluated models and datasets",
+		Header: []string{"application", "dataset", "type", "categories", "model", "hidden", "abbr"},
+	}
+	for _, s := range workload.Table2() {
+		t.AddRow(s.Application, s.Dataset, s.DatasetType,
+			fmt.Sprint(s.Categories), s.ModelType, fmt.Sprint(s.Hidden), s.Name)
+	}
+	for _, s := range workload.Synthetic() {
+		t.AddRow(s.Application, s.Dataset, s.DatasetType,
+			fmt.Sprint(s.Categories), s.ModelType, fmt.Sprint(s.Hidden), s.Name)
+	}
+	return t
+}
+
+// Table3 restates the simulated DRAM and ENMC configuration.
+func Table3() *Table {
+	d := dram.DDR4_2400()
+	e := nmp.ENMC().Hw
+	t := &Table{
+		Title:  "Table 3 — ENMC configuration",
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("spec", "DDR4-2400")
+	t.AddRow("channels", "8")
+	t.AddRow("ranks/channel", fmt.Sprint(d.Ranks))
+	t.AddRow("capacity/channel", fmt.Sprintf("%d GB", d.ChannelCapacityBytes()>>30))
+	t.AddRow("queue", fmt.Sprintf("%d-entry", d.QueueDepth))
+	t.AddRow("CL-tRCD-tRP", fmt.Sprintf("%d-%d-%d", d.CL, d.RCD, d.RP))
+	t.AddRow("tRC/tCCD/tRRD/tFAW", fmt.Sprintf("%d/%d/%d/%d", d.RC, d.CCD, d.RRD, d.FAW))
+	t.AddRow("peak BW/channel", fmt.Sprintf("%.1f GB/s", d.PeakBandwidthGBs()))
+	t.AddRow("tech node / frequency", "28 nm / 400 MHz")
+	t.AddRow("FP32 MACs", fmt.Sprint(e.FP32MACs))
+	t.AddRow("INT4 MACs", fmt.Sprint(e.INT4MACs))
+	t.AddRow("screener buffers", fmt.Sprintf("%dB+%dB", e.BufBytes, e.BufBytes))
+	t.AddRow("executor buffers", fmt.Sprintf("%dB+%dB", e.BufBytes, e.BufBytes))
+	return t
+}
+
+// Table4 restates the NMP baseline parity (similar area & power).
+func Table4() *Table {
+	t := &Table{
+		Title:  "Table 4 — NMP designs at matched area/power budget",
+		Header: []string{"design", "est. area mm²", "est. power mW"},
+	}
+	for _, d := range []nmp.Design{nmp.NDA(), nmp.Chameleon(), nmp.TensorDIMM(), nmp.ENMC()} {
+		t.AddRow(d.Target.Name, f3(d.AreaMM2), f1(d.PowerMW))
+	}
+	return t
+}
+
+// Table5 restates the ENMC area/power breakdown.
+func Table5() *Table {
+	a := energy.ENMCArea()
+	p := energy.ENMCLogic()
+	t := &Table{
+		Title:  "Table 5 — ENMC area and power estimation",
+		Header: []string{"block", "area mm²", "power mW"},
+	}
+	t.AddRow("INT4 MAC", f3(a.INT4MAC), f1(p.INT4MACmW))
+	t.AddRow("FP32 MAC", f3(a.FP32MAC), f1(p.FP32MACmW))
+	t.AddRow("compute buffer", f3(a.ComputeBuf), f1(p.ComputeBufW))
+	t.AddRow("control buffer", f3(a.ControlBuf), f1(p.ControlBufW))
+	t.AddRow("ENMC ctrl", f3(a.Ctrl), f1(p.CtrlmW))
+	t.AddRow("DRAM ctrl", f3(a.DRAMCtrl), f1(p.DRAMCtrlmW))
+	t.AddRow("total", f3(a.Total()), f1(p.TotalmW()))
+	return t
+}

@@ -1,0 +1,288 @@
+// Package fgd implements the FGD baseline of Zhang et al. (NeurIPS
+// 2018, "Navigating with Graph Representations for Fast and Scalable
+// Decoding of Neural Language Models"), the second approximation
+// method ENMC compares against in Fig. 11. FGD treats top-k softmax
+// inference as maximum-inner-product search (MIPS) over the class
+// weight vectors and answers it with a greedy walk on a navigable
+// small-world graph built offline.
+//
+// The classic MIPS→nearest-neighbour reduction is used: every weight
+// row is augmented with its bias and a padding coordinate that
+// equalizes norms, and the query is augmented with (1, 0), after
+// which inner-product order equals Euclidean-proximity order.
+package fgd
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// BuildOptions configures graph construction.
+type BuildOptions struct {
+	// M is the maximum out-degree per node. Defaults to 12.
+	M int
+	// EfConstruction is the search beam used while inserting nodes.
+	// Defaults to 48.
+	EfConstruction int
+	// Seed randomizes insertion order.
+	Seed uint64
+}
+
+func (o *BuildOptions) defaults() {
+	if o.M <= 0 {
+		o.M = 12
+	}
+	if o.EfConstruction <= 0 {
+		o.EfConstruction = 48
+	}
+}
+
+// Index is a navigable small-world graph over the augmented class
+// vectors.
+type Index struct {
+	aug       *tensor.Matrix // l×(d+2) augmented vectors
+	neighbors [][]int32
+	entry     int
+	dim       int // original hidden dimension d
+	// DistComps counts inner-product evaluations since the last
+	// ResetStats, the unit FGD's cost model is expressed in.
+	DistComps int64
+}
+
+// Build constructs the small-world graph from the classifier.
+func Build(cls *core.Classifier, opts BuildOptions) (*Index, error) {
+	opts.defaults()
+	l, d := cls.Categories(), cls.Hidden()
+	if l < 2 {
+		return nil, fmt.Errorf("fgd: need at least 2 classes, got %d", l)
+	}
+
+	// Augment: row' = [w, bias, pad] with pad chosen so every row has
+	// squared norm maxSq. Then h' = [h, 1, 0] gives
+	// row'·h' = w·h + bias, and all rows share a norm, so MIPS order
+	// is Euclidean order.
+	maxSq := 0.0
+	normsSq := make([]float64, l)
+	for i := 0; i < l; i++ {
+		n := tensor.Norm2(cls.W.Row(i))
+		b := float64(cls.B[i])
+		normsSq[i] = n*n + b*b
+		if normsSq[i] > maxSq {
+			maxSq = normsSq[i]
+		}
+	}
+	aug := tensor.NewMatrix(l, d+2)
+	for i := 0; i < l; i++ {
+		dst := aug.Row(i)
+		copy(dst, cls.W.Row(i))
+		dst[d] = cls.B[i]
+		dst[d+1] = float32(math.Sqrt(maxSq - normsSq[i]))
+	}
+
+	idx := &Index{
+		aug:       aug,
+		neighbors: make([][]int32, l),
+		dim:       d,
+	}
+
+	rng := xrand.New(opts.Seed)
+	order := rng.Perm(l)
+	idx.entry = order[0]
+	inserted := make([]int32, 0, l)
+	inserted = append(inserted, int32(order[0]))
+
+	q := make([]float32, d+2)
+	for _, nodeI := range order[1:] {
+		node := int32(nodeI)
+		copy(q, aug.Row(nodeI))
+		found := idx.searchAug(q, opts.M, opts.EfConstruction, inserted[0])
+		idx.connect(node, found, opts.M)
+		inserted = append(inserted, node)
+	}
+	idx.DistComps = 0
+	return idx, nil
+}
+
+// connect links node bidirectionally to the found neighbours,
+// trimming any list that exceeds maxDeg to the closest entries.
+func (idx *Index) connect(node int32, found []int32, maxDeg int) {
+	idx.neighbors[node] = append(idx.neighbors[node], found...)
+	for _, nb := range found {
+		idx.neighbors[nb] = append(idx.neighbors[nb], node)
+		if len(idx.neighbors[nb]) > 2*maxDeg {
+			idx.trim(nb, maxDeg)
+		}
+	}
+	if len(idx.neighbors[node]) > 2*maxDeg {
+		idx.trim(node, maxDeg)
+	}
+}
+
+func (idx *Index) trim(node int32, maxDeg int) {
+	base := idx.aug.Row(int(node))
+	nbs := idx.neighbors[node]
+	sort.Slice(nbs, func(a, b int) bool {
+		return idx.dist(base, int(nbs[a])) < idx.dist(base, int(nbs[b]))
+	})
+	// Deduplicate while keeping order.
+	seen := make(map[int32]bool, len(nbs))
+	out := nbs[:0]
+	for _, nb := range nbs {
+		if !seen[nb] && nb != node {
+			seen[nb] = true
+			out = append(out, nb)
+		}
+		if len(out) == maxDeg {
+			break
+		}
+	}
+	idx.neighbors[node] = out
+}
+
+// dist is the negated augmented inner product: smaller = closer.
+func (idx *Index) dist(q []float32, node int) float32 {
+	idx.DistComps++
+	return -tensor.Dot(q, idx.aug.Row(node))
+}
+
+// searchAug runs greedy best-first search over the graph and returns
+// the k closest nodes found, closest first.
+func (idx *Index) searchAug(q []float32, k, ef int, entry int32) []int32 {
+	if ef < k {
+		ef = k
+	}
+	visited := map[int32]bool{entry: true}
+	entryDist := idx.dist(q, int(entry))
+
+	// candidates: min-heap by distance (to expand);
+	// results: max-heap by distance (to keep ef best).
+	cand := &distHeap{min: true}
+	res := &distHeap{min: false}
+	heap.Push(cand, distNode{entry, entryDist})
+	heap.Push(res, distNode{entry, entryDist})
+
+	for cand.Len() > 0 {
+		cur := heap.Pop(cand).(distNode)
+		if res.Len() >= ef && cur.d > res.top().d {
+			break
+		}
+		for _, nb := range idx.neighbors[cur.id] {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			dd := idx.dist(q, int(nb))
+			if res.Len() < ef || dd < res.top().d {
+				heap.Push(cand, distNode{nb, dd})
+				heap.Push(res, distNode{nb, dd})
+				if res.Len() > ef {
+					heap.Pop(res)
+				}
+			}
+		}
+	}
+
+	out := make([]distNode, res.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(res).(distNode)
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	ids := make([]int32, len(out))
+	for i, dn := range out {
+		ids[i] = dn.id
+	}
+	return ids
+}
+
+// Search returns the top-k class indices for hidden vector h (by
+// approximate MIPS), best first. ef controls the search beam width;
+// larger ef trades compute for recall — FGD's quality knob.
+func (idx *Index) Search(h []float32, k, ef int) []int {
+	if len(h) != idx.dim {
+		panic(fmt.Sprintf("fgd: query dimension %d != %d", len(h), idx.dim))
+	}
+	q := make([]float32, idx.dim+2)
+	copy(q, h)
+	q[idx.dim] = 1
+	ids := idx.searchAug(q, k, ef, int32(idx.entry))
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// ResetStats zeroes the distance-computation counter.
+func (idx *Index) ResetStats() { idx.DistComps = 0 }
+
+// Classify produces a core.Result: the searched top-k classes get
+// exact logits; all other entries are filled with a floor value
+// (FGD itself yields only the top-k, so the tail carries no
+// information — the floor keeps softmax well-defined).
+func (idx *Index) Classify(cls *core.Classifier, h []float32, k, ef int) *core.Result {
+	cands := idx.Search(h, k, ef)
+	exact := cls.LogitsRows(cands, h)
+	floor := float32(math.Inf(1))
+	for _, v := range exact {
+		if v < floor {
+			floor = v
+		}
+	}
+	floor -= 5
+	mixed := make([]float32, cls.Categories())
+	for i := range mixed {
+		mixed[i] = floor
+	}
+	for j, c := range cands {
+		mixed[c] = exact[j]
+	}
+	return &core.Result{Mixed: mixed, Candidates: cands, Exact: exact}
+}
+
+// Cost estimates one FGD inference from measured distance
+// computations: each is a (d+2)-wide FP32 dot against a weight row
+// that must be fetched (graph search has no locality, so every probe
+// is a fresh weight-row read, which is FGD's weakness on streaming
+// hardware).
+func Cost(distComps int64, d int) core.OpCount {
+	return core.OpCount{
+		FP32MACs: float64(distComps) * float64(d+2),
+		Bytes:    float64(distComps) * float64(d+2) * 4,
+	}
+}
+
+type distNode struct {
+	id int32
+	d  float32
+}
+
+type distHeap struct {
+	min   bool
+	nodes []distNode
+}
+
+func (h *distHeap) Len() int { return len(h.nodes) }
+func (h *distHeap) Less(i, j int) bool {
+	if h.min {
+		return h.nodes[i].d < h.nodes[j].d
+	}
+	return h.nodes[i].d > h.nodes[j].d
+}
+func (h *distHeap) Swap(i, j int)      { h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i] }
+func (h *distHeap) Push(x interface{}) { h.nodes = append(h.nodes, x.(distNode)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.nodes
+	n := len(old)
+	it := old[n-1]
+	h.nodes = old[:n-1]
+	return it
+}
+func (h *distHeap) top() distNode { return h.nodes[0] }

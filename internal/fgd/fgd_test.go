@@ -1,0 +1,231 @@
+package fgd
+
+import (
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+func testClassifier(t *testing.T, l, d int) (*core.Classifier, [][]float32) {
+	t.Helper()
+	r := xrand.New(21)
+	w := tensor.NewMatrix(l, d)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	b := make([]float32, l)
+	for i := range b {
+		b[i] = 0.05 * r.NormFloat32()
+	}
+	cls, err := core.NewClassifier(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs [][]float32
+	for n := 0; n < 25; n++ {
+		c := r.Intn(l)
+		row := w.Row(c)
+		norm := float32(tensor.Norm2(row))
+		h := make([]float32, d)
+		for j := range h {
+			h[j] = 2.5*row[j]/norm + 0.3*r.NormFloat32()
+		}
+		hs = append(hs, h)
+	}
+	return cls, hs
+}
+
+func TestBuildValidates(t *testing.T) {
+	cls, _ := testClassifier(t, 2, 4)
+	one, err := core.NewClassifier(tensor.NewMatrix(1, 4), make([]float32, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(one, BuildOptions{}); err == nil {
+		t.Fatal("expected error for 1 class")
+	}
+	if _, err := Build(cls, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	cls, _ := testClassifier(t, 100, 8)
+	idx, err := Build(cls, BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from entry must reach every node.
+	seen := make([]bool, 100)
+	queue := []int32{int32(idx.entry)}
+	seen[idx.entry] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, nb := range idx.neighbors[n] {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if count != 100 {
+		t.Fatalf("graph disconnected: reached %d/100", count)
+	}
+}
+
+func TestDegreesBounded(t *testing.T) {
+	cls, _ := testClassifier(t, 200, 8)
+	idx, err := Build(cls, BuildOptions{M: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, nbs := range idx.neighbors {
+		if len(nbs) > 16 { // 2*M is the trim bound
+			t.Fatalf("node %d degree %d exceeds 2M", n, len(nbs))
+		}
+	}
+}
+
+func TestSearchRecall(t *testing.T) {
+	cls, hs := testClassifier(t, 300, 16)
+	idx, err := Build(cls, BuildOptions{M: 12, EfConstruction: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, h := range hs {
+		got := idx.Search(h, 10, 64)
+		want := cls.Predict(h)
+		for _, g := range got {
+			if g == want {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < len(hs)*8/10 {
+		t.Fatalf("top-10 recall %d/%d too low", hits, len(hs))
+	}
+}
+
+func TestSearchReturnsBestFirst(t *testing.T) {
+	cls, hs := testClassifier(t, 150, 8)
+	idx, err := Build(cls, BuildOptions{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cls.Logits(hs[0])
+	got := idx.Search(hs[0], 5, 40)
+	for i := 1; i < len(got); i++ {
+		if full[got[i]] > full[got[i-1]]+1e-4 {
+			t.Fatalf("results not in descending logit order: %v", got)
+		}
+	}
+}
+
+func TestEfImprovesRecall(t *testing.T) {
+	cls, hs := testClassifier(t, 400, 16)
+	idx, err := Build(cls, BuildOptions{M: 6, EfConstruction: 24, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := func(ef int) int {
+		hits := 0
+		for _, h := range hs {
+			want := cls.Predict(h)
+			for _, g := range idx.Search(h, 5, ef) {
+				if g == want {
+					hits++
+					break
+				}
+			}
+		}
+		return hits
+	}
+	low, high := recall(6), recall(128)
+	if high < low {
+		t.Fatalf("larger ef lowered recall: ef=6 %d vs ef=128 %d", low, high)
+	}
+}
+
+func TestDistCompsCounted(t *testing.T) {
+	cls, hs := testClassifier(t, 120, 8)
+	idx, err := Build(cls, BuildOptions{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.ResetStats()
+	idx.Search(hs[0], 5, 32)
+	if idx.DistComps == 0 {
+		t.Fatal("distance computations not counted")
+	}
+	// Greedy search must visit far fewer nodes than brute force.
+	if idx.DistComps >= 120 {
+		t.Fatalf("search visited %d nodes, no better than brute force", idx.DistComps)
+	}
+	idx.ResetStats()
+	if idx.DistComps != 0 {
+		t.Fatal("ResetStats")
+	}
+}
+
+func TestClassifyResult(t *testing.T) {
+	cls, hs := testClassifier(t, 100, 8)
+	idx, err := Build(cls, BuildOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.Classify(cls, hs[0], 8, 40)
+	if len(res.Candidates) != 8 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	full := cls.Logits(hs[0])
+	for j, c := range res.Candidates {
+		if res.Mixed[c] != full[c] || res.Exact[j] != full[c] {
+			t.Fatalf("candidate %d logit not exact", c)
+		}
+	}
+	// Non-candidates share the floor value below all candidates.
+	inCand := make(map[int]bool)
+	for _, c := range res.Candidates {
+		inCand[c] = true
+	}
+	for i, v := range res.Mixed {
+		if !inCand[i] {
+			for _, e := range res.Exact {
+				if v >= e {
+					t.Fatalf("floor %v not below exact %v", v, e)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryDimensionPanics(t *testing.T) {
+	cls, _ := testClassifier(t, 50, 8)
+	idx, err := Build(cls, BuildOptions{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	idx.Search(make([]float32, 9), 3, 10)
+}
+
+func TestCostModel(t *testing.T) {
+	c := Cost(1000, 512)
+	if c.FP32MACs != 1000*514 {
+		t.Fatalf("FGD MACs = %v", c.FP32MACs)
+	}
+	if c.Bytes != 1000*514*4 {
+		t.Fatalf("FGD bytes = %v", c.Bytes)
+	}
+}

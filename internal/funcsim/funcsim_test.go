@@ -1,0 +1,159 @@
+package funcsim
+
+import (
+	"math"
+	"testing"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/enmc"
+	"enmc/internal/image"
+	"enmc/internal/isa"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+	"enmc/internal/workload"
+)
+
+func setup(t *testing.T) (*core.Screener, *workload.Instance) {
+	t.Helper()
+	spec := workload.Spec{Name: "fs", Categories: 320, Hidden: 128, LatentRank: 24, ZipfS: 1}
+	inst := workload.Generate(spec, workload.GenOptions{Seed: 31, Train: 256, Valid: 16, Test: 8})
+	cfg := core.Config{Categories: 320, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 6}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scr, inst
+}
+
+// TestCompiledProgramComputesScreening is the end-to-end functional
+// proof: the instruction stream the compiler emits, interpreted over
+// the DRAM image the host writes, reproduces core.Screener.Screen bit
+// for bit — including the threshold filter's candidate set.
+func TestCompiledProgramComputesScreening(t *testing.T) {
+	scr, inst := setup(t)
+	hw := enmc.Default()
+
+	for _, h := range inst.Test[:4] {
+		img, qh, err := image.BuildFull(inst.Classifier, scr, 0, 320, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := scr.Screen(h)
+		th := want[tensor.TopK(want, 16)[15]] // threshold at the 16th value
+
+		task := compiler.Task{Categories: 320, Hidden: 128, Reduced: 32, Candidates: 8, Batch: 1}
+		prog, err := compiler.Compile(task, hw, compiler.ENMCTarget(),
+			compiler.RankShare{Rows: 320, Candidates: 8}, compiler.ModeScreened)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		m := New(hw, img)
+		pre := []enmc.Op{
+			{I: isa.Init(isa.RegThreshold, uint64(math.Float32bits(th)))},
+			{I: isa.Init(isa.RegFeatSize, uint64(math.Float32bits(qh.Scale)))},
+		}
+		if err := m.Run(append(append(pre, prog.Init...), prog.Ops...)); err != nil {
+			t.Fatal(err)
+		}
+
+		if len(m.Z) != 320 {
+			t.Fatalf("machine produced %d outputs", len(m.Z))
+		}
+		for i := range want {
+			if m.Z[i] != want[i] {
+				t.Fatalf("row %d: machine %v != core %v", i, m.Z[i], want[i])
+			}
+		}
+		wantCands := core.SelectCandidates(want, core.Threshold(th))
+		if len(m.Candidates) != len(wantCands) {
+			t.Fatalf("candidates %d vs %d", len(m.Candidates), len(wantCands))
+		}
+		for i := range wantCands {
+			if m.Candidates[i] != wantCands[i] {
+				t.Fatalf("candidate %d: %d vs %d", i, m.Candidates[i], wantCands[i])
+			}
+		}
+	}
+}
+
+// TestCompiledExecutorComputesExactLogits: the FP32 path of the
+// compiled program must produce the classifier's exact logits
+// (serial-summation order) for every row it touches.
+func TestCompiledExecutorComputesExactLogits(t *testing.T) {
+	scr, inst := setup(t)
+	hw := enmc.Default()
+	h := inst.Test[0]
+	img, qh, err := image.BuildFull(inst.Classifier, scr, 0, 320, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := compiler.Task{Categories: 320, Hidden: 128, Reduced: 32, Candidates: 12, Batch: 1}
+	prog, err := compiler.Compile(task, hw, compiler.ENMCTarget(),
+		compiler.RankShare{Rows: 320, Candidates: 12}, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(hw, img)
+	pre := []enmc.Op{
+		{I: isa.Init(isa.RegThreshold, uint64(math.Float32bits(1e30)))},
+		{I: isa.Init(isa.RegFeatSize, uint64(math.Float32bits(qh.Scale)))},
+	}
+	if err := m.Run(append(append(pre, prog.Init...), prog.Ops...)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ExactLogits) == 0 {
+		t.Fatal("executor produced no logits")
+	}
+	// Chunked accumulation sums chunk sub-dots; recompute the same
+	// way for bit-exact comparison.
+	for row, got := range m.ExactLogits {
+		w := inst.Classifier.W.Row(row)
+		var want float32
+		for c := 0; c < len(w); c += hw.BufBytes / 4 {
+			end := c + hw.BufBytes/4
+			if end > len(w) {
+				end = len(w)
+			}
+			var acc float32
+			for j := c; j < end; j++ {
+				acc += w[j] * h[j]
+			}
+			want += acc
+		}
+		if got != want {
+			t.Fatalf("row %d: executor %v != classifier %v", row, got, want)
+		}
+	}
+}
+
+func TestMachineRejectsBadPrograms(t *testing.T) {
+	scr, inst := setup(t)
+	img, _, err := image.BuildFull(inst.Classifier, scr, 0, 320, inst.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(enmc.Default(), img)
+	// FP32 MULADD without a weight load must fail.
+	if err := m.Run([]enmc.Op{{I: isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32)}}); err == nil {
+		t.Fatal("MULADD without weight load accepted")
+	}
+	// Weight load far beyond the image must fail.
+	m2 := New(enmc.Default(), img)
+	if err := m2.Run([]enmc.Op{{I: isa.Ldr(isa.BufWgtINT4, 1<<40)}}); err == nil {
+		t.Fatal("out-of-image load accepted")
+	}
+}
+
+func TestMachineRejectsBatchedPrograms(t *testing.T) {
+	scr, inst := setup(t)
+	img, _, err := image.BuildFull(inst.Classifier, scr, 0, 320, inst.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(enmc.Default(), img)
+	if err := m.Run([]enmc.Op{{I: isa.Init(isa.RegBatch, 4)}}); err == nil {
+		t.Fatal("batched program accepted by the functional machine")
+	}
+}

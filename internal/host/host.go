@@ -1,0 +1,264 @@
+// Package host models the host-processor side of the ENMC execution
+// flow (paper Fig. 10 and Section 6.2: "we simulate a simple host
+// model that only issues ENMC instructions regularly according to the
+// status registers").
+//
+// The host talks to every rank's ENMC engine over the channel's
+// command/address bus: task descriptors (INIT writes) go down as
+// PRECHARGE-framed commands with DQ payloads, progress is observed by
+// polling QUERY, and results come back over the shared data bus. The
+// per-rank inner loops are expanded by the on-DIMM instruction
+// generator, not streamed from the host — the command bus could never
+// feed eight ranks one instruction at a time, which is exactly why
+// the controller has a generator. This package accounts for the
+// host-visible costs and reports whether the channel interface, not
+// the engines, bounds the offload.
+package host
+
+import (
+	"fmt"
+
+	"enmc/internal/compiler"
+	"enmc/internal/dram"
+	"enmc/internal/enmc"
+	"enmc/internal/isa"
+)
+
+// Config describes the host interface to one memory channel.
+type Config struct {
+	// RanksPerChannel engines share the channel bus (Table 3: 8).
+	RanksPerChannel int
+	// CmdCycles is command-bus cycles per ENMC instruction packet
+	// (one PRECHARGE slot).
+	CmdCycles int64
+	// PayloadCycles is extra data-bus cycles when a packet carries a
+	// DQ payload (one burst).
+	PayloadCycles int64
+	// PollIntervalCycles is how often the host QUERYs the status
+	// registers while an offload runs.
+	PollIntervalCycles int64
+	// ReservedFraction of command-bus slots is left for regular
+	// memory requests, which the ENMC DIMM keeps serving (the
+	// compatibility requirement of Section 5.3).
+	ReservedFraction float64
+	// BurstBytes and BurstCycles describe the shared data bus used by
+	// RETURN traffic.
+	BurstBytes  int64
+	BurstCycles int64
+}
+
+// Default returns the Table 3 host interface.
+func Default() Config {
+	return Config{
+		RanksPerChannel:    8,
+		CmdCycles:          1,
+		PayloadCycles:      4,
+		PollIntervalCycles: 1000,
+		ReservedFraction:   0.2,
+		BurstBytes:         64,
+		BurstCycles:        4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.RanksPerChannel <= 0:
+		return fmt.Errorf("host: non-positive rank count")
+	case c.CmdCycles <= 0 || c.PayloadCycles < 0:
+		return fmt.Errorf("host: non-positive packet cycles")
+	case c.PollIntervalCycles <= 0:
+		return fmt.Errorf("host: non-positive poll interval")
+	case c.ReservedFraction < 0 || c.ReservedFraction >= 1:
+		return fmt.Errorf("host: reserved fraction %v out of [0,1)", c.ReservedFraction)
+	case c.BurstBytes <= 0 || c.BurstCycles <= 0:
+		return fmt.Errorf("host: non-positive burst geometry")
+	}
+	return nil
+}
+
+// Result reports the host-side accounting of one channel's offload.
+type Result struct {
+	// EngineCycles is the per-rank engine runtime (they run in
+	// parallel; the slowest bounds it — symmetric here).
+	EngineCycles int64
+	// DescriptorCycles is command-bus time to deliver every rank's
+	// INIT descriptors.
+	DescriptorCycles int64
+	// PollCycles is command-bus time spent polling status registers.
+	PollCycles int64
+	// ReturnCycles is shared-data-bus time for all ranks' output
+	// buffers.
+	ReturnCycles int64
+	// TotalCycles is the offload wall time seen by the host.
+	TotalCycles int64
+	// HostBusFraction is the share of the offload during which the
+	// channel interface (descriptors + polls + returns) was busy; a
+	// value near 1 means the host link, not the engines, bounds the
+	// system.
+	HostBusFraction float64
+}
+
+// Run executes one rank's compiled program on the engine and folds in
+// the host-interface costs for a full channel of identical ranks.
+func Run(cfg Config, hw enmc.Config, prog *compiler.Program) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng, err := enmc.New(hw)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := eng.Run(prog.Init); err != nil {
+		return Result{}, err
+	}
+	res, err := eng.Run(prog.Ops)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var out Result
+	out.EngineCycles = res.Cycles
+
+	// Descriptor delivery: each INIT is a PRECHARGE packet plus a DQ
+	// payload burst, for every rank on the channel.
+	perDesc := int64(0)
+	for _, op := range prog.Init {
+		perDesc += cfg.CmdCycles
+		if op.I.HasData {
+			perDesc += cfg.PayloadCycles
+		}
+	}
+	out.DescriptorCycles = perDesc * int64(cfg.RanksPerChannel)
+
+	// Polling: one QUERY packet per poll interval per rank.
+	polls := res.Cycles / cfg.PollIntervalCycles
+	out.PollCycles = polls * cfg.CmdCycles * int64(cfg.RanksPerChannel)
+
+	// Return traffic: every rank's output buffers cross the shared
+	// data bus.
+	totalReturn := res.Stats.ReturnBytes * int64(cfg.RanksPerChannel)
+	bursts := (totalReturn + cfg.BurstBytes - 1) / cfg.BurstBytes
+	out.ReturnCycles = bursts * cfg.BurstCycles
+
+	// The command bus only offers (1 − reserved) of its slots.
+	busDemand := float64(out.DescriptorCycles+out.PollCycles+out.ReturnCycles) / (1 - cfg.ReservedFraction)
+
+	out.TotalCycles = out.EngineCycles + out.DescriptorCycles
+	if int64(busDemand) > out.TotalCycles {
+		out.TotalCycles = int64(busDemand)
+	}
+	out.HostBusFraction = busDemand / float64(out.TotalCycles)
+	return out, nil
+}
+
+// DescriptorPacket frames one instruction the way Section 5.3
+// describes: the 13-bit command word rides the row-address lines of a
+// PRECHARGE command and the payload follows on DQ. Exposed so tests
+// (and curious users) can inspect the wire format.
+type DescriptorPacket struct {
+	RowAddressBits uint16 // A0–A12
+	HasDQ          bool
+	DQ             uint64
+}
+
+// Packetize frames an instruction.
+func Packetize(in isa.Instruction) DescriptorPacket {
+	cmd, data, hasData := in.Encode()
+	return DescriptorPacket{RowAddressBits: cmd, HasDQ: hasData, DQ: data}
+}
+
+// Unpacketize decodes a packet back into an instruction.
+func Unpacketize(p DescriptorPacket) (isa.Instruction, error) {
+	return isa.Decode(p.RowAddressBits, p.DQ, p.HasDQ)
+}
+
+// CoexistenceResult reports how regular host memory requests fare
+// while an ENMC offload streams on the same rank — the Section 5.3
+// compatibility requirement ("regular memory requests can also be
+// served with our ENMC DIMM").
+type CoexistenceResult struct {
+	IdleLatency     float64 // mean host-read latency on an idle rank (cycles)
+	BusyLatency     float64 // mean latency while screening streams
+	OffloadSlowdown float64 // offload cycles with probes / without
+}
+
+// Coexistence replays a compiled program's DRAM traffic on a rank and
+// injects a periodic host read, measuring the host's latency under
+// contention and the slowdown the probes inflict on the offload.
+func Coexistence(hw enmc.Config, prog *compiler.Program, periodCycles int64) (CoexistenceResult, error) {
+	if periodCycles <= 0 {
+		return CoexistenceResult{}, fmt.Errorf("host: non-positive probe period")
+	}
+	// Collect the offload's memory accesses.
+	type access struct {
+		addr  uint64
+		bytes int64
+	}
+	var stream []access
+	for _, op := range prog.Ops {
+		if op.I.Op == isa.OpLDR {
+			n := int64(op.Bytes)
+			if n <= 0 {
+				n = int64(hw.BufBytes)
+			}
+			stream = append(stream, access{op.I.Data, n})
+		}
+	}
+	if len(stream) == 0 {
+		return CoexistenceResult{}, fmt.Errorf("host: program has no loads")
+	}
+
+	// Idle-rank baseline latency.
+	idleCh, err := dram.NewChannel(hw.DRAM, true)
+	if err != nil {
+		return CoexistenceResult{}, err
+	}
+	probeAddr := prog.Layout.OutBase + 1<<20
+	idleReq := idleCh.Submit(probeAddr, false)
+	idleCh.Drain()
+	idle := float64(idleReq.Done)
+
+	run := func(probes bool) (offload int64, busyLat float64, err error) {
+		ch, err := dram.NewChannel(hw.DRAM, true)
+		if err != nil {
+			return 0, 0, err
+		}
+		var latSum float64
+		var latN int
+		nextProbe := periodCycles
+		var pending []*dram.Request
+		var pendingAt []int64
+		for _, a := range stream {
+			ch.SubmitRange(a.addr, a.bytes, false)
+			for probes && ch.Now() >= nextProbe {
+				pending = append(pending, ch.Submit(probeAddr, false))
+				pendingAt = append(pendingAt, nextProbe)
+				nextProbe += periodCycles
+			}
+		}
+		done := ch.Drain()
+		for i, p := range pending {
+			latSum += float64(p.Done - pendingAt[i])
+			latN++
+		}
+		if latN > 0 {
+			busyLat = latSum / float64(latN)
+		}
+		return done, busyLat, nil
+	}
+
+	clean, _, err := run(false)
+	if err != nil {
+		return CoexistenceResult{}, err
+	}
+	withProbes, busy, err := run(true)
+	if err != nil {
+		return CoexistenceResult{}, err
+	}
+	return CoexistenceResult{
+		IdleLatency:     idle,
+		BusyLatency:     busy,
+		OffloadSlowdown: float64(withProbes) / float64(clean),
+	}, nil
+}

@@ -1,0 +1,145 @@
+package host
+
+import (
+	"testing"
+
+	"enmc/internal/compiler"
+	"enmc/internal/enmc"
+	"enmc/internal/isa"
+)
+
+func testProg(t *testing.T) (*compiler.Program, enmc.Config) {
+	t.Helper()
+	hw := enmc.Default()
+	task := compiler.Task{Categories: 65536, Hidden: 512, Reduced: 128, Candidates: 1310, Batch: 1}
+	prog, err := compiler.Compile(task, hw, compiler.ENMCTarget(), task.Split(64), compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, hw
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.ReservedFraction = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("reserved fraction 1 accepted")
+	}
+	bad = Default()
+	bad.PollIntervalCycles = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero poll interval accepted")
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	prog, hw := testProg(t)
+	res, err := Run(Default(), hw, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineCycles <= 0 {
+		t.Fatal("engine did no work")
+	}
+	if res.DescriptorCycles <= 0 || res.PollCycles < 0 || res.ReturnCycles <= 0 {
+		t.Fatalf("host costs missing: %+v", res)
+	}
+	if res.TotalCycles < res.EngineCycles {
+		t.Fatal("total below engine time")
+	}
+	// For a streaming classification, the engines — not the host
+	// interface — must be the bottleneck (the design goal).
+	if res.HostBusFraction > 0.5 {
+		t.Fatalf("host bus fraction %.2f: interface bottlenecks the offload", res.HostBusFraction)
+	}
+}
+
+func TestPollingCostScalesWithInterval(t *testing.T) {
+	prog, hw := testProg(t)
+	fast := Default()
+	fast.PollIntervalCycles = 100
+	slow := Default()
+	slow.PollIntervalCycles = 10000
+	rf, err := Run(fast, hw, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(slow, hw, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.PollCycles <= rs.PollCycles {
+		t.Fatalf("tighter polling should cost more: %d vs %d", rf.PollCycles, rs.PollCycles)
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	ins := []isa.Instruction{
+		isa.Init(isa.RegVocab, 33278),
+		isa.Query(isa.RegCandCount),
+		isa.Ldr(isa.BufWgtINT4, 0xabcd),
+		isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32),
+		isa.Simple(isa.OpRETURN),
+	}
+	for _, in := range ins {
+		p := Packetize(in)
+		if p.RowAddressBits > 0x1fff {
+			t.Fatalf("%v: packet exceeds 13 row-address bits", in)
+		}
+		got, err := Unpacketize(p)
+		if err != nil {
+			t.Fatalf("%v: %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("packet round trip: %v vs %v", got, in)
+		}
+	}
+}
+
+func TestReservedSlotsRaiseBusDemand(t *testing.T) {
+	prog, hw := testProg(t)
+	open := Default()
+	open.ReservedFraction = 0
+	tight := Default()
+	tight.ReservedFraction = 0.8
+	ro, err := Run(open, hw, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Run(tight, hw, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.HostBusFraction <= ro.HostBusFraction {
+		t.Fatal("reserving slots for regular traffic must raise the bus fraction")
+	}
+}
+
+func TestCoexistence(t *testing.T) {
+	prog, hw := testProg(t)
+	res, err := Coexistence(hw, prog, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdleLatency <= 0 || res.BusyLatency <= 0 {
+		t.Fatalf("latencies missing: %+v", res)
+	}
+	// Contention costs something, but the host must still be served
+	// with bounded latency (well under a refresh interval).
+	if res.BusyLatency < res.IdleLatency {
+		t.Fatalf("busy latency %v below idle %v", res.BusyLatency, res.IdleLatency)
+	}
+	if res.BusyLatency > 2000 {
+		t.Fatalf("host reads starved during offload: %v cycles", res.BusyLatency)
+	}
+	// Occasional probes barely slow the offload.
+	if res.OffloadSlowdown > 1.2 {
+		t.Fatalf("probes slowed the offload by %vx", res.OffloadSlowdown)
+	}
+	if _, err := Coexistence(hw, prog, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

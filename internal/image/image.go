@@ -1,0 +1,202 @@
+// Package image builds the DRAM image of a rank's screener shard —
+// the bytes the host writes into the ENMC DIMM's address space during
+// initialization (Fig. 10 phase 1) — and functionally emulates the
+// Screener datapath over that image: stream packed INT4 weight rows,
+// multiply-accumulate in int32 against the quantized projected
+// feature, dequantize once per output, add the bias, and threshold-
+// filter candidates.
+//
+// The emulator exists as a correctness bridge between the repo's two
+// halves: TestImageMatchesCore proves, bit for bit, that the byte
+// layout the compiler assumes and the integer datapath the engine
+// charges cycles for compute exactly what core.Screener.Screen
+// computes in software. A timing simulator whose data layout cannot
+// produce the algorithm's numbers is charging cycles for the wrong
+// machine; this package rules that out.
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"enmc/internal/compiler"
+	"enmc/internal/core"
+	"enmc/internal/quant"
+)
+
+// RankImage is a byte-addressable slice of one rank's DRAM contents
+// plus the shard geometry needed to interpret it.
+type RankImage struct {
+	Mem      []byte
+	Layout   compiler.Layout
+	RowStart int // first global class row stored on this rank
+	Rows     int // rows stored
+	K        int // reduced dimension
+}
+
+// BuildRank lays out rows [rowStart, rowStart+rows) of the screener
+// into a rank image following the compiler's address map: packed INT4
+// weights at ScrWBase (row-major, two nibbles per byte), then one
+// float32 scale and one float32 bias per row; the quantized projected
+// feature for hidden vector h goes at FeatBase. The screener must be
+// INT4 (the hardware's format).
+func BuildRank(scr *core.Screener, rowStart, rows int, h []float32) (*RankImage, *quant.Vector, error) {
+	if scr.QW == nil {
+		return nil, nil, fmt.Errorf("image: screener not frozen")
+	}
+	if scr.Cfg.Precision != quant.INT4 {
+		return nil, nil, fmt.Errorf("image: DRAM image format is INT4, screener is %v", scr.Cfg.Precision)
+	}
+	if rowStart < 0 || rows <= 0 || rowStart+rows > scr.Cfg.Categories {
+		return nil, nil, fmt.Errorf("image: shard [%d,%d) out of range", rowStart, rowStart+rows)
+	}
+	k := scr.Cfg.Reduced
+
+	task := compiler.Task{
+		Categories: scr.Cfg.Categories,
+		Hidden:     scr.Cfg.Hidden,
+		Reduced:    k,
+		Candidates: 1,
+		Batch:      1,
+	}
+	lay := compiler.LayoutFor(task, rows)
+
+	// Quantize the projected feature exactly as Screen does.
+	ph := scr.Project(h)
+	qh := quant.QuantizeVector(ph, quant.INT4)
+
+	featBytes := (k + 1) / 2
+	size := int(lay.FeatBase) + featBytes
+	img := &RankImage{
+		Mem:      make([]byte, size),
+		Layout:   lay,
+		RowStart: rowStart,
+		Rows:     rows,
+		K:        k,
+	}
+
+	// Weights: packed nibbles, row-major over the shard.
+	shard := make([]int8, 0, rows*k)
+	for r := 0; r < rows; r++ {
+		shard = append(shard, scr.QW.Row(rowStart+r)...)
+	}
+	copy(img.Mem[lay.ScrWBase:], quant.PackINT4(shard))
+
+	// Scales then biases, contiguous after the packed weights.
+	metaBase := int(lay.ScrWBase) + (rows*k+1)/2
+	for r := 0; r < rows; r++ {
+		binary.LittleEndian.PutUint32(img.Mem[metaBase+4*r:], math.Float32bits(scr.QW.Scales[rowStart+r]))
+	}
+	biasBase := metaBase + 4*rows
+	for r := 0; r < rows; r++ {
+		binary.LittleEndian.PutUint32(img.Mem[biasBase+4*r:], math.Float32bits(scr.Bt[rowStart+r]))
+	}
+
+	// Quantized feature.
+	copy(img.Mem[lay.FeatBase:], quant.PackINT4(qh.Q))
+
+	return img, qh, nil
+}
+
+// Screen emulates the Screener datapath over the image: for every
+// stored row, an int32 accumulation of nibble products against the
+// feature, one dequantizing multiply, a bias add — then the threshold
+// filter over the results. Returned candidate indices are
+// shard-local.
+func (img *RankImage) Screen(featScale float32, threshold float32) (z []float32, candidates []int) {
+	k := img.K
+	lay := img.Layout
+	feat := quant.UnpackINT4(img.Mem[lay.FeatBase:int(lay.FeatBase)+(k+1)/2], k)
+
+	metaBase := int(lay.ScrWBase) + (img.Rows*k+1)/2
+	biasBase := metaBase + 4*img.Rows
+
+	z = make([]float32, img.Rows)
+	weights := quant.UnpackINT4(img.Mem[lay.ScrWBase:int(lay.ScrWBase)+(img.Rows*k+1)/2], img.Rows*k)
+	for r := 0; r < img.Rows; r++ {
+		var acc int32
+		row := weights[r*k : (r+1)*k]
+		for j, w := range row {
+			acc += int32(w) * int32(feat[j])
+		}
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(img.Mem[metaBase+4*r:]))
+		bias := math.Float32frombits(binary.LittleEndian.Uint32(img.Mem[biasBase+4*r:]))
+		z[r] = float32(acc)*scale*featScale + bias
+		if z[r] >= threshold {
+			candidates = append(candidates, r)
+		}
+	}
+	return z, candidates
+}
+
+// Bytes reports the image size.
+func (img *RankImage) Bytes() int { return len(img.Mem) }
+
+// FullImage extends a rank image with the FP32 classifier rows at
+// FullWBase and the full-precision feature at its slot, so the
+// Executor phase can be emulated too.
+type FullImage struct {
+	*RankImage
+	Hidden int
+}
+
+// BuildFull lays out the rank's screener shard plus the corresponding
+// FP32 classifier rows and the full-precision feature — the complete
+// per-rank DRAM contents of Fig. 10 phase 1.
+func BuildFull(cls *core.Classifier, scr *core.Screener, rowStart, rows int, h []float32) (*FullImage, *quant.Vector, error) {
+	base, qh, err := BuildRank(scr, rowStart, rows, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := cls.Hidden()
+	if d != scr.Cfg.Hidden {
+		return nil, nil, fmt.Errorf("image: classifier hidden %d != screener %d", d, scr.Cfg.Hidden)
+	}
+	// Grow the memory to cover FullW rows and the FP32 feature.
+	featF32 := int(base.Layout.FeatBase) + (scr.Cfg.Reduced+1)/2
+	need := featF32 + d*4
+	if end := int(base.Layout.FullWBase) + rows*d*4; end > need {
+		need = end
+	}
+	if need > len(base.Mem) {
+		grown := make([]byte, need)
+		copy(grown, base.Mem)
+		base.Mem = grown
+	}
+	for r := 0; r < rows; r++ {
+		row := cls.W.Row(rowStart + r)
+		off := int(base.Layout.FullWBase) + r*d*4
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(base.Mem[off+4*j:], math.Float32bits(v))
+		}
+	}
+	for j, v := range h {
+		binary.LittleEndian.PutUint32(base.Mem[featF32+4*j:], math.Float32bits(v))
+	}
+	return &FullImage{RankImage: base, Hidden: d}, qh, nil
+}
+
+// Candidates emulates the Executor phase: gather the FP32 weight rows
+// of the shard-local candidate indices from the image and compute
+// their exact logits against the full-precision feature. Bias comes
+// from the screener's bias block (the classifier bias is folded into
+// it at deployment; here the screener was distilled to carry it).
+func (img *FullImage) Candidates(cands []int, bias []float32) []float32 {
+	d := img.Hidden
+	featF32 := int(img.Layout.FeatBase) + (img.K+1)/2
+	h := make([]float32, d)
+	for j := range h {
+		h[j] = math.Float32frombits(binary.LittleEndian.Uint32(img.Mem[featF32+4*j:]))
+	}
+	out := make([]float32, len(cands))
+	for i, c := range cands {
+		off := int(img.Layout.FullWBase) + c*d*4
+		var acc float32
+		for j := 0; j < d; j++ {
+			acc += math.Float32frombits(binary.LittleEndian.Uint32(img.Mem[off+4*j:])) * h[j]
+		}
+		out[i] = acc + bias[c]
+	}
+	return out
+}

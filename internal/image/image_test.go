@@ -1,0 +1,166 @@
+package image
+
+import (
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+	"enmc/internal/workload"
+)
+
+func trainedScreener(t *testing.T) (*core.Screener, *workload.Instance) {
+	t.Helper()
+	spec := workload.Spec{Name: "img", Categories: 512, Hidden: 128, LatentRank: 24, ZipfS: 1}
+	inst := workload.Generate(spec, workload.GenOptions{Seed: 21, Train: 256, Valid: 16, Test: 16})
+	cfg := core.Config{Categories: 512, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 4}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scr, inst
+}
+
+// TestImageMatchesCore is the correctness bridge: the DRAM image's
+// emulated datapath must reproduce core.Screener.Screen bit for bit,
+// shard by shard.
+func TestImageMatchesCore(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	for _, h := range inst.Test[:6] {
+		want := scr.Screen(h)
+		// Four shards of 128 rows each, like four ranks.
+		for rowStart := 0; rowStart < 512; rowStart += 128 {
+			img, qh, err := BuildRank(scr, rowStart, 128, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := img.Screen(qh.Scale, 1e30)
+			for r := 0; r < 128; r++ {
+				if got[r] != want[rowStart+r] {
+					t.Fatalf("row %d: image datapath %v != core %v", rowStart+r, got[r], want[rowStart+r])
+				}
+			}
+		}
+	}
+}
+
+// TestThresholdFilterMatchesSelection: the image's comparator pass
+// must agree with core's threshold selection on the same shard.
+func TestThresholdFilterMatchesSelection(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	h := inst.Test[0]
+	z := scr.Screen(h)
+	th := tensor.TopK(z, 20) // pick a threshold near the 20th value
+	threshold := z[th[len(th)-1]]
+
+	img, qh, err := BuildRank(scr, 0, 512, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cands := img.Screen(qh.Scale, threshold)
+	want := core.SelectCandidates(z, core.Threshold(threshold))
+	if len(cands) != len(want) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(cands), len(want))
+	}
+	for i := range cands {
+		if cands[i] != want[i] {
+			t.Fatalf("candidate %d: %d vs %d", i, cands[i], want[i])
+		}
+	}
+}
+
+func TestBuildRankValidation(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	if _, _, err := BuildRank(scr, -1, 10, inst.Test[0]); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, _, err := BuildRank(scr, 500, 100, inst.Test[0]); err == nil {
+		t.Fatal("overflowing shard accepted")
+	}
+	// INT8 screener cannot be laid out in the INT4 image format.
+	cfg := core.Config{Categories: 512, Hidden: 128, Reduced: 32, Precision: quant.INT8, Seed: 4}
+	scr8, _, err := core.TrainScreener(inst.Classifier, inst.Train[:32], cfg, core.TrainOptions{Epochs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := BuildRank(scr8, 0, 10, inst.Test[0]); err == nil {
+		t.Fatal("INT8 screener accepted into INT4 image")
+	}
+}
+
+func TestImageSizeMatchesLayout(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	img, _, err := BuildRank(scr, 0, 256, inst.Test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights (256×32 nibbles) + scales/bias (256×8) must fit below
+	// FullWBase; the image extends to the feature region.
+	wantMin := int(img.Layout.FeatBase)
+	if img.Bytes() < wantMin {
+		t.Fatalf("image %d bytes, layout needs ≥ %d", img.Bytes(), wantMin)
+	}
+}
+
+// TestExecutorEmulationMatchesClassifier: the candidate phase over
+// the image must reproduce the classifier's exact logits — but not in
+// the naive order: tensor.Dot uses 4-way unrolled accumulation, so we
+// compare against a plain serial dot product, which is what the image
+// emulation computes.
+func TestExecutorEmulationMatchesClassifier(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	h := inst.Test[2]
+	img, qh, err := BuildFull(inst.Classifier, scr, 0, 512, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := img.Screen(qh.Scale, 1e30)
+	_ = z
+	cands := []int{3, 100, 511, 0, 42}
+	got := img.Candidates(cands, inst.Classifier.B)
+	for i, c := range cands {
+		var want float32
+		row := inst.Classifier.W.Row(c)
+		for j := range row {
+			want += row[j] * h[j]
+		}
+		want += inst.Classifier.B[c]
+		if got[i] != want {
+			t.Fatalf("candidate %d: image %v vs serial %v", c, got[i], want)
+		}
+	}
+}
+
+// TestFullPipelineOverImage runs both phases over the image and
+// checks the end decision agrees with core's software pipeline.
+func TestFullPipelineOverImage(t *testing.T) {
+	scr, inst := trainedScreener(t)
+	agree := 0
+	for _, h := range inst.Test[:8] {
+		img, qh, err := BuildFull(inst.Classifier, scr, 0, 512, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Screen on the image, take top-25 via threshold on the 25th
+		// value of the software screen (same budget as core).
+		soft := core.ClassifyApprox(inst.Classifier, scr, h, core.TopM(25))
+		zImg, _ := img.Screen(qh.Scale, 1e30)
+		th := zImg[tensor.TopK(zImg, 25)[24]]
+		_, cands := img.Screen(qh.Scale, th)
+		exact := img.Candidates(cands, inst.Classifier.B)
+		// The image pipeline's best candidate must match core's
+		// prediction (both use exact logits for candidates).
+		best, bestV := -1, float32(0)
+		for i, c := range cands {
+			if best < 0 || exact[i] > bestV {
+				best, bestV = c, exact[i]
+			}
+		}
+		if best == soft.Predict() {
+			agree++
+		}
+	}
+	if agree < 7 {
+		t.Fatalf("image pipeline agreed with core on %d/8", agree)
+	}
+}

@@ -1,0 +1,157 @@
+package isa
+
+import "fmt"
+
+// Instruction is one decoded ENMC instruction.
+type Instruction struct {
+	Op   Opcode
+	Buf0 Buffer // first buffer operand (compute, LDR/STR, MOVE, FILTER)
+	Buf1 Buffer // second buffer operand (compute, MOVE)
+	RW   bool   // register access: true = INIT (write), false = QUERY
+	Reg  Reg    // register operand
+	// Data rides the DQ bus: the DRAM address for LDR/STR, the value
+	// for INIT. HasData distinguishes "address 0" from "no payload".
+	HasData bool
+	Data    uint64
+}
+
+// Convenience constructors for the common instructions.
+
+// Init writes value into a status register.
+func Init(r Reg, value uint64) Instruction {
+	return Instruction{Op: OpREG, RW: true, Reg: r, HasData: true, Data: value}
+}
+
+// Query reads a status register.
+func Query(r Reg) Instruction { return Instruction{Op: OpREG, Reg: r} }
+
+// Ldr loads BurstBytes from addr into a buffer.
+func Ldr(buf Buffer, addr uint64) Instruction {
+	return Instruction{Op: OpLDR, Buf0: buf, HasData: true, Data: addr}
+}
+
+// Str stores a buffer to addr.
+func Str(buf Buffer, addr uint64) Instruction {
+	return Instruction{Op: OpSTR, Buf0: buf, HasData: true, Data: addr}
+}
+
+// Move copies buffer src to dst.
+func Move(dst, src Buffer) Instruction { return Instruction{Op: OpMOVE, Buf0: dst, Buf1: src} }
+
+// Compute builds a two-buffer compute instruction.
+func Compute(op Opcode, a, b Buffer) Instruction { return Instruction{Op: op, Buf0: a, Buf1: b} }
+
+// Filter runs the threshold filter over a buffer.
+func Filter(buf Buffer) Instruction { return Instruction{Op: OpFILTER, Buf0: buf} }
+
+// Simple builds a no-operand instruction (BARRIER, NOP, RETURN, CLR,
+// SOFTMAX, SIGMOID).
+func Simple(op Opcode) Instruction { return Instruction{Op: op} }
+
+// needsBuffers reports how many buffer operands the opcode takes.
+func (op Opcode) numBuffers() int {
+	switch op {
+	case OpMULADDINT4, OpMULADDFP32, OpADDINT4, OpMULINT4, OpADDFP32, OpMULFP32, OpMOVE:
+		return 2
+	case OpLDR, OpSTR, OpFILTER:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// hasPayload reports whether the opcode carries DQ data.
+func (op Opcode) hasPayload() bool {
+	switch op {
+	case OpLDR, OpSTR:
+		return true
+	default:
+		return false
+	}
+}
+
+// Validate checks operand ranges and payload presence.
+func (in Instruction) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid opcode %d", in.Op)
+	}
+	switch n := in.Op.numBuffers(); n {
+	case 2:
+		if !in.Buf0.Valid() || !in.Buf1.Valid() {
+			return fmt.Errorf("isa: %s has invalid buffer operands %d,%d", in.Op, in.Buf0, in.Buf1)
+		}
+	case 1:
+		if !in.Buf0.Valid() {
+			return fmt.Errorf("isa: %s has invalid buffer operand %d", in.Op, in.Buf0)
+		}
+	}
+	if in.Op == OpREG {
+		if !in.Reg.Valid() {
+			return fmt.Errorf("isa: register %d out of range", in.Reg)
+		}
+		if in.RW && !in.HasData {
+			return fmt.Errorf("isa: INIT requires data")
+		}
+	}
+	if in.Op.hasPayload() && !in.HasData {
+		return fmt.Errorf("isa: %s requires a DQ payload", in.Op)
+	}
+	return nil
+}
+
+// Encode packs the instruction into the 13-bit command word plus the
+// optional 64-bit DQ payload (Fig. 8).
+func (in Instruction) Encode() (cmd uint16, data uint64, hasData bool) {
+	cmd = uint16(in.Op) & 0x1f
+	if in.Op == OpREG {
+		if in.RW {
+			cmd |= 1 << 5
+		}
+		cmd |= uint16(in.Reg&0x1f) << 6
+	} else {
+		cmd |= uint16(in.Buf0&0x0f) << 5
+		cmd |= uint16(in.Buf1&0x0f) << 9
+	}
+	return cmd, in.Data, in.HasData
+}
+
+// Decode unpacks a command word (plus payload) into an Instruction.
+func Decode(cmd uint16, data uint64, hasData bool) (Instruction, error) {
+	if cmd > 0x1fff {
+		return Instruction{}, fmt.Errorf("isa: command word %#x exceeds 13 bits", cmd)
+	}
+	in := Instruction{Op: Opcode(cmd & 0x1f), HasData: hasData, Data: data}
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d in %#x", cmd&0x1f, cmd)
+	}
+	if in.Op == OpREG {
+		in.RW = cmd>>5&1 == 1
+		in.Reg = Reg(cmd >> 6 & 0x1f)
+	} else {
+		in.Buf0 = Buffer(cmd >> 5 & 0x0f)
+		in.Buf1 = Buffer(cmd >> 9 & 0x0f)
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// String disassembles the instruction in the paper's mnemonics, e.g.
+// "MUL_ADD_FP32 feat_f32, wgt_f32" or "INIT reg_7, 0x2a".
+func (in Instruction) String() string {
+	switch {
+	case in.Op == OpREG && in.RW:
+		return fmt.Sprintf("INIT %s, %#x", in.Reg, in.Data)
+	case in.Op == OpREG:
+		return fmt.Sprintf("QUERY %s", in.Reg)
+	case in.Op.numBuffers() == 2:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Buf0, in.Buf1)
+	case in.Op == OpLDR || in.Op == OpSTR:
+		return fmt.Sprintf("%s %s, %#x", in.Op, in.Buf0, in.Data)
+	case in.Op.numBuffers() == 1:
+		return fmt.Sprintf("%s %s", in.Op, in.Buf0)
+	default:
+		return in.Op.String()
+	}
+}

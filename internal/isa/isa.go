@@ -1,0 +1,141 @@
+// Package isa defines the ENMC instruction set of the paper's
+// Table 1 and the binary encoding of Fig. 8: a 13-bit command word
+// carried on the row-address lines A0–A12 of a PRECHARGE command,
+// optionally followed by 64 bits on the DQ bus for values that do not
+// fit (addresses, register data).
+//
+// Layouts (bit 0 = A0, least significant):
+//
+//	generic      [ opcode:5 | operand0:4 | operand1:4 ]
+//	reg access   [ opcode:5 | rw:1 | reg:5 | unused:2 ]
+//
+// INIT and QUERY share one opcode and are distinguished by the RW
+// bit, exactly as Fig. 8(b) shows.
+package isa
+
+import "fmt"
+
+// Opcode identifies an ENMC instruction (5 bits).
+type Opcode uint8
+
+// The instruction set of Table 1. MULADDFP32 is opcode 2 and the
+// register-access opcode is 9, matching the worked examples in
+// Fig. 8; the remaining assignments fill the 5-bit space.
+const (
+	OpNOP        Opcode = 0
+	OpMULADDINT4 Opcode = 1
+	OpMULADDFP32 Opcode = 2
+	OpADDINT4    Opcode = 3
+	OpMULINT4    Opcode = 4
+	OpADDFP32    Opcode = 5
+	OpMULFP32    Opcode = 6
+	OpFILTER     Opcode = 7
+	OpSOFTMAX    Opcode = 8
+	OpREG        Opcode = 9 // INIT (write) / QUERY (read)
+	OpSIGMOID    Opcode = 10
+	OpLDR        Opcode = 11
+	OpSTR        Opcode = 12
+	OpMOVE       Opcode = 13
+	OpBARRIER    Opcode = 14
+	OpRETURN     Opcode = 15
+	OpCLR        Opcode = 16
+)
+
+var opNames = map[Opcode]string{
+	OpNOP:        "NOP",
+	OpMULADDINT4: "MUL_ADD_INT4",
+	OpMULADDFP32: "MUL_ADD_FP32",
+	OpADDINT4:    "ADD_INT4",
+	OpMULINT4:    "MUL_INT4",
+	OpADDFP32:    "ADD_FP32",
+	OpMULFP32:    "MUL_FP32",
+	OpFILTER:     "FILTER",
+	OpSOFTMAX:    "SOFTMAX",
+	OpREG:        "REG",
+	OpSIGMOID:    "SIGMOID",
+	OpLDR:        "LDR",
+	OpSTR:        "STR",
+	OpMOVE:       "MOVE",
+	OpBARRIER:    "BARRIER",
+	OpRETURN:     "RETURN",
+	OpCLR:        "CLR",
+}
+
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Valid reports whether o names a defined instruction.
+func (o Opcode) Valid() bool { _, ok := opNames[o]; return ok }
+
+// Buffer identifies an on-DIMM buffer (4 bits). The Screener owns the
+// INT4 trio, the Executor the FP32 trio plus the output buffer, and
+// the index buffer carries candidate indices between them.
+type Buffer uint8
+
+// On-DIMM buffers (Fig. 7).
+const (
+	BufFeatINT4 Buffer = 0 // Screener feature buffer
+	BufWgtINT4  Buffer = 1 // Screener weight buffer
+	BufPsumINT4 Buffer = 2 // Screener partial sums
+	BufIndex    Buffer = 3 // candidate indices (threshold filter output)
+	BufFeatFP32 Buffer = 4 // Executor feature buffer
+	BufWgtFP32  Buffer = 5 // Executor weight buffer
+	BufPsumFP32 Buffer = 6 // Executor partial sums
+	BufOutput   Buffer = 7 // output buffer returned to the host
+)
+
+var bufNames = map[Buffer]string{
+	BufFeatINT4: "feat_i4",
+	BufWgtINT4:  "wgt_i4",
+	BufPsumINT4: "psum_i4",
+	BufIndex:    "index",
+	BufFeatFP32: "feat_f32",
+	BufWgtFP32:  "wgt_f32",
+	BufPsumFP32: "psum_f32",
+	BufOutput:   "out",
+}
+
+func (b Buffer) String() string {
+	if n, ok := bufNames[b]; ok {
+		return n
+	}
+	return fmt.Sprintf("buf%d", uint8(b))
+}
+
+// Valid reports whether b names a defined buffer.
+func (b Buffer) Valid() bool { _, ok := bufNames[b]; return ok }
+
+// Reg identifies a status register in the ENMC controller (5 bits).
+type Reg uint8
+
+// Status register file (Section 5.2: "addresses and sizes of input
+// features, vocabulary, and screening weight", plus counters).
+const (
+	RegFeatAddr   Reg = 0  // DRAM address of input features
+	RegFeatSize   Reg = 1  // feature bytes per input
+	RegScrWAddr   Reg = 2  // DRAM address of screening weights
+	RegScrWSize   Reg = 3  // screening weight bytes
+	RegFullWAddr  Reg = 4  // DRAM address of full classifier weights
+	RegVocab      Reg = 5  // number of categories l
+	RegHidden     Reg = 6  // hidden dimension d
+	RegReduced    Reg = 7  // reduced dimension k
+	RegThreshold  Reg = 8  // candidate threshold (float32 bits)
+	RegBatch      Reg = 9  // current batch id
+	RegCandCount  Reg = 10 // candidates found so far
+	RegInstrCount Reg = 11 // instructions retired
+	RegStatus     Reg = 12 // component busy/done flags
+	RegTileRows   Reg = 13 // rows per screening tile
+	RegOutAddr    Reg = 14 // DRAM address for spilled outputs
+)
+
+// NumRegs is the size of the status register file.
+const NumRegs = 32
+
+func (r Reg) String() string { return fmt.Sprintf("reg_%d", uint8(r)) }
+
+// Valid reports whether r is addressable (5 bits).
+func (r Reg) Valid() bool { return r < NumRegs }

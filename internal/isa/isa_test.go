@@ -1,0 +1,213 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"enmc/internal/xrand"
+)
+
+// TestTable1Coverage checks that every instruction of the paper's
+// Table 1 exists in the ISA.
+func TestTable1Coverage(t *testing.T) {
+	table1 := []Opcode{
+		OpREG, // INIT + QUERY
+		OpLDR, OpSTR, OpMOVE,
+		OpADDINT4, OpMULINT4, OpADDFP32, OpMULFP32,
+		OpMULADDINT4, OpMULADDFP32,
+		OpFILTER, OpSIGMOID, OpSOFTMAX,
+		OpBARRIER, OpNOP, OpRETURN, OpCLR,
+	}
+	for _, op := range table1 {
+		if !op.Valid() {
+			t.Fatalf("Table 1 opcode %d missing", op)
+		}
+	}
+}
+
+func TestCommandWordIs13Bits(t *testing.T) {
+	ops := []Instruction{
+		Init(RegThreshold, 0xdeadbeef),
+		Query(RegStatus),
+		Ldr(BufWgtINT4, 0x123456),
+		Compute(OpMULADDFP32, BufFeatFP32, BufWgtFP32),
+		Simple(OpSOFTMAX),
+		Move(BufOutput, BufPsumFP32),
+		Filter(BufPsumINT4),
+	}
+	for _, in := range ops {
+		cmd, _, _ := in.Encode()
+		if cmd > 0x1fff {
+			t.Fatalf("%s encodes to %#x > 13 bits", in, cmd)
+		}
+	}
+}
+
+func TestFig8Encodings(t *testing.T) {
+	// Fig. 8(a): MUL_ADD_FP32 buffer_0, buffer_1 → opcode 2.
+	in := Compute(OpMULADDFP32, Buffer(0), Buffer(1))
+	cmd, _, _ := in.Encode()
+	if cmd&0x1f != 2 {
+		t.Fatalf("MUL_ADD_FP32 opcode field = %d, want 2", cmd&0x1f)
+	}
+	if cmd>>5&0xf != 0 || cmd>>9&0xf != 1 {
+		t.Fatalf("buffer fields wrong in %#x", cmd)
+	}
+	// Fig. 8(b): QUERY reg_7 → opcode 9, RD, reg 7.
+	q := Query(Reg(7))
+	cmd, _, _ = q.Encode()
+	if cmd&0x1f != 9 || cmd>>5&1 != 0 || cmd>>6&0x1f != 7 {
+		t.Fatalf("QUERY reg_7 encodes to %#x", cmd)
+	}
+	// Fig. 8(c): INIT reg_7, v → opcode 9, WT, reg 7, data on DQ.
+	i := Init(Reg(7), 99)
+	cmd, data, hasData := i.Encode()
+	if cmd&0x1f != 9 || cmd>>5&1 != 1 || cmd>>6&0x1f != 7 {
+		t.Fatalf("INIT reg_7 encodes to %#x", cmd)
+	}
+	if !hasData || data != 99 {
+		t.Fatal("INIT payload missing")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		var in Instruction
+		switch r.Intn(5) {
+		case 0:
+			in = Init(Reg(r.Intn(NumRegs)), r.Uint64())
+		case 1:
+			in = Query(Reg(r.Intn(NumRegs)))
+		case 2:
+			in = Ldr(Buffer(r.Intn(8)), r.Uint64())
+		case 3:
+			ops := []Opcode{OpMULADDINT4, OpMULADDFP32, OpADDINT4, OpMULINT4, OpADDFP32, OpMULFP32, OpMOVE}
+			in = Compute(ops[r.Intn(len(ops))], Buffer(r.Intn(8)), Buffer(r.Intn(8)))
+		default:
+			ops := []Opcode{OpSOFTMAX, OpSIGMOID, OpBARRIER, OpNOP, OpRETURN, OpCLR}
+			in = Simple(ops[r.Intn(len(ops))])
+		}
+		cmd, data, hasData := in.Encode()
+		got, err := Decode(cmd, data, hasData)
+		if err != nil {
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(0x4000, 0, false); err == nil {
+		t.Fatal("14-bit command accepted")
+	}
+	if _, err := Decode(uint16(31), 0, false); err == nil { // opcode 31 undefined
+		t.Fatal("undefined opcode accepted")
+	}
+	// LDR without payload must fail validation.
+	cmd, _, _ := Ldr(BufFeatINT4, 0).Encode()
+	if _, err := Decode(cmd, 0, false); err == nil {
+		t.Fatal("LDR without payload accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instruction{
+		Init(RegVocab, 5), Query(RegVocab), Ldr(BufOutput, 1),
+		Compute(OpADDFP32, BufPsumFP32, BufWgtFP32), Simple(OpBARRIER),
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+	}
+	bad := []Instruction{
+		{Op: Opcode(20)},
+		{Op: OpMOVE, Buf0: Buffer(15), Buf1: BufOutput},
+		{Op: OpREG, RW: true, Reg: RegVocab}, // INIT without data
+		{Op: OpLDR, Buf0: BufFeatINT4},       // LDR without data
+		{Op: OpREG, Reg: Reg(33)},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("bad instruction %d accepted", i)
+		}
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+# screening inner loop
+INIT reg_8, 0x42
+LDR wgt_i4, 0x1000
+LDR feat_i4, 0x2000
+MUL_ADD_INT4 feat_i4, wgt_i4
+FILTER psum_i4
+BARRIER
+MUL_ADD_FP32 feat_f32, wgt_f32   // executor
+SOFTMAX
+MOVE out, psum_f32
+RETURN
+QUERY reg_10
+CLR
+`
+	prog, err := AssembleProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 12 {
+		t.Fatalf("assembled %d instructions", len(prog))
+	}
+	text := Disassemble(prog)
+	again, err := AssembleProgram(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(again) != len(prog) {
+		t.Fatal("round-trip length mismatch")
+	}
+	for i := range prog {
+		if prog[i] != again[i] {
+			t.Fatalf("instruction %d: %v vs %v", i, prog[i], again[i])
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"FROB reg_1",
+		"INIT reg_1",
+		"INIT reg_99, 5",
+		"LDR nowhere, 5",
+		"SOFTMAX out",
+		"MOVE out",
+		"LDR out, zzz",
+	}
+	for _, line := range bad {
+		if _, err := Assemble(line); err == nil {
+			t.Fatalf("%q assembled without error", line)
+		}
+	}
+	if _, err := AssembleProgram("NOP\nBADOP\n"); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("program error missing line number: %v", err)
+	}
+}
+
+func TestBufferRegisterNames(t *testing.T) {
+	if BufOutput.String() != "out" || !BufOutput.Valid() {
+		t.Fatal("buffer naming")
+	}
+	if Buffer(12).Valid() {
+		t.Fatal("buffer 12 should be invalid")
+	}
+	if Reg(31).String() != "reg_31" || !Reg(31).Valid() || Reg(32).Valid() {
+		t.Fatal("register naming/validity")
+	}
+	if Opcode(29).String() == "" {
+		t.Fatal("unknown opcode String")
+	}
+}

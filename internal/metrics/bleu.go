@@ -1,0 +1,76 @@
+package metrics
+
+import "math"
+
+// BLEU computes corpus-level BLEU-4 (uniform n-gram weights, brevity
+// penalty) between candidate and reference token sequences, the
+// standard machine-translation metric used in Fig. 11(a). Token ids
+// are arbitrary ints; sequences pair up by index.
+func BLEU(candidates, references [][]int) float64 {
+	if len(candidates) != len(references) {
+		panic("metrics: BLEU corpus size mismatch")
+	}
+	if len(candidates) == 0 {
+		return math.NaN()
+	}
+	const maxN = 4
+	matches := make([]float64, maxN)
+	totals := make([]float64, maxN)
+	var candLen, refLen float64
+
+	for i := range candidates {
+		cand, ref := candidates[i], references[i]
+		candLen += float64(len(cand))
+		refLen += float64(len(ref))
+		for n := 1; n <= maxN; n++ {
+			refCounts := countNGrams(ref, n)
+			candCounts := countNGrams(cand, n)
+			for gram, c := range candCounts {
+				r := refCounts[gram]
+				if c < r {
+					matches[n-1] += float64(c)
+				} else {
+					matches[n-1] += float64(r)
+				}
+			}
+			if len(cand) >= n {
+				totals[n-1] += float64(len(cand) - n + 1)
+			}
+		}
+	}
+
+	var logSum float64
+	for n := 0; n < maxN; n++ {
+		if totals[n] == 0 || matches[n] == 0 {
+			return 0
+		}
+		logSum += math.Log(matches[n] / totals[n])
+	}
+	bp := 1.0
+	if candLen < refLen {
+		bp = math.Exp(1 - refLen/candLen)
+	}
+	return bp * math.Exp(logSum/maxN)
+}
+
+// countNGrams tallies the n-grams of seq, keyed by a string encoding
+// of the ids (safe: ids are separated unambiguously).
+func countNGrams(seq []int, n int) map[string]int {
+	out := make(map[string]int)
+	for i := 0; i+n <= len(seq); i++ {
+		out[encodeGram(seq[i:i+n])]++
+	}
+	return out
+}
+
+func encodeGram(gram []int) string {
+	b := make([]byte, 0, len(gram)*5)
+	for _, g := range gram {
+		for g > 0x7f {
+			b = append(b, byte(g&0x7f|0x80))
+			g >>= 7
+		}
+		b = append(b, byte(g), 0xff)
+	}
+	return string(b)
+}

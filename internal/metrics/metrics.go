@@ -1,0 +1,98 @@
+// Package metrics implements the quality measures of the paper's
+// algorithm-level evaluation (Fig. 11 and Fig. 12): perplexity for
+// language modeling, corpus BLEU for translation, precision@k for
+// multi-label recommendation, and top-k agreement between an
+// approximate classifier and the exact one.
+package metrics
+
+import (
+	"math"
+
+	"enmc/internal/activation"
+)
+
+// Perplexity returns exp(mean cross-entropy) of the given pre-softmax
+// logit vectors against integer labels. logits[i] scores sample i.
+func Perplexity(logits [][]float32, labels []int) float64 {
+	if len(logits) != len(labels) {
+		panic("metrics: Perplexity length mismatch")
+	}
+	if len(logits) == 0 {
+		return math.NaN()
+	}
+	var nll float64
+	for i, z := range logits {
+		lse := activation.LogSumExp(z)
+		nll += lse - float64(z[labels[i]])
+	}
+	return math.Exp(nll / float64(len(logits)))
+}
+
+// TopKAgreement returns the fraction of samples whose approximate
+// top-1 class appears in the exact classifier's top-k set. With k=1
+// this is exact-match accuracy against the full model.
+func TopKAgreement(approxTop1 []int, exactTopK [][]int) float64 {
+	if len(approxTop1) != len(exactTopK) {
+		panic("metrics: TopKAgreement length mismatch")
+	}
+	if len(approxTop1) == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for i, a := range approxTop1 {
+		for _, e := range exactTopK[i] {
+			if a == e {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(approxTop1))
+}
+
+// PrecisionAtK returns mean |approx_i ∩ exact_i| / k over samples,
+// the multi-label metric used for the Amazon-670K workload.
+func PrecisionAtK(approx, exact [][]int, k int) float64 {
+	if len(approx) != len(exact) {
+		panic("metrics: PrecisionAtK length mismatch")
+	}
+	if len(approx) == 0 || k <= 0 {
+		return math.NaN()
+	}
+	var total float64
+	for i := range approx {
+		ex := make(map[int]bool, len(exact[i]))
+		for _, e := range exact[i] {
+			ex[e] = true
+		}
+		hits := 0
+		a := approx[i]
+		if len(a) > k {
+			a = a[:k]
+		}
+		for _, v := range a {
+			if ex[v] {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(k)
+	}
+	return total / float64(len(approx))
+}
+
+// Accuracy returns the fraction of predictions equal to labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}

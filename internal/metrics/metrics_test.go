@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerplexityUniform(t *testing.T) {
+	// Uniform logits over V classes → perplexity V.
+	logits := [][]float32{make([]float32, 10), make([]float32, 10)}
+	got := Perplexity(logits, []int{0, 3})
+	if math.Abs(got-10) > 1e-6 {
+		t.Fatalf("uniform perplexity = %v, want 10", got)
+	}
+}
+
+func TestPerplexityConfident(t *testing.T) {
+	z := make([]float32, 10)
+	z[4] = 50 // near-delta on the right label
+	got := Perplexity([][]float32{z}, []int{4})
+	if got > 1.0001 {
+		t.Fatalf("confident perplexity = %v, want ≈1", got)
+	}
+	wrong := Perplexity([][]float32{z}, []int{5})
+	if wrong < 1e10 {
+		t.Fatalf("wrong-label perplexity = %v, should explode", wrong)
+	}
+}
+
+func TestPerplexityValidation(t *testing.T) {
+	if !math.IsNaN(Perplexity(nil, nil)) {
+		t.Fatal("empty perplexity should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Perplexity([][]float32{{1}}, []int{0, 1})
+}
+
+func TestTopKAgreement(t *testing.T) {
+	approx := []int{1, 2, 3}
+	exact := [][]int{{1, 9}, {8, 9}, {9, 3}}
+	got := TopKAgreement(approx, exact)
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("agreement = %v", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	approx := [][]int{{1, 2, 3}, {4, 5, 6}}
+	exact := [][]int{{1, 2, 9}, {7, 8, 9}}
+	got := PrecisionAtK(approx, exact, 3)
+	if math.Abs(got-(2.0/3+0)/2) > 1e-9 {
+		t.Fatalf("P@3 = %v", got)
+	}
+	// k smaller than list: only the head counts.
+	got = PrecisionAtK(approx, exact, 1)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("P@1 = %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3 {
+		t.Fatal("accuracy")
+	}
+}
+
+func TestBLEUIdentical(t *testing.T) {
+	c := [][]int{{1, 2, 3, 4, 5, 6}}
+	got := BLEU(c, c)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-BLEU = %v, want 1", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	got := BLEU([][]int{{1, 2, 3, 4}}, [][]int{{5, 6, 7, 8}})
+	if got != 0 {
+		t.Fatalf("disjoint BLEU = %v, want 0", got)
+	}
+}
+
+func TestBLEUPartial(t *testing.T) {
+	// One token changed out of eight: BLEU must be strictly between
+	// 0 and 1, and higher than a half-changed sequence.
+	ref := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}}
+	one := BLEU([][]int{{1, 2, 3, 4, 5, 6, 7, 99}}, ref)
+	half := BLEU([][]int{{1, 99, 3, 98, 5, 97, 7, 96}}, ref)
+	if !(one > 0 && one < 1) {
+		t.Fatalf("one-sub BLEU = %v", one)
+	}
+	if half >= one {
+		t.Fatalf("half-sub BLEU %v not below one-sub %v", half, one)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := [][]int{{1, 2, 3, 4, 5, 6, 7, 8}}
+	short := BLEU([][]int{{1, 2, 3, 4, 5}}, ref)
+	full := BLEU([][]int{{1, 2, 3, 4, 5, 6, 7, 8}}, ref)
+	if short >= full {
+		t.Fatalf("brevity penalty missing: short %v >= full %v", short, full)
+	}
+}
+
+func TestBLEUClipping(t *testing.T) {
+	// Repeating a reference word must not inflate precision.
+	ref := [][]int{{1, 2, 3, 4, 5, 6}}
+	spam := BLEU([][]int{{1, 1, 1, 1, 1, 1}}, ref)
+	if spam > 0.2 {
+		t.Fatalf("clipped BLEU = %v, repetition rewarded", spam)
+	}
+}
+
+func TestBLEUCorpusPooling(t *testing.T) {
+	// Corpus BLEU pools n-gram counts; two half-right sentences score
+	// the same as pooled stats, not averaged sentence BLEU of 0.
+	refs := [][]int{{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}}
+	cands := [][]int{{1, 2, 3, 4, 5}, {11, 12, 13, 14, 15}}
+	got := BLEU(cands, refs)
+	if !(got > 0 && got < 1) {
+		t.Fatalf("corpus BLEU = %v", got)
+	}
+}
+
+func TestBLEUEmptyCorpus(t *testing.T) {
+	if !math.IsNaN(BLEU(nil, nil)) {
+		t.Fatal("empty corpus should be NaN")
+	}
+}

@@ -1,0 +1,90 @@
+package nmp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllDesignsValid(t *testing.T) {
+	for _, d := range append(All(), TensorDIMMLarge()) {
+		if err := d.Hw.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Target.Name, err)
+		}
+		if d.Target.Name == "" {
+			t.Fatal("unnamed design")
+		}
+	}
+}
+
+func TestTable4Parity(t *testing.T) {
+	// Table 4: all four comparison designs sit at a similar area and
+	// power budget (±20% of ENMC).
+	base := ENMC()
+	for _, d := range All() {
+		if d.AreaMM2 < base.AreaMM2*0.8 || d.AreaMM2 > base.AreaMM2*1.2 {
+			t.Fatalf("%s area %v outside budget parity", d.Target.Name, d.AreaMM2)
+		}
+		if d.PowerMW < base.PowerMW*0.8 || d.PowerMW > base.PowerMW*1.2 {
+			t.Fatalf("%s power %v outside budget parity", d.Target.Name, d.PowerMW)
+		}
+	}
+}
+
+func TestTable4Values(t *testing.T) {
+	want := map[string][2]float64{
+		"NDA":        {0.445, 293.6},
+		"Chameleon":  {0.398, 249.0},
+		"TensorDIMM": {0.457, 303.5},
+		"ENMC":       {0.442, 285.4},
+	}
+	for _, d := range All() {
+		w := want[d.Target.Name]
+		if math.Abs(d.AreaMM2-w[0]) > 1e-9 || math.Abs(d.PowerMW-w[1]) > 1e-9 {
+			t.Fatalf("%s: got (%v, %v), want %v", d.Target.Name, d.AreaMM2, d.PowerMW, w)
+		}
+	}
+}
+
+func TestOnlyENMCIsHeterogeneous(t *testing.T) {
+	for _, d := range All() {
+		isENMC := d.Target.Name == "ENMC"
+		if d.Target.ScreenOnINT4 != isENMC {
+			t.Fatalf("%s: ScreenOnINT4 = %v", d.Target.Name, d.Target.ScreenOnINT4)
+		}
+		if d.Target.DualModule != isENMC {
+			t.Fatalf("%s: DualModule = %v", d.Target.Name, d.Target.DualModule)
+		}
+	}
+}
+
+func TestEffectiveLaneOrdering(t *testing.T) {
+	// The calibrated GEMV throughputs must preserve the paper's
+	// ranking: TensorDIMM > NDA > Chameleon.
+	if !(TensorDIMM().Hw.FP32MACs > NDA().Hw.FP32MACs && NDA().Hw.FP32MACs > Chameleon().Hw.FP32MACs) {
+		t.Fatal("baseline lane ordering violated")
+	}
+}
+
+func TestTensorDIMMLarge(t *testing.T) {
+	td, tdl := TensorDIMM(), TensorDIMMLarge()
+	if tdl.Hw.BufBytes <= td.Hw.BufBytes {
+		t.Fatal("TD-Large buffers not larger")
+	}
+	if !tdl.Target.WeightReuseAcrossBatch || td.Target.WeightReuseAcrossBatch {
+		t.Fatal("batch-reuse flags wrong")
+	}
+	// Larger register-file buffers must cost more power.
+	if tdl.Logic.TotalmW() <= td.Logic.TotalmW() {
+		t.Fatal("TD-Large logic power not higher")
+	}
+}
+
+func TestHomogeneousLogicPreservesTotal(t *testing.T) {
+	p := homogeneousLogic(303.5)
+	if math.Abs(p.TotalmW()-303.5) > 0.01 {
+		t.Fatalf("rescaled total = %v", p.TotalmW())
+	}
+	if p.INT4MACmW != 0 {
+		t.Fatal("homogeneous design should have no INT4 power")
+	}
+}

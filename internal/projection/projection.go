@@ -1,0 +1,124 @@
+// Package projection implements the sparse random projection used to
+// build the ENMC screening module (paper Eq. 3). Following Achlioptas
+// ("Database-friendly random projections"), entries of the k×d
+// projection matrix P are drawn from sqrt(3/k)·{+1, 0, -1} with
+// probabilities {1/6, 2/3, 1/6}. Because every entry is ternary, P is
+// stored in 2 bits per entry — the paper notes its footprint is
+// <0.1% of the classifier — and projecting a vector needs only adds
+// and subtracts, which is why the Screener can afford it.
+package projection
+
+import (
+	"fmt"
+	"math"
+
+	"enmc/internal/xrand"
+)
+
+// Trit codes for the 2-bit packed representation.
+const (
+	tritZero  = 0b00
+	tritPlus  = 0b01
+	tritMinus = 0b10
+)
+
+// Sparse is a k×d ternary projection matrix with scale sqrt(3/k).
+type Sparse struct {
+	K, D  int
+	Scale float32
+	// packed holds row-major 2-bit trits, 4 per byte.
+	packed []byte
+}
+
+// New draws a fresh k×d sparse projection with the Achlioptas
+// distribution, deterministically from seed.
+func New(k, d int, seed uint64) *Sparse {
+	if k <= 0 || d <= 0 {
+		panic(fmt.Sprintf("projection: invalid shape %dx%d", k, d))
+	}
+	p := &Sparse{
+		K:      k,
+		D:      d,
+		Scale:  float32(math.Sqrt(3 / float64(k))),
+		packed: make([]byte, (k*d+3)/4),
+	}
+	r := xrand.New(seed)
+	for i := 0; i < k*d; i++ {
+		var t byte
+		switch r.Intn(6) {
+		case 0:
+			t = tritPlus
+		case 1:
+			t = tritMinus
+		default:
+			t = tritZero
+		}
+		p.setTrit(i, t)
+	}
+	return p
+}
+
+func (p *Sparse) setTrit(i int, t byte) {
+	shift := uint(i%4) * 2
+	p.packed[i/4] = p.packed[i/4]&^(0b11<<shift) | t<<shift
+}
+
+func (p *Sparse) trit(i int) byte {
+	return p.packed[i/4] >> (uint(i%4) * 2) & 0b11
+}
+
+// At returns entry (row, col) as -1, 0 or +1 (unscaled).
+func (p *Sparse) At(row, col int) int {
+	switch p.trit(row*p.D + col) {
+	case tritPlus:
+		return 1
+	case tritMinus:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Bytes reports the packed storage footprint of P.
+func (p *Sparse) Bytes() int64 { return int64(len(p.packed)) }
+
+// Apply computes dst = P·h, where dst has length K and h length D.
+// Only additions/subtractions plus one final scale per output are
+// performed, matching the hardware cost model.
+func (p *Sparse) Apply(dst, h []float32) {
+	if len(h) != p.D || len(dst) != p.K {
+		panic(fmt.Sprintf("projection: Apply shapes %dx%d · %d -> %d", p.K, p.D, len(h), len(dst)))
+	}
+	for i := 0; i < p.K; i++ {
+		var acc float32
+		base := i * p.D
+		for j := 0; j < p.D; j++ {
+			switch p.trit(base + j) {
+			case tritPlus:
+				acc += h[j]
+			case tritMinus:
+				acc -= h[j]
+			}
+		}
+		dst[i] = acc * p.Scale
+	}
+}
+
+// ApplyNew is Apply with a freshly allocated destination.
+func (p *Sparse) ApplyNew(h []float32) []float32 {
+	dst := make([]float32, p.K)
+	p.Apply(dst, h)
+	return dst
+}
+
+// NonZeroFraction reports the fraction of non-zero entries; the
+// Achlioptas distribution targets 1/3.
+func (p *Sparse) NonZeroFraction() float64 {
+	nz := 0
+	for i := 0; i < p.K*p.D; i++ {
+		if p.trit(i) != tritZero {
+			nz++
+		}
+	}
+	return float64(nz) / float64(p.K*p.D)
+}

@@ -1,0 +1,136 @@
+package projection
+
+import (
+	"math"
+	"testing"
+
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+func TestShapeAndScale(t *testing.T) {
+	p := New(16, 64, 1)
+	if p.K != 16 || p.D != 64 {
+		t.Fatalf("shape %dx%d", p.K, p.D)
+	}
+	want := math.Sqrt(3.0 / 16)
+	if math.Abs(float64(p.Scale)-want) > 1e-6 {
+		t.Fatalf("scale %v, want %v", p.Scale, want)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, b := New(8, 32, 42), New(8, 32, 42)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 32; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatal("same seed produced different matrices")
+			}
+		}
+	}
+	c := New(8, 32, 43)
+	diff := 0
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 32; j++ {
+			if a.At(i, j) != c.At(i, j) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestEntriesAreTernary(t *testing.T) {
+	p := New(10, 50, 7)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 50; j++ {
+			v := p.At(i, j)
+			if v != -1 && v != 0 && v != 1 {
+				t.Fatalf("entry (%d,%d) = %d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestSparsityNearOneThird(t *testing.T) {
+	p := New(64, 256, 3)
+	nz := p.NonZeroFraction()
+	if nz < 0.28 || nz > 0.39 {
+		t.Fatalf("non-zero fraction %v, want ≈ 1/3", nz)
+	}
+}
+
+func TestApplyMatchesDense(t *testing.T) {
+	p := New(12, 40, 9)
+	r := xrand.New(1)
+	h := make([]float32, 40)
+	for i := range h {
+		h[i] = r.NormFloat32()
+	}
+	got := p.ApplyNew(h)
+
+	// Dense reference.
+	dense := tensor.NewMatrix(12, 40)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 40; j++ {
+			dense.Set(i, j, float32(p.At(i, j))*p.Scale)
+		}
+	}
+	want := make([]float32, 12)
+	dense.MatVec(want, h)
+	for i := range got {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("Apply mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4, 8, 1).Apply(make([]float32, 4), make([]float32, 7))
+}
+
+// TestNormPreservation checks the Johnson–Lindenstrauss property the
+// screening method relies on: projected squared norms concentrate
+// around the originals.
+func TestNormPreservation(t *testing.T) {
+	const d, k = 512, 128
+	p := New(k, d, 11)
+	r := xrand.New(2)
+	var ratioSum float64
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		h := make([]float32, d)
+		for i := range h {
+			h[i] = r.NormFloat32()
+		}
+		ph := p.ApplyNew(h)
+		ratioSum += math.Pow(tensor.Norm2(ph)/tensor.Norm2(h), 2)
+	}
+	mean := ratioSum / trials
+	if mean < 0.85 || mean > 1.15 {
+		t.Fatalf("JL norm ratio %v, want ≈ 1", mean)
+	}
+}
+
+func TestBytesIsQuarterByteSized(t *testing.T) {
+	p := New(10, 10, 1)
+	if p.Bytes() != 25 {
+		t.Fatalf("Bytes = %d, want 25 (100 trits at 2 bits)", p.Bytes())
+	}
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 5, 1)
+}

@@ -1,0 +1,293 @@
+// Package quant implements the fixed-point quantization used by the
+// ENMC Screener. The paper runs the screening phase in INT4
+// (Section 5.2, Table 3) after finding in Fig. 12(b) that 4-bit
+// fixed-point preserves approximation quality; this package provides
+// symmetric linear quantizers for INT2/INT4/INT8, packed INT4
+// storage, and an integer MAC kernel that mirrors the hardware
+// datapath: int8 operands, int32 accumulation, one dequantization per
+// output element.
+package quant
+
+import (
+	"fmt"
+
+	"enmc/internal/tensor"
+)
+
+// Bits selects the quantization precision.
+type Bits int
+
+// Supported precisions. INT4 is the ENMC hardware configuration.
+const (
+	INT2 Bits = 2
+	INT4 Bits = 4
+	INT8 Bits = 8
+)
+
+func (b Bits) String() string { return fmt.Sprintf("INT%d", int(b)) }
+
+// MaxLevel returns the largest representable magnitude for the
+// precision, e.g. 7 for INT4 (symmetric range [-7, 7]; -8 is unused
+// so the datapath stays symmetric like typical MAC arrays).
+func (b Bits) MaxLevel() int32 {
+	switch b {
+	case INT2, INT4, INT8:
+		return int32(1)<<(uint(b)-1) - 1
+	default:
+		panic(fmt.Sprintf("quant: unsupported precision %d bits", int(b)))
+	}
+}
+
+// Vector is a quantized vector: q[i] ≈ round(x[i]/Scale).
+type Vector struct {
+	Bits  Bits
+	Scale float32
+	Q     []int8
+}
+
+// QuantizeVector quantizes x symmetrically at the given precision.
+// A zero vector gets scale 1 so dequantization stays well-defined.
+func QuantizeVector(x []float32, bits Bits) *Vector {
+	maxLevel := bits.MaxLevel()
+	maxAbs := tensor.MaxAbs(x)
+	scale := maxAbs / float32(maxLevel)
+	if scale == 0 {
+		scale = 1
+	}
+	q := make([]int8, len(x))
+	for i, v := range x {
+		q[i] = clampRound(v/scale, maxLevel)
+	}
+	return &Vector{Bits: bits, Scale: scale, Q: q}
+}
+
+// Dequantize reconstructs the float32 vector.
+func (v *Vector) Dequantize() []float32 {
+	out := make([]float32, len(v.Q))
+	for i, q := range v.Q {
+		out[i] = float32(q) * v.Scale
+	}
+	return out
+}
+
+// Matrix is a quantized row-major matrix with per-row scales, the
+// layout a weight-stationary MAC array consumes: each streamed row
+// carries one scale word.
+type Matrix struct {
+	Bits       Bits
+	Rows, Cols int
+	Scales     []float32 // len Rows
+	Q          []int8    // len Rows*Cols
+}
+
+// QuantizeMatrix quantizes m row-wise at the given precision.
+func QuantizeMatrix(m *tensor.Matrix, bits Bits) *Matrix {
+	qm := &Matrix{
+		Bits:   bits,
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Scales: make([]float32, m.Rows),
+		Q:      make([]int8, m.Rows*m.Cols),
+	}
+	maxLevel := bits.MaxLevel()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		scale := tensor.MaxAbs(row) / float32(maxLevel)
+		if scale == 0 {
+			scale = 1
+		}
+		qm.Scales[i] = scale
+		qrow := qm.Q[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			qrow[j] = clampRound(v/scale, maxLevel)
+		}
+	}
+	return qm
+}
+
+// QuantizeMatrixPerTensor quantizes with one shared scale, the
+// cheaper hardware option; kept for the per-row vs per-tensor
+// ablation.
+func QuantizeMatrixPerTensor(m *tensor.Matrix, bits Bits) *Matrix {
+	qm := &Matrix{
+		Bits:   bits,
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Scales: make([]float32, m.Rows),
+		Q:      make([]int8, m.Rows*m.Cols),
+	}
+	maxLevel := bits.MaxLevel()
+	scale := tensor.MaxAbs(m.Data) / float32(maxLevel)
+	if scale == 0 {
+		scale = 1
+	}
+	for i := range qm.Scales {
+		qm.Scales[i] = scale
+	}
+	for i, v := range m.Data {
+		qm.Q[i] = clampRound(v/scale, maxLevel)
+	}
+	return qm
+}
+
+// Row returns quantized row i sharing storage.
+func (m *Matrix) Row(i int) []int8 { return m.Q[i*m.Cols : (i+1)*m.Cols] }
+
+// Dequantize reconstructs a float32 matrix.
+func (m *Matrix) Dequantize() *tensor.Matrix {
+	out := tensor.NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		s := m.Scales[i]
+		src := m.Row(i)
+		dst := out.Row(i)
+		for j, q := range src {
+			dst[j] = float32(q) * s
+		}
+	}
+	return out
+}
+
+// Bytes reports the packed storage footprint of the quantized
+// payload (excluding scales): Rows*Cols elements at Bits each.
+func (m *Matrix) Bytes() int64 {
+	return (int64(m.Rows)*int64(m.Cols)*int64(m.Bits) + 7) / 8
+}
+
+// MatVec computes dst = dequant(m)·dequant(x) using the integer
+// datapath: per-row int32 accumulation of int8 products, then a
+// single float multiply by (rowScale · xScale). This is bit-exact
+// with what the Screener MAC array computes.
+func (m *Matrix) MatVec(dst []float32, x *Vector) {
+	if len(x.Q) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("quant: MatVec shapes %dx%d · %d -> %d", m.Rows, m.Cols, len(x.Q), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var acc int32
+		for j, q := range row {
+			acc += int32(q) * int32(x.Q[j])
+		}
+		dst[i] = float32(acc) * m.Scales[i] * x.Scale
+	}
+}
+
+// DotInt32 exposes the raw integer accumulation for one row, used by
+// the cycle simulator to count MAC operations faithfully.
+func (m *Matrix) DotInt32(row int, x []int8) int32 {
+	r := m.Row(row)
+	if len(x) != len(r) {
+		panic("quant: DotInt32 length mismatch")
+	}
+	var acc int32
+	for j, q := range r {
+		acc += int32(q) * int32(x[j])
+	}
+	return acc
+}
+
+func clampRound(v float32, maxLevel int32) int8 {
+	var r int32
+	if v >= 0 {
+		r = int32(v + 0.5)
+	} else {
+		r = int32(v - 0.5)
+	}
+	if r > maxLevel {
+		r = maxLevel
+	}
+	if r < -maxLevel {
+		r = -maxLevel
+	}
+	return int8(r)
+}
+
+// PackINT4 packs int8 nibbles (each in [-8,7]) two per byte, low
+// nibble first — the DRAM image format for screener weights.
+func PackINT4(q []int8) []byte {
+	out := make([]byte, (len(q)+1)/2)
+	for i, v := range q {
+		nib := byte(v) & 0x0f
+		if i%2 == 0 {
+			out[i/2] = nib
+		} else {
+			out[i/2] |= nib << 4
+		}
+	}
+	return out
+}
+
+// UnpackINT4 reverses PackINT4; n is the element count.
+func UnpackINT4(packed []byte, n int) []int8 {
+	out := make([]int8, n)
+	for i := 0; i < n; i++ {
+		var nib byte
+		if i%2 == 0 {
+			nib = packed[i/2] & 0x0f
+		} else {
+			nib = packed[i/2] >> 4
+		}
+		// Sign-extend the nibble.
+		out[i] = int8(nib<<4) >> 4
+	}
+	return out
+}
+
+// PackINT2 packs 2-bit values (each in [-1, 1]) four per byte, lowest
+// crumb first — the DRAM image format for INT2 screening weights.
+// Values are stored as sign-magnitude crumbs: 00=0, 01=+1, 11=-1.
+func PackINT2(q []int8) []byte {
+	out := make([]byte, (len(q)+3)/4)
+	for i, v := range q {
+		var crumb byte
+		switch {
+		case v > 0:
+			crumb = 0b01
+		case v < 0:
+			crumb = 0b11
+		}
+		out[i/4] |= crumb << (uint(i%4) * 2)
+	}
+	return out
+}
+
+// UnpackINT2 reverses PackINT2; n is the element count.
+func UnpackINT2(packed []byte, n int) []int8 {
+	out := make([]int8, n)
+	for i := 0; i < n; i++ {
+		crumb := packed[i/4] >> (uint(i%4) * 2) & 0b11
+		switch crumb {
+		case 0b01:
+			out[i] = 1
+		case 0b11:
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// MatVecBatch computes dst[b] = dequant(m)·dequant(xs[b]) for a batch
+// of vectors with a weight-stationary loop: each weight row is read
+// once and applied to every batch element — the reuse pattern that
+// makes batched screening traffic-free on the weight side (and the
+// reason ENMC's batch-4 offloads take barely longer than batch-1).
+func (m *Matrix) MatVecBatch(dst [][]float32, xs []*Vector) {
+	if len(dst) != len(xs) {
+		panic("quant: MatVecBatch batch size mismatch")
+	}
+	for b, x := range xs {
+		if len(x.Q) != m.Cols || len(dst[b]) != m.Rows {
+			panic(fmt.Sprintf("quant: MatVecBatch shapes %dx%d · %d -> %d", m.Rows, m.Cols, len(x.Q), len(dst[b])))
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		scale := m.Scales[i]
+		for b, x := range xs {
+			var acc int32
+			for j, q := range row {
+				acc += int32(q) * int32(x.Q[j])
+			}
+			dst[b][i] = float32(acc) * scale * x.Scale
+		}
+	}
+}

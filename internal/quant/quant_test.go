@@ -1,0 +1,226 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+func TestMaxLevel(t *testing.T) {
+	cases := map[Bits]int32{INT2: 1, INT4: 7, INT8: 127}
+	for b, want := range cases {
+		if got := b.MaxLevel(); got != want {
+			t.Fatalf("%v MaxLevel = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestMaxLevelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bits(3).MaxLevel()
+}
+
+func TestVectorRoundTripError(t *testing.T) {
+	r := xrand.New(1)
+	x := make([]float32, 256)
+	for i := range x {
+		x[i] = r.NormFloat32()
+	}
+	for _, bits := range []Bits{INT4, INT8} {
+		v := QuantizeVector(x, bits)
+		back := v.Dequantize()
+		// Max error is half a quantization step.
+		maxErr := float64(v.Scale) * 0.5001
+		for i := range x {
+			if math.Abs(float64(x[i]-back[i])) > maxErr {
+				t.Fatalf("%v round-trip error %v > %v", bits, x[i]-back[i], maxErr)
+			}
+		}
+	}
+}
+
+func TestZeroVector(t *testing.T) {
+	v := QuantizeVector(make([]float32, 8), INT4)
+	if v.Scale != 1 {
+		t.Fatalf("zero-vector scale = %v", v.Scale)
+	}
+	for _, q := range v.Q {
+		if q != 0 {
+			t.Fatal("zero vector quantized non-zero")
+		}
+	}
+}
+
+func TestMatVecMatchesDequantizedFloat(t *testing.T) {
+	r := xrand.New(2)
+	m := tensor.NewMatrix(12, 32)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32()
+	}
+	x := make([]float32, 32)
+	for i := range x {
+		x[i] = r.NormFloat32()
+	}
+	qm := QuantizeMatrix(m, INT8)
+	qx := QuantizeVector(x, INT8)
+
+	got := make([]float32, 12)
+	qm.MatVec(got, qx)
+
+	want := make([]float32, 12)
+	qm.Dequantize().MatVec(want, qx.Dequantize())
+	for i := range got {
+		if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+			t.Fatalf("integer MatVec != dequantized float at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestINT8ApproximatesFloat(t *testing.T) {
+	r := xrand.New(3)
+	m := tensor.NewMatrix(50, 64)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32()
+	}
+	x := make([]float32, 64)
+	for i := range x {
+		x[i] = r.NormFloat32()
+	}
+	want := make([]float32, 50)
+	m.MatVec(want, x)
+	got := make([]float32, 50)
+	QuantizeMatrix(m, INT8).MatVec(got, QuantizeVector(x, INT8))
+	if tensor.MSE(got, want) > 0.05 {
+		t.Fatalf("INT8 GEMV too lossy: MSE %v", tensor.MSE(got, want))
+	}
+}
+
+func TestPerRowBeatsPerTensorOnSkewedRows(t *testing.T) {
+	r := xrand.New(4)
+	m := tensor.NewMatrix(20, 32)
+	for i := 0; i < m.Rows; i++ {
+		scale := float32(1)
+		if i%2 == 0 {
+			scale = 100 // half the rows live on a much larger scale
+		}
+		for j := range m.Row(i) {
+			m.Row(i)[j] = r.NormFloat32() * scale
+		}
+	}
+	perRow := tensor.MSE(QuantizeMatrix(m, INT4).Dequantize().Data, m.Data)
+	perTensor := tensor.MSE(QuantizeMatrixPerTensor(m, INT4).Dequantize().Data, m.Data)
+	if perRow >= perTensor {
+		t.Fatalf("per-row MSE %v not better than per-tensor %v", perRow, perTensor)
+	}
+}
+
+func TestDotInt32MatchesMatVec(t *testing.T) {
+	r := xrand.New(5)
+	m := tensor.NewMatrix(4, 16)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat32()
+	}
+	qm := QuantizeMatrix(m, INT4)
+	x := make([]float32, 16)
+	for i := range x {
+		x[i] = r.NormFloat32()
+	}
+	qx := QuantizeVector(x, INT4)
+	dst := make([]float32, 4)
+	qm.MatVec(dst, qx)
+	for i := 0; i < 4; i++ {
+		want := float32(qm.DotInt32(i, qx.Q)) * qm.Scales[i] * qx.Scale
+		if dst[i] != want {
+			t.Fatalf("row %d: MatVec %v != DotInt32 path %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestPackUnpackINT4(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(65)
+		q := make([]int8, n)
+		for i := range q {
+			q[i] = int8(r.Intn(15) - 7) // [-7, 7]
+		}
+		got := UnpackINT4(PackINT4(q), n)
+		for i := range q {
+			if got[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackINT4Sizes(t *testing.T) {
+	if len(PackINT4(make([]int8, 5))) != 3 {
+		t.Fatal("odd-length packing size")
+	}
+	if len(PackINT4(nil)) != 0 {
+		t.Fatal("empty packing")
+	}
+}
+
+func TestMatrixBytes(t *testing.T) {
+	m := tensor.NewMatrix(10, 10)
+	if QuantizeMatrix(m, INT4).Bytes() != 50 {
+		t.Fatal("INT4 bytes")
+	}
+	if QuantizeMatrix(m, INT8).Bytes() != 100 {
+		t.Fatal("INT8 bytes")
+	}
+	if QuantizeMatrix(m, INT2).Bytes() != 25 {
+		t.Fatal("INT2 bytes")
+	}
+}
+
+func TestClampSaturates(t *testing.T) {
+	v := QuantizeVector([]float32{1000, -1000, 0.001}, INT4)
+	if v.Q[0] != 7 || v.Q[1] != -7 {
+		t.Fatalf("saturation failed: %v", v.Q)
+	}
+}
+
+func TestPackUnpackINT2(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := r.Intn(67)
+		q := make([]int8, n)
+		for i := range q {
+			q[i] = int8(r.Intn(3) - 1) // {-1, 0, 1}
+		}
+		got := UnpackINT2(PackINT2(q), n)
+		for i := range q {
+			if got[i] != q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if len(PackINT2(make([]int8, 5))) != 2 {
+		t.Fatal("INT2 packing size")
+	}
+	// INT2 quantization output is always packable: levels are ±1/0.
+	v := QuantizeVector([]float32{3, -2, 0.01, -0.4}, INT2)
+	back := UnpackINT2(PackINT2(v.Q), 4)
+	for i := range v.Q {
+		if back[i] != v.Q[i] {
+			t.Fatal("INT2 round trip through quantizer")
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package svdsoftmax implements the SVD-softmax approximation of
+// Shim et al. (NeurIPS 2017), one of the two baselines ENMC compares
+// its screening method against in Fig. 11. The classifier weight is
+// factorized once offline as W = U·Σ·Vᵀ; at inference the hidden
+// vector is rotated (h̃ = Vᵀ·h) and a low-width "preview" over the
+// leading singular dimensions ranks all classes cheaply, after which
+// the top-N classes are recomputed with full width.
+//
+// The factorization is computed from scratch with a cyclic Jacobi
+// eigensolver on WᵀW — no external linear-algebra dependency.
+package svdsoftmax
+
+import (
+	"math"
+	"sort"
+
+	"enmc/internal/tensor"
+)
+
+// jacobiEig computes the eigendecomposition A = V·diag(λ)·Vᵀ of a
+// symmetric matrix using the cyclic Jacobi method. It returns the
+// eigenvalues (unordered) and the orthogonal eigenvector matrix whose
+// columns correspond to them. A is not modified.
+func jacobiEig(a *tensor.Matrix, maxSweeps int) (eigvals []float64, v *tensor.Matrix) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("svdsoftmax: jacobiEig requires a square matrix")
+	}
+	// Work in float64 for convergence robustness.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m[i][j] = float64(a.At(i, j))
+		}
+	}
+	vv := make([][]float64, n)
+	for i := range vv {
+		vv[i] = make([]float64, n)
+		vv[i][i] = 1
+	}
+
+	if maxSweeps <= 0 {
+		maxSweeps = 30
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p][q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m[p][p], m[q][q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation J(p,q,θ) on both sides: M ← JᵀMJ.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vv[k][p], vv[k][q]
+					vv[k][p] = c*vkp - s*vkq
+					vv[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	eigvals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		eigvals[i] = m[i][i]
+	}
+	v = tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v.Set(i, j, float32(vv[i][j]))
+		}
+	}
+	return eigvals, v
+}
+
+// sortEig reorders (λ, V columns) by descending eigenvalue.
+func sortEig(eigvals []float64, v *tensor.Matrix) ([]float64, *tensor.Matrix) {
+	n := len(eigvals)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return eigvals[idx[a]] > eigvals[idx[b]] })
+	outVals := make([]float64, n)
+	outV := tensor.NewMatrix(v.Rows, n)
+	for newCol, oldCol := range idx {
+		outVals[newCol] = eigvals[oldCol]
+		for r := 0; r < v.Rows; r++ {
+			outV.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return outVals, outV
+}

@@ -1,0 +1,113 @@
+package svdsoftmax
+
+import (
+	"fmt"
+	"math"
+
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+)
+
+// Model is the offline-factorized classifier. B = W·V = U·Σ holds the
+// rotated weight rows with columns ordered by descending singular
+// value, so a prefix of each row carries most of the inner-product
+// energy — that is what makes the low-width preview informative.
+type Model struct {
+	B              *tensor.Matrix // l×d rotated weights (U·Σ)
+	V              *tensor.Matrix // d×d right singular vectors (columns)
+	Bias           []float32
+	SingularValues []float64
+}
+
+// Decompose factorizes the classifier. The cost is one d×d Jacobi
+// eigendecomposition of WᵀW plus the l×d×d rotation B = W·V.
+func Decompose(cls *core.Classifier) (*Model, error) {
+	w := cls.W
+	d := w.Cols
+	if w.Rows < d {
+		return nil, fmt.Errorf("svdsoftmax: needs l >= d, got %dx%d", w.Rows, d)
+	}
+	// WᵀW is symmetric positive semi-definite.
+	wt := w.T()
+	gram := tensor.MatMul(wt, w)
+	eigvals, v := jacobiEig(gram, 0)
+	eigvals, v = sortEig(eigvals, v)
+	sv := make([]float64, d)
+	for i, lam := range eigvals {
+		if lam < 0 {
+			lam = 0
+		}
+		sv[i] = math.Sqrt(lam)
+	}
+	b := tensor.MatMul(w, v)
+	bias := make([]float32, len(cls.B))
+	copy(bias, cls.B)
+	return &Model{B: b, V: v, Bias: bias, SingularValues: sv}, nil
+}
+
+// Rotate computes h̃ = Vᵀ·h, the per-inference input transform.
+func (m *Model) Rotate(h []float32) []float32 {
+	d := m.V.Rows
+	if len(h) != d {
+		panic(fmt.Sprintf("svdsoftmax: Rotate dimension %d != %d", len(h), d))
+	}
+	out := make([]float32, d)
+	// out[j] = Σ_i V[i][j]·h[i]
+	for i := 0; i < d; i++ {
+		hi := h[i]
+		if hi == 0 {
+			continue
+		}
+		row := m.V.Row(i)
+		for j, vij := range row {
+			out[j] += vij * hi
+		}
+	}
+	return out
+}
+
+// Preview computes the width-w approximate logits for all classes:
+// z̃_i = B[i,:w]·h̃[:w] + bias_i.
+func (m *Model) Preview(hRot []float32, width int) []float32 {
+	if width <= 0 || width > m.B.Cols {
+		panic(fmt.Sprintf("svdsoftmax: preview width %d out of range (1..%d)", width, m.B.Cols))
+	}
+	l := m.B.Rows
+	z := make([]float32, l)
+	hw := hRot[:width]
+	for i := 0; i < l; i++ {
+		z[i] = tensor.Dot(m.B.Row(i)[:width], hw) + m.Bias[i]
+	}
+	return z
+}
+
+// Classify runs the full SVD-softmax pipeline: rotate, preview at the
+// given width, take the top-N preview classes, recompute them at full
+// width (which is exact, since B·Vᵀh = W·h), and merge.
+func (m *Model) Classify(h []float32, width, topN int) *core.Result {
+	hRot := m.Rotate(h)
+	z := m.Preview(hRot, width)
+	cands := tensor.TopK(z, topN)
+	exact := make([]float32, len(cands))
+	for j, c := range cands {
+		exact[j] = tensor.Dot(m.B.Row(c), hRot) + m.Bias[c]
+		z[c] = exact[j]
+	}
+	return &core.Result{Mixed: z, Candidates: cands, Exact: exact}
+}
+
+// Cost tallies one inference: the d² rotation, the l·w preview, and
+// the topN·d refinement. The paper notes SVD-softmax's compute
+// overhead is ≈4× the screening method's; that falls straight out of
+// these counts (FP32 everywhere, and the d² rotation).
+func Cost(l, d, width, topN int) core.OpCount {
+	return core.OpCount{
+		FP32MACs: float64(d)*float64(d) + float64(l)*float64(width) + float64(topN)*float64(d),
+		AddOps:   float64(l),
+		SFUOps:   float64(l),
+		Bytes: float64(d)*float64(d)*4 + // V
+			float64(l)*float64(width)*4 + // preview columns of B
+			float64(topN)*float64(d)*4 + // refined rows
+			float64(l)*4, // bias
+	}
+}

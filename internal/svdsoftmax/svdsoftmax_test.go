@@ -1,0 +1,209 @@
+package svdsoftmax
+
+import (
+	"math"
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+func randSym(r *xrand.RNG, n int) *tensor.Matrix {
+	m := tensor.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat32()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestJacobiDiagonalizes(t *testing.T) {
+	r := xrand.New(1)
+	a := randSym(r, 12)
+	vals, v := jacobiEig(a, 0)
+	// Check A·v_i = λ_i·v_i for every eigenpair.
+	for col := 0; col < 12; col++ {
+		vec := make([]float32, 12)
+		for row := 0; row < 12; row++ {
+			vec[row] = v.At(row, col)
+		}
+		av := make([]float32, 12)
+		a.MatVec(av, vec)
+		for row := 0; row < 12; row++ {
+			want := float64(vals[col]) * float64(vec[row])
+			if math.Abs(float64(av[row])-want) > 1e-3 {
+				t.Fatalf("eigenpair %d violated at row %d: %v vs %v", col, row, av[row], want)
+			}
+		}
+	}
+}
+
+func TestJacobiOrthogonalV(t *testing.T) {
+	r := xrand.New(2)
+	a := randSym(r, 10)
+	_, v := jacobiEig(a, 0)
+	vtv := tensor.MatMul(v.T(), v)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			want := float32(0)
+			if i == j {
+				want = 1
+			}
+			if math.Abs(float64(vtv.At(i, j)-want)) > 1e-4 {
+				t.Fatalf("VᵀV not identity at (%d,%d): %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestJacobiKnownEigenvalues(t *testing.T) {
+	// diag(3, 1) rotated by 45°, eigenvalues must be {3, 1}.
+	a := tensor.FromRows([][]float32{{2, 1}, {1, 2}})
+	vals, _ := jacobiEig(a, 0)
+	vals, _ = sortEig(vals, tensor.NewMatrix(2, 2))
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+}
+
+func testClassifier(t *testing.T, l, d int) (*core.Classifier, [][]float32) {
+	t.Helper()
+	r := xrand.New(7)
+	w := tensor.NewMatrix(l, d)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	// Give W decaying column energy so the SVD spectrum is skewed and
+	// previews are informative (as trained embeddings are).
+	for i := 0; i < l; i++ {
+		row := w.Row(i)
+		for j := range row {
+			row[j] *= float32(1 / math.Sqrt(float64(j+1)))
+		}
+	}
+	b := make([]float32, l)
+	for i := range b {
+		b[i] = 0.01 * r.NormFloat32()
+	}
+	cls, err := core.NewClassifier(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs [][]float32
+	for n := 0; n < 20; n++ {
+		c := r.Intn(l)
+		row := w.Row(c)
+		norm := float32(tensor.Norm2(row))
+		h := make([]float32, d)
+		for j := range h {
+			h[j] = 2*row[j]/norm + 0.4*r.NormFloat32()
+		}
+		hs = append(hs, h)
+	}
+	return cls, hs
+}
+
+func TestDecomposeReconstructsExactly(t *testing.T) {
+	cls, hs := testClassifier(t, 60, 16)
+	m, err := Decompose(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-width classification through the factorization must equal
+	// the original classifier (up to float error).
+	for _, h := range hs[:5] {
+		want := cls.Logits(h)
+		res := m.Classify(h, 16, 60) // all classes refined
+		for i := range want {
+			if math.Abs(float64(res.Mixed[i]-want[i])) > 1e-2 {
+				t.Fatalf("full-width mismatch at %d: %v vs %v", i, res.Mixed[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSingularValuesDescending(t *testing.T) {
+	cls, _ := testClassifier(t, 50, 12)
+	m, err := Decompose(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.SingularValues); i++ {
+		if m.SingularValues[i] > m.SingularValues[i-1]+1e-9 {
+			t.Fatalf("singular values not sorted: %v", m.SingularValues)
+		}
+	}
+}
+
+func TestPreviewFindsTrueTop1(t *testing.T) {
+	cls, hs := testClassifier(t, 200, 32)
+	m, err := Decompose(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, h := range hs {
+		res := m.Classify(h, 8, 20) // quarter width, 10% refinement
+		if res.Predict() == cls.Predict(h) {
+			hits++
+		}
+	}
+	if hits < len(hs)*7/10 {
+		t.Fatalf("preview top-1 recall %d/%d too low", hits, len(hs))
+	}
+}
+
+func TestDecomposeRejectsWideMatrices(t *testing.T) {
+	cls, _ := testClassifier(t, 60, 16)
+	wide, err := core.NewClassifier(cls.W.T(), make([]float32, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompose(wide); err == nil {
+		t.Fatal("expected error for l < d")
+	}
+}
+
+func TestPreviewWidthPanics(t *testing.T) {
+	cls, _ := testClassifier(t, 30, 8)
+	m, err := Decompose(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width 0")
+		}
+	}()
+	m.Preview(make([]float32, 8), 0)
+}
+
+func TestCostExceedsScreening(t *testing.T) {
+	// Paper: SVD-softmax computation overhead ≈ 4× approximate
+	// screening. At matched candidate budgets the FP32 preview plus
+	// the d² rotation must cost several times the INT4 screen.
+	svd := Cost(33278, 512, 128, 100)
+	screen := core.ScreeningCost(33278, 512, 128, 4)
+	ratio := svd.Bytes / screen.Bytes
+	if ratio < 3 {
+		t.Fatalf("SVD/AS traffic ratio %v, expected >3", ratio)
+	}
+}
+
+func TestRotatePreservesNorm(t *testing.T) {
+	cls, hs := testClassifier(t, 40, 10)
+	m, err := Decompose(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hs[:5] {
+		hr := m.Rotate(h)
+		if math.Abs(tensor.Norm2(hr)-tensor.Norm2(h)) > 1e-3 {
+			t.Fatalf("rotation changed norm: %v vs %v", tensor.Norm2(hr), tensor.Norm2(h))
+		}
+	}
+}

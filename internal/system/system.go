@@ -1,0 +1,112 @@
+// Package system runs whole-system simulations: a host with several
+// memory channels of ENMC (or baseline-NMP) DIMMs, 8 ranks per
+// channel as in Table 3. The compiler splits classification rows
+// evenly across all ranks; ranks execute identical programs against
+// their own devices, so the system simulates one representative rank
+// cycle-accurately and extrapolates — with optional row sampling for
+// the 100M-category workloads, whose steady-state streaming behaviour
+// a measurement window captures exactly (see DESIGN.md §1).
+package system
+
+import (
+	"fmt"
+
+	"enmc/internal/compiler"
+	"enmc/internal/energy"
+	"enmc/internal/enmc"
+	"enmc/internal/nmp"
+)
+
+// Config describes the simulated system.
+type Config struct {
+	Channels        int
+	RanksPerChannel int
+	Design          nmp.Design
+	Logic           energy.LogicPower
+	DRAM            energy.DRAMEnergy
+	// SampleRows caps the rows simulated per rank; a larger share is
+	// cut to this window and the results scaled linearly. 0 disables
+	// sampling.
+	SampleRows int
+}
+
+// Default returns the Table 3 system (8 channels × 8 ranks) around a
+// design, with a 16K-row sampling window.
+func Default(design nmp.Design) Config {
+	return Config{
+		Channels:        8,
+		RanksPerChannel: 8,
+		Design:          design,
+		Logic:           design.Logic,
+		DRAM:            energy.DDR4Energy(),
+		SampleRows:      16384,
+	}
+}
+
+// TotalRanks returns the engine count.
+func (c Config) TotalRanks() int { return c.Channels * c.RanksPerChannel }
+
+// Result summarizes a system run.
+type Result struct {
+	Design  string
+	Mode    compiler.Mode
+	Task    compiler.Task
+	Cycles  int64   // per-rank cycles (ranks run in parallel)
+	Seconds float64 // wall time of the batched offload
+	// PerInferenceSeconds divides by batch.
+	PerInferenceSeconds float64
+	// ScaleFactor is the sampling extrapolation applied (1 = exact).
+	ScaleFactor float64
+	// RankStats are one rank's (scaled) activity counters.
+	RankStats enmc.Stats
+	// Energy is the whole system's energy for the run.
+	Energy energy.Breakdown
+}
+
+// Run compiles and executes the task on the configured system.
+func (c Config) Run(task compiler.Task, mode compiler.Mode) (Result, error) {
+	if c.Channels <= 0 || c.RanksPerChannel <= 0 {
+		return Result{}, fmt.Errorf("system: non-positive topology %dx%d", c.Channels, c.RanksPerChannel)
+	}
+	share := task.Split(c.TotalRanks())
+	factor := 1.0
+	simShare := share
+	if c.SampleRows > 0 && share.Rows > c.SampleRows {
+		factor = float64(share.Rows) / float64(c.SampleRows)
+		simShare.Rows = c.SampleRows
+		simShare.Candidates = int(float64(share.Candidates)/factor + 0.5)
+		if simShare.Candidates < 1 && share.Candidates > 0 {
+			simShare.Candidates = 1
+		}
+	}
+
+	prog, err := compiler.Compile(task, c.Design.Hw, c.Design.Target, simShare, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	eng, err := enmc.New(c.Design.Hw)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := eng.Run(prog.Init); err != nil {
+		return Result{}, err
+	}
+	res, err := eng.Run(prog.Ops)
+	if err != nil {
+		return Result{}, err
+	}
+
+	out := Result{
+		Design:      c.Design.Target.Name,
+		Mode:        mode,
+		Task:        task,
+		Cycles:      int64(float64(res.Cycles) * factor),
+		ScaleFactor: factor,
+		RankStats:   res.Stats.Scale(factor),
+	}
+	out.Seconds = c.Design.Hw.DRAM.CyclesToSeconds(out.Cycles)
+	out.PerInferenceSeconds = out.Seconds / float64(task.Batch)
+	perRank := energy.Compute(out.RankStats, out.Seconds, c.Logic, c.DRAM)
+	out.Energy = perRank.Scale(float64(c.TotalRanks()))
+	return out, nil
+}

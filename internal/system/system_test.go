@@ -1,0 +1,141 @@
+package system
+
+import (
+	"testing"
+
+	"enmc/internal/compiler"
+	"enmc/internal/nmp"
+)
+
+func testTask() compiler.Task {
+	return compiler.Task{Categories: 262144, Hidden: 512, Reduced: 128, Candidates: 4096, Batch: 1}
+}
+
+func TestRunBasic(t *testing.T) {
+	cfg := Default(nmp.ENMC())
+	res, err := cfg.Run(testTask(), compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Energy.TotalJ() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if res.Design != "ENMC" {
+		t.Fatalf("design = %q", res.Design)
+	}
+}
+
+func TestTopologyValidated(t *testing.T) {
+	cfg := Default(nmp.ENMC())
+	cfg.Channels = 0
+	if _, err := cfg.Run(testTask(), compiler.ModeScreened); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+}
+
+func TestSamplingMatchesExactWithinTolerance(t *testing.T) {
+	task := testTask()
+	exact := Default(nmp.ENMC())
+	exact.SampleRows = 0
+	sampled := Default(nmp.ENMC())
+	sampled.SampleRows = 1024 // share.Rows = 4096 → 4× extrapolation
+
+	re, err := exact.Run(task, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sampled.Run(task, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ScaleFactor <= 1 {
+		t.Fatalf("sampling not applied: factor %v", rs.ScaleFactor)
+	}
+	ratio := float64(rs.Cycles) / float64(re.Cycles)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("sampled extrapolation off by %vx (sampled %d, exact %d)", ratio, rs.Cycles, re.Cycles)
+	}
+}
+
+// TestDesignOrdering reproduces the Fig. 13 ranking: ENMC fastest,
+// then TensorDIMM, NDA, Chameleon — all running the screened
+// pipeline.
+func TestDesignOrdering(t *testing.T) {
+	task := testTask()
+	task.Batch = 2
+	times := map[string]float64{}
+	for _, d := range nmp.All() {
+		cfg := Default(d)
+		res, err := cfg.Run(task, compiler.ModeScreened)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Target.Name, err)
+		}
+		times[d.Target.Name] = res.Seconds
+	}
+	if !(times["ENMC"] < times["TensorDIMM"] &&
+		times["TensorDIMM"] < times["NDA"] &&
+		times["NDA"] < times["Chameleon"]) {
+		t.Fatalf("design ordering wrong: %+v", times)
+	}
+}
+
+// TestScreenedVsFullGap: full classification on TensorDIMM must be
+// many times slower than ENMC's screened pipeline (the Fig. 14/15
+// comparison).
+func TestScreenedVsFullGap(t *testing.T) {
+	task := testTask()
+	enmcRes, err := Default(nmp.ENMC()).Run(task, compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdRes, err := Default(nmp.TensorDIMM()).Run(task, compiler.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := tdRes.Seconds / enmcRes.Seconds
+	if ratio < 4 {
+		t.Fatalf("full/screened gap %v, want ≥ 4", ratio)
+	}
+	// And the energy gap should be large too (Fig. 14: ≈5×).
+	eRatio := tdRes.Energy.TotalJ() / enmcRes.Energy.TotalJ()
+	if eRatio < 2 {
+		t.Fatalf("energy gap %v, want ≥ 2", eRatio)
+	}
+}
+
+// TestTensorDIMMLargeBeatsTensorDIMMOnBatch: bigger buffers avoid
+// restreaming, so TD-Large is faster at batch > 1 in full mode.
+func TestTensorDIMMLargeBeatsTensorDIMMOnBatch(t *testing.T) {
+	task := testTask()
+	task.Batch = 4
+	td, err := Default(nmp.TensorDIMM()).Run(task, compiler.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdl, err := Default(nmp.TensorDIMMLarge()).Run(task, compiler.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdl.Seconds >= td.Seconds {
+		t.Fatalf("TD-Large %v not faster than TD %v at batch 4", tdl.Seconds, td.Seconds)
+	}
+}
+
+func TestStatsScale(t *testing.T) {
+	cfg := Default(nmp.ENMC())
+	cfg.SampleRows = 1024
+	res, err := cfg.Run(testTask(), compiler.ModeScreened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RankStats.DRAM.BytesRead <= 0 {
+		t.Fatal("scaled stats lost traffic")
+	}
+	// Busy fraction must stay ≤ 1 after scaling.
+	if res.RankStats.ScreenerBusy > res.RankStats.DRAM.Cycles+res.Cycles {
+		t.Fatal("scaled busy cycles exceed scaled runtime")
+	}
+}

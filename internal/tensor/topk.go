@@ -1,0 +1,75 @@
+package tensor
+
+import "container/heap"
+
+// TopK returns the indices of the k largest values in x, in
+// descending value order (ties break toward lower index). It runs in
+// O(n log k) with a bounded min-heap, mirroring the top-m candidate
+// search the Screener's comparator array performs in hardware.
+func TopK(x []float32, k int) []int {
+	if k <= 0 || len(x) == 0 {
+		return nil
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	h := &minHeap{}
+	h.items = make([]heapItem, 0, k)
+	for i, v := range x {
+		if len(h.items) < k {
+			heap.Push(h, heapItem{idx: i, val: v})
+			continue
+		}
+		if less(h.items[0], heapItem{idx: i, val: v}) {
+			h.items[0] = heapItem{idx: i, val: v}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(heapItem).idx
+	}
+	return out
+}
+
+// AboveThreshold returns, in ascending index order, all indices i
+// with x[i] >= threshold. This models the Screener's threshold
+// filter.
+func AboveThreshold(x []float32, threshold float32) []int {
+	var out []int
+	for i, v := range x {
+		if v >= threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+type heapItem struct {
+	idx int
+	val float32
+}
+
+// less orders items so that the heap root is the *worst* retained
+// candidate: smaller value first, and on equal values the larger
+// index first so that ties break toward lower indices overall.
+func less(a, b heapItem) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.idx > b.idx
+}
+
+type minHeap struct{ items []heapItem }
+
+func (h *minHeap) Len() int           { return len(h.items) }
+func (h *minHeap) Less(i, j int) bool { return less(h.items[i], h.items[j]) }
+func (h *minHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *minHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"enmc/internal/activation"
+)
+
+// Beam search over the synthetic decoder. The paper motivates
+// approximate screening with exactly this use case: "in neural
+// machine translation, we only use the top-K values of
+// softmax-normalized probabilities to select the translated words,
+// where K is the beam search size" — so screening needs the top-K
+// accurate, not just the argmax.
+
+// Hypothesis is one beam entry.
+type Hypothesis struct {
+	Tokens  []int
+	LogProb float64
+	state   []float32
+}
+
+// ScoreTopK returns, for a hidden state, the top-k classes and their
+// log-probabilities. Implementations: exact softmax over full logits,
+// or screening-based (softmax over the mixed vector).
+type ScoreTopK func(h []float32) (classes []int, logProbs []float64)
+
+// ExactScorer scores with the full classifier.
+func (inst *Instance) ExactScorer(k int) ScoreTopK {
+	return func(h []float32) ([]int, []float64) {
+		z := inst.Classifier.Logits(h)
+		return topKLogProbs(z, k)
+	}
+}
+
+// topKLogProbs converts logits to the k best (class, logprob) pairs.
+func topKLogProbs(z []float32, k int) ([]int, []float64) {
+	lse := activation.LogSumExp(z)
+	type cand struct {
+		idx int
+		lp  float64
+	}
+	cands := make([]cand, len(z))
+	for i, v := range z {
+		cands[i] = cand{i, float64(v) - lse}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lp > cands[b].lp })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	classes := make([]int, k)
+	lps := make([]float64, k)
+	for i := 0; i < k; i++ {
+		classes[i] = cands[i].idx
+		lps[i] = cands[i].lp
+	}
+	return classes, lps
+}
+
+// BeamDecode runs beam search of the given width for length steps
+// from h0, scoring each expansion with score. It returns the
+// highest-log-probability hypothesis.
+func (dec *Decoder) BeamDecode(h0 []float32, length, width int, score ScoreTopK) Hypothesis {
+	if width < 1 {
+		width = 1
+	}
+	if length > dec.MaxLen() {
+		length = dec.MaxLen()
+	}
+	start := normalizeStart(h0)
+	beam := []Hypothesis{{state: start}}
+
+	for t := 0; t < length; t++ {
+		var expanded []Hypothesis
+		for _, hyp := range beam {
+			classes, lps := score(hyp.state)
+			for i, c := range classes {
+				if i >= width {
+					break
+				}
+				tokens := make([]int, len(hyp.Tokens)+1)
+				copy(tokens, hyp.Tokens)
+				tokens[len(hyp.Tokens)] = c
+				expanded = append(expanded, Hypothesis{
+					Tokens:  tokens,
+					LogProb: hyp.LogProb + lps[i],
+					state:   dec.Step(hyp.state, c, t),
+				})
+			}
+		}
+		sort.Slice(expanded, func(a, b int) bool { return expanded[a].LogProb > expanded[b].LogProb })
+		if len(expanded) > width {
+			expanded = expanded[:width]
+		}
+		beam = expanded
+	}
+	if len(beam) == 0 {
+		return Hypothesis{}
+	}
+	return beam[0]
+}
+
+func normalizeStart(h0 []float32) []float32 {
+	h := make([]float32, len(h0))
+	copy(h, h0)
+	var n float64
+	for _, v := range h {
+		n += float64(v) * float64(v)
+	}
+	if n > 0 {
+		inv := float32(2 / math.Sqrt(n))
+		for i := range h {
+			h[i] *= inv
+		}
+	}
+	return h
+}
+
+// ScorerFrom builds a ScoreTopK from any logits function — e.g. a
+// screening-based classifier whose mixed vector is exact on the top
+// candidates, which is precisely what beam search consumes.
+func ScorerFrom(logits func(h []float32) []float32, k int) ScoreTopK {
+	return func(h []float32) ([]int, []float64) {
+		return topKLogProbs(logits(h), k)
+	}
+}

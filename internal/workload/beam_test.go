@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"enmc/internal/activation"
+)
+
+func beamSetup(t *testing.T) (*Instance, *Decoder) {
+	t.Helper()
+	spec := Spec{Name: "beam", Categories: 200, Hidden: 32, LatentRank: 12, ZipfS: 1}
+	inst := Generate(spec, GenOptions{Seed: 8, Train: 8, Valid: 4, Test: 6})
+	return inst, NewDecoder(inst, 3, 12)
+}
+
+func TestBeamWidthOneEqualsGreedy(t *testing.T) {
+	inst, dec := beamSetup(t)
+	score := inst.ExactScorer(1)
+	greedy := dec.Decode(inst.Test[0], 10, inst.Classifier.Predict)
+	beam := dec.BeamDecode(inst.Test[0], 10, 1, score)
+	if len(beam.Tokens) != len(greedy) {
+		t.Fatalf("lengths %d vs %d", len(beam.Tokens), len(greedy))
+	}
+	for i := range greedy {
+		if beam.Tokens[i] != greedy[i] {
+			t.Fatalf("beam-1 diverged from greedy at %d", i)
+		}
+	}
+}
+
+func TestWiderBeamNeverScoresWorse(t *testing.T) {
+	inst, dec := beamSetup(t)
+	for _, h := range inst.Test[:4] {
+		one := dec.BeamDecode(h, 8, 1, inst.ExactScorer(1))
+		four := dec.BeamDecode(h, 8, 4, inst.ExactScorer(4))
+		if four.LogProb < one.LogProb-1e-9 {
+			t.Fatalf("beam-4 logprob %v below beam-1 %v", four.LogProb, one.LogProb)
+		}
+	}
+}
+
+func TestBeamDeterministic(t *testing.T) {
+	inst, dec := beamSetup(t)
+	a := dec.BeamDecode(inst.Test[1], 8, 3, inst.ExactScorer(3))
+	b := dec.BeamDecode(inst.Test[1], 8, 3, inst.ExactScorer(3))
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatal("beam search not deterministic")
+		}
+	}
+}
+
+func TestBeamEdgeCases(t *testing.T) {
+	inst, dec := beamSetup(t)
+	// Width 0 clamps to 1; length clamps to MaxLen.
+	h := dec.BeamDecode(inst.Test[0], 100, 0, inst.ExactScorer(1))
+	if len(h.Tokens) != dec.MaxLen() {
+		t.Fatalf("length %d, want clamped %d", len(h.Tokens), dec.MaxLen())
+	}
+}
+
+func TestTopKLogProbsIsDistribution(t *testing.T) {
+	z := []float32{1, 3, 2, -1}
+	classes, lps := topKLogProbs(z, 4)
+	if classes[0] != 1 || classes[1] != 2 || classes[2] != 0 || classes[3] != 3 {
+		t.Fatalf("order %v", classes)
+	}
+	var sum float64
+	for _, lp := range lps {
+		sum += math.Exp(lp)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum %v", sum)
+	}
+	// Consistent with direct softmax.
+	p := make([]float32, 4)
+	activation.Softmax(p, z)
+	if math.Abs(math.Exp(lps[0])-float64(p[1])) > 1e-6 {
+		t.Fatal("logprob disagrees with softmax")
+	}
+}

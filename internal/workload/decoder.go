@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// Decoder is a synthetic autoregressive dynamics used by the
+// translation-quality experiment (Fig. 11(a)). Real NMT measures BLEU
+// degradation caused by the approximate classifier picking a
+// different word during greedy decoding, which then perturbs every
+// later step; this decoder reproduces exactly that feedback loop:
+//
+//	h_{t+1} = tanh(g_r·R·h_t + g_e·emb(y_t) + drift_t)
+//
+// where R is a fixed random orthonormal-ish transition, emb(y) is the
+// (normalized) classifier weight row of the emitted token, and drift
+// is a deterministic per-step excitation shared by all decodes of the
+// same sentence. Decoding the same sentence with the exact and the
+// approximate classifier and comparing the token streams with BLEU
+// measures the same quantity the paper plots.
+type Decoder struct {
+	inst  *Instance
+	r     *tensor.Matrix // d×d transition
+	drift []float32      // deterministic excitation stream, len d*maxLen
+	gainR float32
+	gainE float32
+}
+
+// NewDecoder derives a decoder from the instance, deterministically
+// from seed. maxLen bounds the drift stream (and thus sentence
+// length).
+func NewDecoder(inst *Instance, seed uint64, maxLen int) *Decoder {
+	d := inst.Spec.Hidden
+	rng := xrand.New(seed ^ 0xdec0de)
+	r := tensor.NewMatrix(d, d)
+	inv := float32(1 / math.Sqrt(float64(d)))
+	for i := range r.Data {
+		r.Data[i] = rng.NormFloat32() * inv
+	}
+	drift := make([]float32, d*maxLen)
+	for i := range drift {
+		drift[i] = 0.4 * rng.NormFloat32()
+	}
+	return &Decoder{inst: inst, r: r, drift: drift, gainR: 0.8, gainE: 1.6}
+}
+
+// MaxLen returns the longest decodable sequence.
+func (dec *Decoder) MaxLen() int { return len(dec.drift) / dec.inst.Spec.Hidden }
+
+// Step advances the hidden state given the previously emitted token.
+func (dec *Decoder) Step(h []float32, y, t int) []float32 {
+	d := dec.inst.Spec.Hidden
+	next := make([]float32, d)
+	dec.r.MatVec(next, h)
+	row := dec.inst.Classifier.W.Row(y)
+	norm := float32(tensor.Norm2(row))
+	if norm == 0 {
+		norm = 1
+	}
+	dt := dec.drift[t*d : (t+1)*d]
+	for j := range next {
+		v := dec.gainR*next[j] + dec.gainE*row[j]/norm + dt[j]
+		next[j] = float32(math.Tanh(float64(v)))
+	}
+	return next
+}
+
+// Decode greedily emits length tokens starting from h0, choosing each
+// token with classify (which returns the argmax class for a hidden
+// state). Different classify functions (exact vs screening vs
+// baselines) decode the same trajectory family and can be compared
+// token-by-token.
+func (dec *Decoder) Decode(h0 []float32, length int, classify func(h []float32) int) []int {
+	tokens, _ := dec.DecodeWithStates(h0, length, classify)
+	return tokens
+}
+
+// DecodeWithStates is Decode but also returns the hidden state fed to
+// the classifier at every step. Screener training uses these states
+// so the screener sees the decoder's state distribution — exactly as
+// the paper trains on the task's own hidden representations.
+func (dec *Decoder) DecodeWithStates(h0 []float32, length int, classify func(h []float32) int) ([]int, [][]float32) {
+	if length > dec.MaxLen() {
+		length = dec.MaxLen()
+	}
+	h := make([]float32, len(h0))
+	copy(h, h0)
+	// Scale the start state into tanh's linear range.
+	n := float32(tensor.Norm2(h))
+	if n > 0 {
+		tensor.Scale(h, 2/n)
+	}
+	out := make([]int, 0, length)
+	states := make([][]float32, 0, length)
+	for t := 0; t < length; t++ {
+		states = append(states, h)
+		y := classify(h)
+		out = append(out, y)
+		h = dec.Step(h, y, t)
+	}
+	return out, states
+}

@@ -1,0 +1,349 @@
+// Package workload defines the evaluated models and datasets of the
+// paper's Table 2 — LSTM-W33K, Transformer-W268K, GNMT-E32K and
+// XMLCNN-670K — plus the three synthetic scaling datasets S1M, S10M
+// and S100M, and generates synthetic classifier instances with the
+// statistical structure the screening method exploits.
+//
+// Substitution note (see DESIGN.md §1): the original evaluation uses
+// pre-trained PyTorch models. Offline we instead generate classifiers
+// with low-rank latent structure plus noise (W = A·B + E) and hidden
+// vectors peaked toward a Zipf-sampled target class. This preserves
+// the property screening relies on — approximate inner products rank
+// the true top-K highly — while letting every size in Table 2 be
+// instantiated deterministically from a seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// FrontEnd summarizes the non-classification part of a model (input
+// embedding plus hidden layers): parameter count and operations per
+// inference. Used for the Fig. 4 breakdown, the Fig. 5(b) roofline
+// and the end-to-end model of Fig. 15.
+type FrontEnd struct {
+	Params float64 // parameter count (elements, FP32)
+	Ops    float64 // FLOPs per single inference (batch 1)
+}
+
+// Spec mirrors one row of Table 2.
+type Spec struct {
+	Name        string // abbreviation, e.g. "LSTM-W33K"
+	Application string // NLP / NMT / Recommendation
+	Dataset     string
+	DatasetType string
+	Categories  int    // l
+	Hidden      int    // d
+	ModelType   string // RNN / DNN / CNN
+	FrontEnd    FrontEnd
+	// LatentRank is the synthetic generator's latent dimensionality.
+	LatentRank int
+	// ZipfS is the popularity skew of target classes (s≈1 natural).
+	ZipfS float64
+}
+
+// ClassificationParams returns the classifier parameter count l·d+l.
+func (s Spec) ClassificationParams() float64 {
+	return float64(s.Categories)*float64(s.Hidden) + float64(s.Categories)
+}
+
+// ClassificationOps returns FLOPs of the full classification layer
+// for one inference (2 per MAC).
+func (s Spec) ClassificationOps() float64 {
+	return 2 * float64(s.Categories) * float64(s.Hidden)
+}
+
+// WeightBytes returns the FP32 classifier footprint in bytes — the
+// Fig. 5(a) y-axis.
+func (s Spec) WeightBytes() float64 { return s.ClassificationParams() * 4 }
+
+// Scaled returns a copy with Categories divided by factor (minimum
+// 64). Algorithm-level experiments materialize weights, so the
+// headline sizes are scaled down while keeping d, rank and skew; the
+// architecture-level simulators use the unscaled sizes since they
+// never materialize W.
+func (s Spec) Scaled(factor int) Spec {
+	if factor <= 1 {
+		return s
+	}
+	out := s
+	out.Categories = s.Categories / factor
+	if out.Categories < 64 {
+		out.Categories = 64
+	}
+	out.Name = fmt.Sprintf("%s/%d", s.Name, factor)
+	return out
+}
+
+// Table2 returns the four evaluated workloads exactly as in the
+// paper's Table 2. Front-end figures are architectural estimates for
+// the named models (embedding + hidden layers), used only for the
+// breakdown and end-to-end plots.
+func Table2() []Spec {
+	return []Spec{
+		{
+			Name: "LSTM-W33K", Application: "NLP",
+			Dataset: "Wikitext-2", DatasetType: "Language Modeling",
+			Categories: 33278, Hidden: 1500, ModelType: "RNN",
+			// 2-layer LSTM (8·d² each) + input embedding l·d.
+			FrontEnd: FrontEnd{
+				Params: 2*8*1500*1500 + 33278*1500,
+				Ops:    2 * 2 * 8 * 1500 * 1500,
+			},
+			LatentRank: 48, ZipfS: 1.05,
+		},
+		{
+			Name: "Transformer-W268K", Application: "NLP",
+			Dataset: "Wikitext-103", DatasetType: "Language Modeling",
+			Categories: 267744, Hidden: 512, ModelType: "DNN",
+			// 16 Transformer layers (≈12·d² each) + input embedding.
+			FrontEnd: FrontEnd{
+				Params: 16*12*512*512 + 267744*512,
+				Ops:    2 * 16 * 12 * 512 * 512,
+			},
+			LatentRank: 64, ZipfS: 1.1,
+		},
+		{
+			Name: "GNMT-E32K", Application: "NMT",
+			Dataset: "WMT16, en-de", DatasetType: "Translation",
+			Categories: 32317, Hidden: 1024, ModelType: "DNN",
+			// 8 encoder + 8 decoder LSTM layers + two embeddings.
+			FrontEnd: FrontEnd{
+				Params: 16*8*1024*1024 + 2*32317*1024,
+				Ops:    2 * 16 * 8 * 1024 * 1024,
+			},
+			LatentRank: 48, ZipfS: 1.0,
+		},
+		{
+			Name: "XMLCNN-670K", Application: "Recommendation",
+			Dataset: "Amazon-670k", DatasetType: "Multi-label Classification",
+			Categories: 670091, Hidden: 512, ModelType: "CNN",
+			// Small convolutional feature extractor; classification
+			// dominates utterly, which is the paper's point.
+			FrontEnd: FrontEnd{
+				Params: 8e6,
+				Ops:    2 * 8e6,
+			},
+			LatentRank: 64, ZipfS: 1.2,
+		},
+	}
+}
+
+// Synthetic returns the S1M/S10M/S100M scaling specs (Section 6.1):
+// hidden 512 with the XMLCNN front-end held fixed, categories swept
+// to 100 million.
+func Synthetic() []Spec {
+	base := Table2()[3] // XMLCNN front-end
+	mk := func(name string, l int) Spec {
+		s := base
+		s.Name = name
+		s.Dataset = "synthetic"
+		s.DatasetType = "Scalability"
+		s.Categories = l
+		return s
+	}
+	return []Spec{
+		mk("S1M", 1_000_000),
+		mk("S10M", 10_000_000),
+		mk("S100M", 100_000_000),
+	}
+}
+
+// ByName finds a spec among Table2 and Synthetic.
+func ByName(name string) (Spec, error) {
+	for _, s := range append(Table2(), Synthetic()...) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown spec %q", name)
+}
+
+// Instance is a materialized synthetic workload: the full classifier
+// plus hidden-vector sample sets, split for screener training,
+// threshold calibration and evaluation.
+type Instance struct {
+	Spec       Spec
+	Classifier *core.Classifier
+	Train      [][]float32
+	Valid      [][]float32
+	Test       [][]float32
+	// Labels[i] is the class the i-th Test feature was peaked toward
+	// (the synthetic "ground truth").
+	Labels []int
+}
+
+// GenOptions controls instance generation.
+type GenOptions struct {
+	Seed  uint64
+	Train int // number of training samples (default 256)
+	Valid int // default 64
+	Test  int // default 128
+	// PeakGain and NoiseStd shape how strongly hidden vectors point
+	// at their target class (defaults 3.3 and 0.33, calibrated so the
+	// exact classifier's perplexity sits in the tens — the regime of
+	// the paper's LM workloads — and screening at scale 0.25/INT4
+	// degrades it only marginally).
+	PeakGain float32
+	NoiseStd float32
+}
+
+func (o *GenOptions) defaults() {
+	if o.Train <= 0 {
+		o.Train = 256
+	}
+	if o.Valid <= 0 {
+		o.Valid = 64
+	}
+	if o.Test <= 0 {
+		o.Test = 128
+	}
+	if o.PeakGain == 0 {
+		o.PeakGain = 3.3
+	}
+	if o.NoiseStd == 0 {
+		o.NoiseStd = 0.33
+	}
+}
+
+// Generate materializes a synthetic instance of the spec. Memory is
+// l·d float32, so callers scale the spec down first for large l.
+func Generate(spec Spec, opts GenOptions) *Instance {
+	opts.defaults()
+	r := xrand.New(opts.Seed ^ 0xec5c1a55)
+	l, d := spec.Categories, spec.Hidden
+	rank := spec.LatentRank
+	if rank <= 0 {
+		rank = 32
+	}
+	if rank > d {
+		rank = d
+	}
+
+	a := tensor.NewMatrix(l, rank)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat32()
+	}
+	b := tensor.NewMatrix(rank, d)
+	inv := float32(1 / math.Sqrt(float64(rank)))
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat32() * inv
+	}
+	w := tensor.MatMul(a, b)
+	for i := range w.Data {
+		w.Data[i] += 0.05 * r.NormFloat32()
+	}
+	bias := make([]float32, l)
+	for i := range bias {
+		bias[i] = 0.1 * r.NormFloat32()
+	}
+	cls, err := core.NewClassifier(w, bias)
+	if err != nil {
+		panic(err) // shapes are constructed consistently above
+	}
+
+	// Hidden states of trained front-ends concentrate on a
+	// low-dimensional manifold — an empirical property the screening
+	// method depends on (a learned W̃ can invert the random projection
+	// on that manifold, which is why the paper sees near-lossless
+	// quality at parameter scale 0.25). Model it: the bulk of the
+	// noise lives in the latent rowspace, with a small isotropic
+	// residue.
+	noiseBasis := b
+
+	zipf := newZipf(r, l, spec.ZipfS)
+	sample := func(n int, labels *[]int) [][]float32 {
+		coeff := make([]float32, noiseBasis.Rows)
+		out := make([][]float32, n)
+		for i := range out {
+			c := zipf.Next()
+			if labels != nil {
+				*labels = append(*labels, c)
+			}
+			row := w.Row(c)
+			norm := float32(tensor.Norm2(row))
+			if norm == 0 {
+				norm = 1
+			}
+			h := make([]float32, d)
+			for j := range h {
+				h[j] = opts.PeakGain*row[j]/norm + 0.2*opts.NoiseStd*r.NormFloat32()
+			}
+			// Structured (in-manifold) noise component, scaled so the
+			// per-coordinate noise std stays ≈ NoiseStd: the rank
+			// basis rows each carry per-coordinate variance ≈ 1/rank,
+			// so coefficient std 0.9·NoiseStd yields ≈ 0.9·NoiseStd
+			// of structured noise on top of the 0.2 isotropic residue.
+			for bi := range coeff {
+				coeff[bi] = 0.9 * opts.NoiseStd * r.NormFloat32()
+			}
+			for bi, cf := range coeff {
+				tensor.Axpy(h, cf, noiseBasis.Row(bi))
+			}
+			out[i] = h
+		}
+		return out
+	}
+
+	inst := &Instance{Spec: spec, Classifier: cls}
+	inst.Train = sample(opts.Train, nil)
+	inst.Valid = sample(opts.Valid, nil)
+	inst.Test = sample(opts.Test, &inst.Labels)
+	return inst
+}
+
+// zipf draws class indices with probability ∝ 1/(rank+2)^s over a
+// fixed random permutation, approximated by inverse-CDF sampling on
+// a precomputed table when l is small and by rejection otherwise.
+type zipf struct {
+	rng  *xrand.RNG
+	cdf  []float64 // cumulative, length min(l, 4096) over head classes
+	head []int
+	l    int
+}
+
+func newZipf(r *xrand.RNG, l int, s float64) *zipf {
+	if s <= 0 {
+		s = 1
+	}
+	headN := l
+	if headN > 4096 {
+		headN = 4096
+	}
+	perm := r.Perm(l)
+	z := &zipf{rng: r, l: l, head: perm[:headN]}
+	z.cdf = make([]float64, headN)
+	var acc float64
+	for i := 0; i < headN; i++ {
+		acc += 1 / math.Pow(float64(i+2), s)
+		z.cdf[i] = acc
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= acc
+	}
+	return z
+}
+
+// Next samples a class index: 90% from the Zipf head, 10% uniform
+// over all classes (the long tail).
+func (z *zipf) Next() int {
+	if z.rng.Float64() < 0.1 {
+		return z.rng.Intn(z.l)
+	}
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.head[lo]
+}

@@ -1,0 +1,197 @@
+package enmc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"enmc/internal/compiler"
+	"enmc/internal/enmc"
+	"enmc/internal/isa"
+	"enmc/internal/nmp"
+	"enmc/internal/system"
+)
+
+// SimTask describes a classification offload for the architecture
+// simulator.
+type SimTask struct {
+	Categories int // l
+	Hidden     int // d
+	Reduced    int // k (defaults to d/4)
+	Candidates int // m per inference (defaults to l/50)
+	Batch      int // defaults to 1
+	// Sigmoid selects the multi-label activation (recommendation).
+	Sigmoid bool
+	// FullClassification disables screening: the task streams every
+	// weight row, which is how the TensorDIMM baselines natively run.
+	FullClassification bool
+}
+
+func (t *SimTask) defaults() {
+	if t.Reduced <= 0 {
+		t.Reduced = t.Hidden / 4
+		if t.Reduced < 1 {
+			t.Reduced = 1
+		}
+	}
+	if t.Candidates <= 0 {
+		t.Candidates = t.Categories / 50
+		if t.Candidates < 1 {
+			t.Candidates = 1
+		}
+	}
+	if t.Batch <= 0 {
+		t.Batch = 1
+	}
+}
+
+// SimResult reports a whole-system simulation: an 8-channel ×
+// 8-ranks-per-channel memory system of the selected NMP design
+// executing the task (paper Table 3 topology).
+type SimResult struct {
+	Design  string
+	Seconds float64 // wall time of the batched offload
+	Cycles  int64   // per-rank DRAM-clock cycles
+	// Energy breakdown of the run in joules, the Fig. 14 split.
+	DRAMStaticJoules float64
+	DRAMAccessJoules float64
+	LogicJoules      float64
+	// DRAMBytes is the weight/feature traffic of one rank.
+	DRAMBytes int64
+}
+
+// TotalJoules sums the energy components.
+func (r SimResult) TotalJoules() float64 {
+	return r.DRAMStaticJoules + r.DRAMAccessJoules + r.LogicJoules
+}
+
+// DesignByName resolves a simulated NMP design: "enmc", "tensordimm",
+// "tensordimm-large", "nda" or "chameleon".
+func designByName(name string) (nmp.Design, error) {
+	switch strings.ToLower(name) {
+	case "", "enmc":
+		return nmp.ENMC(), nil
+	case "tensordimm":
+		return nmp.TensorDIMM(), nil
+	case "tensordimm-large", "tdlarge":
+		return nmp.TensorDIMMLarge(), nil
+	case "nda":
+		return nmp.NDA(), nil
+	case "chameleon":
+		return nmp.Chameleon(), nil
+	default:
+		return nmp.Design{}, fmt.Errorf("enmc: unknown design %q", name)
+	}
+}
+
+// Simulate compiles the task for the named design ("enmc",
+// "tensordimm", "tensordimm-large", "nda", "chameleon") and runs the
+// cycle-level system simulation.
+func Simulate(design string, task SimTask) (SimResult, error) {
+	d, err := designByName(design)
+	if err != nil {
+		return SimResult{}, err
+	}
+	task.defaults()
+	mode := compiler.ModeScreened
+	if task.FullClassification {
+		mode = compiler.ModeFull
+	}
+	cfg := system.Default(d)
+	res, err := cfg.Run(compiler.Task{
+		Categories: task.Categories,
+		Hidden:     task.Hidden,
+		Reduced:    task.Reduced,
+		Candidates: task.Candidates,
+		Batch:      task.Batch,
+		Sigmoid:    task.Sigmoid,
+	}, mode)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{
+		Design:           res.Design,
+		Seconds:          res.Seconds,
+		Cycles:           res.Cycles,
+		DRAMStaticJoules: res.Energy.DRAMStaticJ,
+		DRAMAccessJoules: res.Energy.DRAMAccessJ,
+		LogicJoules:      res.Energy.LogicJ,
+		DRAMBytes:        res.RankStats.DRAM.BytesRead + res.RankStats.DRAM.BytesWritten,
+	}, nil
+}
+
+// Program is an assembled ENMC instruction stream.
+type Program struct {
+	ops   []enmc.Op
+	trace io.Writer
+}
+
+// AssembleProgram assembles ENMC assembly source (the Table 1
+// mnemonics; see internal/isa for the syntax) into a runnable
+// program.
+func AssembleProgram(src string) (*Program, error) {
+	instrs, err := isa.AssembleProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]enmc.Op, len(instrs))
+	for i, in := range instrs {
+		ops[i] = enmc.Op{I: in}
+	}
+	return &Program{ops: ops}, nil
+}
+
+// Disassemble renders the program back as assembly text.
+func (p *Program) Disassemble() string {
+	instrs := make([]isa.Instruction, len(p.ops))
+	for i, op := range p.ops {
+		instrs[i] = op.I
+	}
+	return isa.Disassemble(instrs)
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.ops) }
+
+// ProgramResult reports a hand-written program's execution on one
+// ENMC rank engine.
+type ProgramResult struct {
+	Cycles       int64 // DRAM-clock cycles
+	Seconds      float64
+	Instructions int64
+	INT4MACs     int64
+	FP32MACs     int64
+	DRAMReads    int64 // burst count
+	DRAMWrites   int64
+	RowHitRate   float64
+}
+
+// RunOnDIMM executes the program on a single default-configured ENMC
+// rank engine (Table 3 parameters) and reports timing and activity.
+func (p *Program) RunOnDIMM() (ProgramResult, error) {
+	eng, err := enmc.New(enmc.Default())
+	if err != nil {
+		return ProgramResult{}, err
+	}
+	if p.trace != nil {
+		eng.SetTrace(p.trace)
+	}
+	res, err := eng.Run(p.ops)
+	if err != nil {
+		return ProgramResult{}, err
+	}
+	return ProgramResult{
+		Cycles:       res.Cycles,
+		Seconds:      res.Seconds,
+		Instructions: res.Stats.Instructions,
+		INT4MACs:     res.Stats.INT4MACOps,
+		FP32MACs:     res.Stats.FP32MACOps,
+		DRAMReads:    res.Stats.DRAM.Reads,
+		DRAMWrites:   res.Stats.DRAM.Writes,
+		RowHitRate:   res.Stats.DRAM.HitRate(),
+	}, nil
+}
+
+// SetTrace directs a per-instruction execution trace to w when the
+// program runs on the DIMM (nil disables).
+func (p *Program) SetTrace(w io.Writer) { p.trace = w }
