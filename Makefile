@@ -1,0 +1,38 @@
+# Standard-library-only Go project; no tool dependencies beyond the
+# toolchain itself.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full race-enabled test run. Slower than `make test`; this is what
+# `make check` gates on.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 100x -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Pre-commit gate: vet, formatting, and the race-enabled test suite.
+check: vet fmt race
+	@echo "check OK"
+
+clean:
+	$(GO) clean ./...

@@ -32,6 +32,7 @@ import (
 	"enmc/internal/nmp"
 	"enmc/internal/quant"
 	"enmc/internal/system"
+	"enmc/internal/telemetry"
 	"enmc/internal/tensor"
 	"enmc/internal/workload"
 )
@@ -330,6 +331,47 @@ func BenchmarkScreenInference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		scr.Screen(h)
 	}
+}
+
+// BenchmarkClassifyTelemetry guards the telemetry-overhead contract:
+// with the default nil tracer the instrumented approximate-classify
+// path must allocate no more than the bare pipeline (compare the
+// allocs/op columns of bare vs tracer-off under -benchmem; tracer-on
+// shows the opt-in span cost).
+func BenchmarkClassifyTelemetry(b *testing.B) {
+	inst := ablationModel(b)
+	cfg := core.Config{Categories: 768, Hidden: 128, Reduced: 32, Precision: quant.INT4, Seed: 3}
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, cfg, core.TrainOptions{Epochs: 2, Seed: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := inst.Test[0]
+	sel := core.TopM(16)
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ztilde := scr.Screen(h)
+			cands := core.SelectCandidates(ztilde, sel)
+			exact := inst.Classifier.LogitsRows(cands, h)
+			for j, c := range cands {
+				ztilde[c] = exact[j]
+			}
+		}
+	})
+	b.Run("tracer-off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.ClassifyApproxTraced(inst.Classifier, scr, h, sel, nil)
+		}
+	})
+	b.Run("tracer-on", func(b *testing.B) {
+		tr := telemetry.NewTracer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.ClassifyApproxTraced(inst.Classifier, scr, h, sel, tr)
+		}
+	})
 }
 
 func BenchmarkFullClassification(b *testing.B) {

@@ -175,17 +175,26 @@ func (r *Result) Probabilities() []float32 {
 }
 
 // Classify runs the paper's full inference pipeline (Section 4.2):
-// screen, select candidates, recompute them exactly, merge.
-func Classify(c *Classifier, s *Screener, h []float32, sel Selection) *Result {
-	res := core.ClassifyApprox(c.inner, s.inner, h, sel)
+// screen, select candidates, recompute them exactly, merge. Stage
+// latencies and candidate counts land in the telemetry registry (see
+// MetricsSnapshot); pass WithTracer to also record per-stage spans.
+func Classify(c *Classifier, s *Screener, h []float32, sel Selection, opts ...Option) *Result {
+	var o callOpts
+	o.apply(opts)
+	res := core.ClassifyApproxTraced(c.inner, s.inner, h, sel, o.tracer)
 	return &Result{Logits: res.Mixed, Candidates: res.Candidates}
 }
 
-// ClassifyBatch applies Classify to a batch of hidden vectors.
-func ClassifyBatch(c *Classifier, s *Screener, batch [][]float32, sel Selection) []*Result {
-	out := make([]*Result, len(batch))
-	for i, h := range batch {
-		out[i] = Classify(c, s, h, sel)
+// ClassifyBatch applies Classify to a batch of hidden vectors over a
+// bounded worker pool (GOMAXPROCS workers); results are ordered and
+// bit-identical to the serial loop.
+func ClassifyBatch(c *Classifier, s *Screener, batch [][]float32, sel Selection, opts ...Option) []*Result {
+	var o callOpts
+	o.apply(opts)
+	inner := core.ClassifyBatchTraced(c.inner, s.inner, batch, sel, o.tracer)
+	out := make([]*Result, len(inner))
+	for i, res := range inner {
+		out[i] = &Result{Logits: res.Mixed, Candidates: res.Candidates}
 	}
 	return out
 }

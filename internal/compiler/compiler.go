@@ -144,17 +144,22 @@ type Program struct {
 type emitter struct {
 	ops []enmc.Op
 	hw  enmc.Config
+	// phase tags every emitted op for the engine's per-phase cycle
+	// attribution and span naming; setPhase switches sections.
+	phase enmc.Phase
 }
 
-func (e *emitter) emit(in isa.Instruction) { e.ops = append(e.ops, enmc.Op{I: in}) }
+func (e *emitter) setPhase(p enmc.Phase) { e.phase = p }
+
+func (e *emitter) emit(in isa.Instruction) { e.ops = append(e.ops, enmc.Op{I: in, Phase: e.phase}) }
 
 // emitB emits with an explicit payload size (partial tiles).
 func (e *emitter) emitB(in isa.Instruction, bytes int) {
-	e.ops = append(e.ops, enmc.Op{I: in, Bytes: bytes})
+	e.ops = append(e.ops, enmc.Op{I: in, Bytes: bytes, Phase: e.phase})
 }
 
 func (e *emitter) emitSyncB(in isa.Instruction, bytes int) {
-	e.ops = append(e.ops, enmc.Op{I: in, SyncS2E: true, Bytes: bytes})
+	e.ops = append(e.ops, enmc.Op{I: in, SyncS2E: true, Bytes: bytes, Phase: e.phase})
 }
 
 // Compile produces the per-rank program for the task on the target.
@@ -192,7 +197,7 @@ func Compile(t Task, hw enmc.Config, target Target, share RankShare, mode Mode) 
 // initProgram writes the task parameters into the status registers
 // (the INIT sequence of Fig. 9(b)).
 func initProgram(t Task, lay Layout) []enmc.Op {
-	mk := func(r isa.Reg, v uint64) enmc.Op { return enmc.Op{I: isa.Init(r, v)} }
+	mk := func(r isa.Reg, v uint64) enmc.Op { return enmc.Op{I: isa.Init(r, v), Phase: enmc.PhaseInit} }
 	return []enmc.Op{
 		mk(isa.RegFeatAddr, lay.FeatBase),
 		mk(isa.RegScrWAddr, lay.ScrWBase),
@@ -245,6 +250,7 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 
 	emitScreen := func(applyPerItem int) {
 		// Screening features for the item(s).
+		e.setPhase(enmc.PhaseFeature)
 		featBytes := int(float64(t.Reduced) * screenBytes)
 		if featBytes < 1 {
 			featBytes = 1
@@ -253,10 +259,12 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 			e.emitB(isa.Ldr(featLoadBuf, lay.FeatBase+uint64(off)), min(buf, featBytes-off))
 		}
 		// Stream the rank's screening weight tiles.
+		e.setPhase(enmc.PhaseScreen)
 		outTiles := ceil(share.Rows, psumOutputs)
 		bytesPerOutTile := int(float64(psumOutputs*t.Reduced) * screenBytes)
 		addr := lay.ScrWBase
 		for ot := 0; ot < outTiles; ot++ {
+			e.setPhase(enmc.PhaseScreen)
 			for off := 0; off < bytesPerOutTile; off += buf {
 				tile := min(buf, bytesPerOutTile-off)
 				e.emitB(isa.Ldr(screenLoadBuf, addr), tile)
@@ -265,6 +273,7 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 					emitScreenMACs(tile)
 				}
 			}
+			e.setPhase(enmc.PhaseFilter)
 			for r := 0; r < applyPerItem; r++ {
 				e.emit(isa.Filter(filterBuf))
 			}
@@ -274,6 +283,7 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 	emitExec := func(item int) {
 		// Candidates-only classification: chunk-outer so the feature
 		// chunk is reused across candidate rows.
+		e.setPhase(enmc.PhaseExact)
 		rowBytes := t.Hidden * 4
 		chunks := ceil(rowBytes, buf)
 		first := true
@@ -304,11 +314,13 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 				e.emitB(isa.Compute(isa.OpMULADDFP32, isa.BufFeatFP32, isa.BufWgtFP32), chunkBytes)
 			}
 		}
+		e.setPhase(enmc.PhaseActivation)
 		if t.Sigmoid {
 			e.emit(isa.Simple(isa.OpSIGMOID))
 		} else {
 			e.emit(isa.Simple(isa.OpSOFTMAX))
 		}
+		e.setPhase(enmc.PhaseOutput)
 		e.emit(isa.Move(isa.BufOutput, isa.BufPsumFP32))
 		e.emit(isa.Simple(isa.OpRETURN))
 	}
@@ -326,6 +338,7 @@ func compileScreened(e *emitter, t Task, target Target, share RankShare, lay Lay
 			emitExec(it)
 		}
 	}
+	e.setPhase(enmc.PhaseOther)
 	e.emit(isa.Simple(isa.OpBARRIER))
 }
 
@@ -343,6 +356,7 @@ func compileFull(e *emitter, t Task, target Target, share RankShare, lay Layout)
 		for ot := 0; ot < outTiles; ot++ {
 			baseRow := ot * psumOutputs
 			rows := min(psumOutputs, share.Rows-baseRow)
+			e.setPhase(enmc.PhaseExact)
 			for c := 0; c < chunks; c++ {
 				chunkBytes := min(buf, rowBytes-c*buf)
 				e.emitB(isa.Ldr(isa.BufFeatFP32, lay.FeatBase+uint64(c*buf)), chunkBytes)
@@ -355,11 +369,13 @@ func compileFull(e *emitter, t Task, target Target, share RankShare, lay Layout)
 				}
 			}
 			outBytes := rows * 4
+			e.setPhase(enmc.PhaseActivation)
 			if t.Sigmoid {
 				e.emitB(isa.Simple(isa.OpSIGMOID), outBytes)
 			} else {
 				e.emitB(isa.Simple(isa.OpSOFTMAX), outBytes)
 			}
+			e.setPhase(enmc.PhaseOutput)
 			e.emitB(isa.Move(isa.BufOutput, isa.BufPsumFP32), outBytes)
 			e.emitB(isa.Simple(isa.OpRETURN), outBytes)
 		}
@@ -372,6 +388,7 @@ func compileFull(e *emitter, t Task, target Target, share RankShare, lay Layout)
 			sweep(1)
 		}
 	}
+	e.setPhase(enmc.PhaseOther)
 	e.emit(isa.Simple(isa.OpBARRIER))
 }
 

@@ -1,8 +1,28 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"enmc/internal/activation"
+	"enmc/internal/telemetry"
 	"enmc/internal/tensor"
+)
+
+// Pipeline instruments on the default telemetry registry. They are
+// always live: recording is a few atomic ops with no allocations, so
+// the hot path pays nothing measurable when nobody reads them.
+var (
+	mClassifyCount = telemetry.Default().Counter("core.classify.count")
+	mClassifyNs    = telemetry.Default().Histogram("core.classify.latency_ns", telemetry.LatencyBuckets())
+	mScreenNs      = telemetry.Default().Histogram("core.classify.screen_ns", telemetry.LatencyBuckets())
+	mSelectNs      = telemetry.Default().Histogram("core.classify.select_ns", telemetry.LatencyBuckets())
+	mExactNs       = telemetry.Default().Histogram("core.classify.exact_ns", telemetry.LatencyBuckets())
+	mCandidates    = telemetry.Default().Histogram("core.classify.candidates", telemetry.CountBuckets())
+	mBatchNs       = telemetry.Default().Histogram("core.classify.batch_ns", telemetry.LatencyBuckets())
+	mBatchSize     = telemetry.Default().Histogram("core.classify.batch_size", telemetry.CountBuckets())
 )
 
 // Result is the outcome of screening-based classification: the mixed
@@ -33,24 +53,88 @@ func (r *Result) TopPredictions(k int) []int { return tensor.TopK(r.Mixed, k) }
 
 // ClassifyApprox runs the full inference pipeline of Section 4.2:
 // screen, select candidates, recompute candidates exactly against the
-// full classifier, and merge.
+// full classifier, and merge. Stage latencies and the candidate count
+// land in the telemetry registry; spans are recorded only when a
+// global tracer is installed.
 func ClassifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection) *Result {
+	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline)
+}
+
+// ClassifyApproxTraced is ClassifyApprox with an explicit tracer for
+// per-stage spans (nil falls back to pure metrics).
+func ClassifyApproxTraced(cls *Classifier, scr *Screener, h []float32, sel Selection, tr *telemetry.Tracer) *Result {
+	return classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+}
+
+func classifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection, tr *telemetry.Tracer, tid int) *Result {
+	t0 := time.Now()
 	ztilde := scr.Screen(h)
+	t1 := time.Now()
 	cands := SelectCandidates(ztilde, sel)
+	t2 := time.Now()
 	exact := cls.LogitsRows(cands, h)
 	mixed := ztilde // screening output is consumed; reuse as the mixed vector
 	for j, c := range cands {
 		mixed[c] = exact[j]
 	}
+	t3 := time.Now()
+
+	mClassifyCount.Inc()
+	mScreenNs.Observe(float64(t1.Sub(t0)))
+	mSelectNs.Observe(float64(t2.Sub(t1)))
+	mExactNs.Observe(float64(t3.Sub(t2)))
+	mClassifyNs.Observe(float64(t3.Sub(t0)))
+	mCandidates.Observe(float64(len(cands)))
+	if tr != nil {
+		base := tr.Now() - t3.Sub(t0).Nanoseconds()
+		tr.Add(telemetry.Span{Name: "screen", Cat: "classify", TID: tid, Start: base, Dur: t1.Sub(t0).Nanoseconds()})
+		tr.Add(telemetry.Span{Name: "select", Cat: "classify", TID: tid, Start: base + t1.Sub(t0).Nanoseconds(), Dur: t2.Sub(t1).Nanoseconds()})
+		tr.Add(telemetry.Span{Name: "exact-recompute", Cat: "classify", TID: tid, Start: base + t2.Sub(t0).Nanoseconds(), Dur: t3.Sub(t2).Nanoseconds()})
+	}
 	return &Result{Mixed: mixed, Candidates: cands, Exact: exact}
 }
 
-// ClassifyBatch applies ClassifyApprox to a batch of hidden vectors.
+// ClassifyBatch applies ClassifyApprox to a batch of hidden vectors,
+// fanning out over a bounded worker pool (GOMAXPROCS workers). Output
+// order matches the input and is bit-identical to the serial loop —
+// every item's pipeline is independent and read-only over the model.
 func ClassifyBatch(cls *Classifier, scr *Screener, batch [][]float32, sel Selection) []*Result {
+	return ClassifyBatchTraced(cls, scr, batch, sel, telemetry.Global())
+}
+
+// ClassifyBatchTraced is ClassifyBatch with an explicit tracer; each
+// worker's spans land on its own pipeline track.
+func ClassifyBatchTraced(cls *Classifier, scr *Screener, batch [][]float32, sel Selection, tr *telemetry.Tracer) []*Result {
+	start := time.Now()
 	out := make([]*Result, len(batch))
-	for i, h := range batch {
-		out[i] = ClassifyApprox(cls, scr, h, sel)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
 	}
+	if workers <= 1 {
+		for i, h := range batch {
+			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(batch) {
+						return
+					}
+					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid)
+				}
+			}(telemetry.TrackPipeline + w)
+		}
+		wg.Wait()
+	}
+	mBatchNs.Observe(float64(time.Since(start)))
+	mBatchSize.Observe(float64(len(batch)))
 	return out
 }
 

@@ -5,10 +5,19 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"enmc/internal/quant"
+	"enmc/internal/telemetry"
 	"enmc/internal/tensor"
 	"enmc/internal/xrand"
+)
+
+// Training instruments on the default telemetry registry.
+var (
+	mTrainEpochs  = telemetry.Default().Counter("core.train.epochs")
+	mTrainEpochNs = telemetry.Default().Histogram("core.train.epoch_ns", telemetry.LatencyBuckets())
+	mTrainLoss    = telemetry.Default().Gauge("core.train.last_epoch_loss")
 )
 
 // TrainOptions controls Algorithm 1, the SGD distillation of the
@@ -34,6 +43,9 @@ type TrainOptions struct {
 	// InitProjected starts from the analytic least-squares seed
 	// W̃ = (k/d)·W·Pᵀ instead of zeros (see ProjectedScreener).
 	InitProjected bool
+	// Tracer receives one span per training epoch (and one for the
+	// target precomputation); nil falls back to the global tracer.
+	Tracer *telemetry.Tracer
 	// QuantAware enables straight-through-estimator fine-tuning: the
 	// first two thirds of the epochs train the float master as usual,
 	// then the forward pass switches to the quantized weights
@@ -99,6 +111,11 @@ func TrainScreener(cls *Classifier, samples [][]float32, cfg Config, opt TrainOp
 	l, k := cfg.Categories, cfg.Reduced
 	rng := xrand.New(opt.Seed)
 	stats := &TrainStats{}
+	tr := opt.Tracer
+	if tr == nil {
+		tr = telemetry.Global()
+	}
+	precomputeStart := tr.Now()
 
 	// Precompute projections and exact targets once: both are
 	// constant across epochs because W, b and P are frozen. The
@@ -130,6 +147,7 @@ func TrainScreener(cls *Classifier, samples [][]float32, cfg Config, opt TrainOp
 		}()
 	}
 	wg.Wait()
+	tr.AddSince("train.precompute-targets", telemetry.TrackPipeline, precomputeStart)
 
 	gradW := tensor.NewMatrix(l, k)
 	gradB := make([]float32, l)
@@ -137,6 +155,8 @@ func TrainScreener(cls *Classifier, samples [][]float32, cfg Config, opt TrainOp
 	resid := make([]float32, l)
 
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		epochStart := time.Now()
+		epochTick := tr.Now()
 		// QAT fine-tuning kicks in for the final third of training.
 		qatActive := opt.QuantAware && epoch >= opt.Epochs*2/3
 		order := rng.Perm(len(samples))
@@ -206,6 +226,12 @@ func TrainScreener(cls *Classifier, samples [][]float32, cfg Config, opt TrainOp
 		}
 		loss := epochSSE / float64(len(samples)) / float64(l)
 		stats.EpochLoss = append(stats.EpochLoss, loss)
+		mTrainEpochs.Inc()
+		mTrainEpochNs.Observe(float64(time.Since(epochStart)))
+		mTrainLoss.Set(loss)
+		if tr.Enabled() {
+			tr.AddSince(fmt.Sprintf("train.epoch.%d", epoch+1), telemetry.TrackPipeline, epochTick)
+		}
 		if opt.Logf != nil {
 			opt.Logf("epoch %d: screener MSE %.6g", epoch+1, loss)
 		}

@@ -328,6 +328,7 @@ func (ch *Channel) issue(c candidate) {
 	ch.now = t
 	ch.cmdBusFree[bus] = t + 1
 
+	m := metricsCounters.Load()
 	switch {
 	case bk.openRow == req.loc.Row:
 		var dataStart int64
@@ -345,6 +346,10 @@ func (ch *Channel) issue(c candidate) {
 			ch.complete(req, dataEnd)
 			ch.stats.Writes++
 			ch.stats.BytesWritten += int64(cfg.BurstBytes)
+			if m != nil {
+				m.writes.Inc()
+				m.bytesWritten.Add(int64(cfg.BurstBytes))
+			}
 		} else {
 			dataStart = t + int64(cfg.CL)
 			dataEnd := dataStart + int64(cfg.BurstCycles)
@@ -359,12 +364,22 @@ func (ch *Channel) issue(c candidate) {
 			ch.complete(req, dataEnd)
 			ch.stats.Reads++
 			ch.stats.BytesRead += int64(cfg.BurstBytes)
+			if m != nil {
+				m.reads.Inc()
+				m.bytesRead.Add(int64(cfg.BurstBytes))
+			}
 		}
 		ch.stats.DataBusBusy += int64(cfg.BurstCycles)
 		if req.activated {
 			ch.stats.RowMisses++
+			if m != nil {
+				m.rowMisses.Inc()
+			}
 		} else {
 			ch.stats.RowHits++
+			if m != nil {
+				m.rowHits.Inc()
+			}
 		}
 
 	case bk.openRow >= 0:
@@ -373,6 +388,9 @@ func (ch *Channel) issue(c candidate) {
 			bk.actReady = a
 		}
 		ch.stats.Precharges++
+		if m != nil {
+			m.precharges.Inc()
+		}
 
 	default:
 		bk.openRow = req.loc.Row
@@ -385,6 +403,9 @@ func (ch *Channel) issue(c candidate) {
 		rk.fawIdx = (rk.fawIdx + 1) % 4
 		req.activated = true
 		ch.stats.Activates++
+		if m != nil {
+			m.activates.Inc()
+		}
 	}
 }
 
@@ -443,4 +464,7 @@ func (ch *Channel) doRefresh(r int) {
 	}
 	rk.refDue += int64(cfg.REFI)
 	ch.stats.Refreshes++
+	if m := metricsCounters.Load(); m != nil {
+		m.refreshes.Inc()
+	}
 }

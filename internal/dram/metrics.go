@@ -1,0 +1,43 @@
+package dram
+
+import (
+	"sync/atomic"
+
+	"enmc/internal/telemetry"
+)
+
+// counters mirrors the per-channel Stats tallies into a telemetry
+// registry as commands issue, so a live /metrics or expvar scrape
+// sees DRAM activity mid-run instead of only at Drain.
+type counters struct {
+	reads, writes           *telemetry.Counter
+	activates, precharges   *telemetry.Counter
+	refreshes               *telemetry.Counter
+	rowHits, rowMisses      *telemetry.Counter
+	bytesRead, bytesWritten *telemetry.Counter
+}
+
+// metricsCounters is nil unless EnableMetrics was called; the command
+// scheduler does one atomic pointer load per issued command to check.
+var metricsCounters atomic.Pointer[counters]
+
+// EnableMetrics mirrors every channel's command stream into r under
+// "dram.*" counter names. Counters aggregate across all channels in
+// the process (the observability view; per-channel exactness stays in
+// Channel.Stats).
+func EnableMetrics(r *telemetry.Registry) {
+	metricsCounters.Store(&counters{
+		reads:        r.Counter("dram.reads"),
+		writes:       r.Counter("dram.writes"),
+		activates:    r.Counter("dram.activates"),
+		precharges:   r.Counter("dram.precharges"),
+		refreshes:    r.Counter("dram.refreshes"),
+		rowHits:      r.Counter("dram.row_hits"),
+		rowMisses:    r.Counter("dram.row_misses"),
+		bytesRead:    r.Counter("dram.bytes_read"),
+		bytesWritten: r.Counter("dram.bytes_written"),
+	})
+}
+
+// DisableMetrics stops mirroring.
+func DisableMetrics() { metricsCounters.Store(nil) }

@@ -1,0 +1,85 @@
+package dram
+
+import "testing"
+
+// TestStatsAdd checks channel aggregation semantics: activity
+// counters sum, but Cycles — a timestamp, not activity — keeps the
+// max, because parallel channels overlap in time.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{
+		Reads: 10, Writes: 2, Activates: 3, Precharges: 1, Refreshes: 1,
+		RowHits: 8, RowMisses: 2, BytesRead: 640, BytesWritten: 128,
+		DataBusBusy: 48, Cycles: 1000,
+	}
+	b := Stats{
+		Reads: 5, Writes: 5, Activates: 2, Precharges: 2, Refreshes: 0,
+		RowHits: 6, RowMisses: 4, BytesRead: 320, BytesWritten: 320,
+		DataBusBusy: 40, Cycles: 700,
+	}
+	sum := a
+	sum.Add(b)
+
+	if sum.Reads != 15 || sum.Writes != 7 || sum.Activates != 5 || sum.Precharges != 3 || sum.Refreshes != 1 {
+		t.Errorf("command counters wrong: %+v", sum)
+	}
+	if sum.RowHits != 14 || sum.RowMisses != 6 {
+		t.Errorf("row counters wrong: %+v", sum)
+	}
+	if sum.BytesRead != 960 || sum.BytesWritten != 448 || sum.DataBusBusy != 88 {
+		t.Errorf("traffic counters wrong: %+v", sum)
+	}
+	if sum.Cycles != 1000 {
+		t.Errorf("Cycles = %d, want max(1000, 700) = 1000", sum.Cycles)
+	}
+
+	// Max is symmetric: adding the later channel onto the earlier one
+	// must also keep 1000.
+	sum2 := b
+	sum2.Add(a)
+	if sum2.Cycles != 1000 {
+		t.Errorf("reverse-order Cycles = %d, want 1000", sum2.Cycles)
+	}
+	if sum2.Reads != sum.Reads || sum2.BytesRead != sum.BytesRead {
+		t.Error("Add not commutative on counters")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if hr := (Stats{}).HitRate(); hr != 0 {
+		t.Errorf("empty HitRate = %g, want 0", hr)
+	}
+	s := Stats{RowHits: 3, RowMisses: 1}
+	if hr := s.HitRate(); hr != 0.75 {
+		t.Errorf("HitRate = %g, want 0.75", hr)
+	}
+	if hr := (Stats{RowMisses: 5}).HitRate(); hr != 0 {
+		t.Errorf("all-miss HitRate = %g, want 0", hr)
+	}
+}
+
+func TestStatsBandwidth(t *testing.T) {
+	if bw := (Stats{BytesRead: 100}).Bandwidth(); bw != 0 {
+		t.Errorf("zero-cycle Bandwidth = %g, want 0 (not +Inf)", bw)
+	}
+	s := Stats{BytesRead: 600, BytesWritten: 400, Cycles: 500}
+	if bw := s.Bandwidth(); bw != 2 {
+		t.Errorf("Bandwidth = %g, want 2", bw)
+	}
+}
+
+// TestStatsAddPreservesDerivedRates aggregates two channels and
+// checks the derived rates stay inside the inputs' envelope.
+func TestStatsAddPreservesDerivedRates(t *testing.T) {
+	a := Stats{RowHits: 90, RowMisses: 10, BytesRead: 1 << 20, Cycles: 100000}
+	b := Stats{RowHits: 40, RowMisses: 60, BytesRead: 1 << 19, Cycles: 80000}
+	sum := a
+	sum.Add(b)
+	if hr := sum.HitRate(); hr <= b.HitRate() || hr >= a.HitRate() {
+		t.Errorf("aggregated HitRate %g outside (%g, %g)", hr, b.HitRate(), a.HitRate())
+	}
+	// Bandwidth uses max-Cycles: total bytes over the longer window.
+	want := float64(a.BytesRead+b.BytesRead) / float64(a.Cycles)
+	if bw := sum.Bandwidth(); bw != want {
+		t.Errorf("aggregated Bandwidth = %g, want %g", bw, want)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"enmc/internal/dram"
 	"enmc/internal/isa"
+	"enmc/internal/telemetry"
 )
 
 // Config sizes the per-rank ENMC logic; defaults follow Table 3.
@@ -89,6 +90,9 @@ type Op struct {
 	// (e.g. a 2 KB weight row streamed through a 4 KB buffer) so
 	// neither traffic nor MAC work is over-charged.
 	Bytes int
+	// Phase tags the pipeline stage for cycle attribution and span
+	// naming (PhaseOther for hand-written programs).
+	Phase Phase
 }
 
 // payload resolves the op's effective byte count.
@@ -113,6 +117,9 @@ type Stats struct {
 	// Busy cycles per unit, in DRAM clock cycles.
 	ScreenerBusy int64
 	ExecutorBusy int64
+	// Phases attributes the unit-busy cycles above to pipeline
+	// phases, using the compiler's Op tags.
+	Phases PhaseCycles
 }
 
 // Result summarizes one program execution.
@@ -122,11 +129,25 @@ type Result struct {
 	Stats   Stats
 }
 
+// spanTrack coalesces back-to-back same-name spans on one trace
+// track, so a 4096-load streaming sweep renders as a handful of solid
+// bars instead of drowning the viewer in burst-sized slivers.
+type spanTrack struct {
+	tid   int
+	open  bool
+	name  string
+	start int64
+	end   int64
+	bytes int64
+}
+
 // Engine simulates one rank's ENMC logic.
 type Engine struct {
-	cfg   Config
-	ch    *dram.Channel
-	trace io.Writer
+	cfg    Config
+	ch     *dram.Channel
+	trace  io.Writer
+	tracer *telemetry.Tracer
+	tracks [3]spanTrack // screener, executor, dram
 
 	regs [isa.NumRegs]uint64
 
@@ -163,6 +184,66 @@ func (e *Engine) Reg(r isa.Reg) uint64 { return e.regs[r] }
 // engineer wants.
 func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
 
+// SetTracer records structured spans on tr (nil disables): one
+// coalesced span per pipeline-phase burst on the Screener, Executor
+// and DRAM tracks, in DRAM-cycle ticks. The tracer's timebase is set
+// from the DRAM clock so the exported Chrome trace displays in real
+// time.
+func (e *Engine) SetTracer(tr *telemetry.Tracer) {
+	e.tracer = tr
+	e.tracks = [3]spanTrack{
+		{tid: telemetry.TrackScreener},
+		{tid: telemetry.TrackExecutor},
+		{tid: telemetry.TrackDRAM},
+	}
+	if tr != nil {
+		// ticks (DRAM cycles) per microsecond.
+		tr.SetTimebase(1 / (e.cfg.DRAM.CyclesToSeconds(1) * 1e6))
+		tr.SetThreadName(telemetry.TrackScreener, "screener")
+		tr.SetThreadName(telemetry.TrackExecutor, "executor")
+		tr.SetThreadName(telemetry.TrackDRAM, "dram")
+	}
+}
+
+// span records [start,end) on a track, merging into the open span
+// when it abuts with the same name.
+func (e *Engine) span(track int, name string, start, end, bytes int64) {
+	if e.tracer == nil || end <= start {
+		return
+	}
+	t := &e.tracks[track]
+	if t.open && t.name == name && start <= t.end {
+		if end > t.end {
+			t.end = end
+		}
+		t.bytes += bytes
+		return
+	}
+	e.flushSpan(track)
+	*t = spanTrack{tid: t.tid, open: true, name: name, start: start, end: end, bytes: bytes}
+}
+
+func (e *Engine) flushSpan(track int) {
+	t := &e.tracks[track]
+	if !t.open {
+		return
+	}
+	e.tracer.Add(telemetry.Span{
+		Name: t.name, Cat: "sim", TID: t.tid,
+		Start: t.start, Dur: t.end - t.start, Bytes: t.bytes,
+	})
+	t.open = false
+}
+
+func (e *Engine) flushSpans() {
+	if e.tracer == nil {
+		return
+	}
+	for i := range e.tracks {
+		e.flushSpan(i)
+	}
+}
+
 // enmcCycles converts n ENMC logic cycles to DRAM cycles.
 func (e *Engine) enmcCycles(n int64) int64 { return n * int64(e.cfg.ClockRatio) }
 
@@ -196,6 +277,7 @@ func (e *Engine) Run(prog []Op) (Result, error) {
 	}
 	end := e.maxTime()
 	e.ch.AdvanceTo(end)
+	e.flushSpans()
 	res := Result{Cycles: end - start, Seconds: e.cfg.DRAM.CyclesToSeconds(end - start)}
 	e.stats.DRAM = e.ch.Stats()
 	res.Stats = e.stats
@@ -238,29 +320,29 @@ func (e *Engine) exec(op Op) {
 		e.regs[isa.RegInstrCount]++
 
 	case isa.OpLDR:
-		e.load(in.Buf0, in.Data, nbytes)
+		e.load(in.Buf0, in.Data, nbytes, op.Phase)
 
 	case isa.OpSTR:
-		e.store(in.Buf0, in.Data, nbytes)
+		e.store(in.Buf0, in.Data, nbytes, op.Phase)
 
 	case isa.OpMOVE:
 		// Buffer-to-buffer transfer on the unit owning the source,
 		// one ENMC cycle per 64 B lane.
 		unit := bufUnit(in.Buf1)
 		cycles := e.enmcCycles(int64((nbytes + 63) / 64))
-		e.occupy(unit, e.ctrlTime, cycles)
+		e.occupy(unit, e.ctrlTime, cycles, op.Phase)
 		e.stats.BufMoves += int64(nbytes)
 
 	case isa.OpMULADDINT4, isa.OpADDINT4, isa.OpMULINT4:
 		elems := int64(nbytes * 2) // packed nibbles
 		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.INT4MACs)))
-		e.computeOn(0, cycles)
+		e.computeOn(0, cycles, op.Phase)
 		e.stats.INT4MACOps += elems
 
 	case isa.OpMULADDFP32, isa.OpADDFP32, isa.OpMULFP32:
 		elems := int64(nbytes / 4)
 		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.FP32MACs)))
-		e.computeOn(1, cycles)
+		e.computeOn(1, cycles, op.Phase)
 		e.stats.FP32MACOps += elems
 
 	case isa.OpFILTER:
@@ -269,13 +351,13 @@ func (e *Engine) exec(op Op) {
 		// The comparator array sits with whichever unit owns the
 		// filtered PSUM: the Screener on ENMC, the FP32 datapath on
 		// homogeneous baselines.
-		e.computeOn(bufUnit(in.Buf0), cycles)
+		e.computeOn(bufUnit(in.Buf0), cycles, op.Phase)
 		e.stats.FilterOps += elems
 
 	case isa.OpSOFTMAX, isa.OpSIGMOID:
 		elems := int64(nbytes / 4)
 		cycles := e.enmcCycles(ceilDiv(elems, int64(e.cfg.SFUWidth)))
-		e.computeOn(1, cycles)
+		e.computeOn(1, cycles, op.Phase)
 		e.stats.SFUOps += elems
 
 	case isa.OpBARRIER:
@@ -289,7 +371,7 @@ func (e *Engine) exec(op Op) {
 		// host-side link is not this rank's bottleneck, so charge the
 		// executor a drain latency and count the bytes.
 		cycles := e.enmcCycles(int64((nbytes + 63) / 64))
-		e.occupy(1, e.ctrlTime, cycles)
+		e.occupy(1, e.ctrlTime, cycles, op.Phase)
 		e.stats.ReturnBytes += int64(nbytes)
 
 	case isa.OpCLR:
@@ -307,7 +389,7 @@ func (e *Engine) exec(op Op) {
 }
 
 // load streams one tile of nbytes from DRAM into buf.
-func (e *Engine) load(buf isa.Buffer, addr uint64, nbytes int) {
+func (e *Engine) load(buf isa.Buffer, addr uint64, nbytes int, phase Phase) {
 	unit := bufUnit(buf)
 	// The DRAM request cannot be issued before the instruction is
 	// decoded.
@@ -345,14 +427,18 @@ func (e *Engine) load(buf isa.Buffer, addr uint64, nbytes int) {
 			e.executorFree = done
 		}
 	}
+	if e.tracer != nil {
+		e.span(2, dramReadName[phase], gate, done, int64(nbytes))
+	}
 }
 
 // store writes one buffer back to DRAM (e.g. PSUM spill).
-func (e *Engine) store(buf isa.Buffer, addr uint64, nbytes int) {
+func (e *Engine) store(buf isa.Buffer, addr uint64, nbytes int, phase Phase) {
 	unit := bufUnit(buf)
 	if e.ch.Now() < e.ctrlTime {
 		e.ch.AdvanceTo(e.ctrlTime)
 	}
+	issueAt := e.ch.Now()
 	reqs := e.ch.SubmitRange(addr, int64(nbytes), true)
 	e.ch.Drain()
 	var done int64
@@ -370,11 +456,24 @@ func (e *Engine) store(buf isa.Buffer, addr uint64, nbytes int) {
 			e.executorFree = done
 		}
 	}
+	if e.tracer != nil {
+		e.span(2, dramWriteName[phase], issueAt, done, int64(nbytes))
+	}
+}
+
+// Pre-built span names so the traced path allocates nothing per op.
+var dramReadName, dramWriteName [NumPhases]string
+
+func init() {
+	for i := range dramReadName {
+		dramReadName[i] = "dram.read." + Phase(i).String()
+		dramWriteName[i] = "dram.write." + Phase(i).String()
+	}
 }
 
 // computeOn occupies a unit for a compute instruction and updates the
 // double-buffer history.
-func (e *Engine) computeOn(unit int, cycles int64) {
+func (e *Engine) computeOn(unit int, cycles int64, phase Phase) {
 	var frees *int64
 	var prev *[2]int64
 	if unit == 0 {
@@ -395,11 +494,13 @@ func (e *Engine) computeOn(unit int, cycles int64) {
 	} else {
 		e.stats.ExecutorBusy += cycles
 	}
+	e.stats.Phases[phase] += cycles
+	e.span(unit, phase.String(), start, end, 0)
 }
 
 // occupy blocks a unit for a fixed latency starting no earlier than
 // at.
-func (e *Engine) occupy(unit int, at, cycles int64) {
+func (e *Engine) occupy(unit int, at, cycles int64, phase Phase) {
 	var frees *int64
 	if unit == 0 {
 		frees = &e.screenerFree
@@ -416,6 +517,8 @@ func (e *Engine) occupy(unit int, at, cycles int64) {
 	} else {
 		e.stats.ExecutorBusy += cycles
 	}
+	e.stats.Phases[phase] += cycles
+	e.span(unit, phase.String(), start, *frees, 0)
 }
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

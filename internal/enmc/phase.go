@@ -1,0 +1,68 @@
+package enmc
+
+// Phase labels the pipeline stage an instruction belongs to. The
+// compiler tags every emitted Op; the engine attributes unit-busy
+// cycles to the tag (Stats.PhaseCycles) and names tracer spans with
+// it, which is what turns a flat instruction stream into a readable
+// Chrome trace.
+type Phase uint8
+
+// Pipeline phases, in rough program order.
+const (
+	PhaseOther      Phase = iota // untagged / hand-written programs
+	PhaseInit                    // status-register preamble
+	PhaseFeature                 // screening-feature loads
+	PhaseScreen                  // INT4 (or baseline FP32) screening sweep
+	PhaseFilter                  // comparator-array candidate filtering
+	PhaseExact                   // candidates-only exact recompute
+	PhaseActivation              // softmax/sigmoid SFU pass
+	PhaseOutput                  // output-buffer moves and host returns
+	NumPhases                    // array bound, not a phase
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseOther:
+		return "other"
+	case PhaseInit:
+		return "init"
+	case PhaseFeature:
+		return "feature-load"
+	case PhaseScreen:
+		return "screen"
+	case PhaseFilter:
+		return "filter"
+	case PhaseExact:
+		return "exact-recompute"
+	case PhaseActivation:
+		return "activation"
+	case PhaseOutput:
+		return "output"
+	default:
+		return "invalid"
+	}
+}
+
+// PhaseCycles is the per-phase attribution of unit-busy cycles.
+type PhaseCycles [NumPhases]int64
+
+// Total sums all phases.
+func (p PhaseCycles) Total() int64 {
+	var t int64
+	for _, v := range p {
+		t += v
+	}
+	return t
+}
+
+// ByName returns the attribution as a name→cycles map (dropping empty
+// phases), the form reports and JSON dumps want.
+func (p PhaseCycles) ByName() map[string]int64 {
+	out := make(map[string]int64)
+	for i, v := range p {
+		if v != 0 {
+			out[Phase(i).String()] = v
+		}
+	}
+	return out
+}

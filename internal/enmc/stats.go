@@ -17,6 +17,9 @@ func (s Stats) Scale(f float64) Stats {
 		ScreenerBusy: si(s.ScreenerBusy),
 		ExecutorBusy: si(s.ExecutorBusy),
 	}
+	for i, v := range s.Phases {
+		out.Phases[i] = si(v)
+	}
 	out.DRAM = s.DRAM
 	out.DRAM.Reads = si(s.DRAM.Reads)
 	out.DRAM.Writes = si(s.DRAM.Writes)

@@ -1,0 +1,120 @@
+package enmc
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleStats() Stats {
+	s := Stats{
+		Instructions: 1000,
+		INT4MACOps:   200000,
+		FP32MACOps:   40000,
+		FilterOps:    8000,
+		SFUOps:       400,
+		BufMoves:     4096,
+		ReturnBytes:  1024,
+		ScreenerBusy: 60000,
+		ExecutorBusy: 30000,
+	}
+	s.DRAM.Reads = 5000
+	s.DRAM.Writes = 100
+	s.DRAM.RowHits = 4500
+	s.DRAM.RowMisses = 600
+	s.DRAM.BytesRead = 5000 * 64
+	s.DRAM.BytesWritten = 100 * 64
+	s.DRAM.DataBusBusy = 20400
+	s.DRAM.Cycles = 120000
+	s.Phases[PhaseScreen] = 50000
+	s.Phases[PhaseFilter] = 10000
+	s.Phases[PhaseExact] = 25000
+	s.Phases[PhaseActivation] = 5000
+	return s
+}
+
+// TestStatsScalePreservesRates checks the sampled-simulation
+// extrapolation contract: scaling all activity by f preserves every
+// derived rate (busy fractions, row-hit rate, bandwidth, per-phase
+// shares), because cycle-like fields scale alongside the counters.
+func TestStatsScalePreservesRates(t *testing.T) {
+	s := sampleStats()
+	const f = 7.5
+	out := s.Scale(f)
+
+	relClose := func(name string, got, want float64) {
+		t.Helper()
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s = %g, want 0", name, got)
+			}
+			return
+		}
+		if math.Abs(got-want)/math.Abs(want) > 1e-3 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+
+	// Counters scale linearly.
+	if out.Instructions != int64(1000*f) {
+		t.Errorf("Instructions = %d, want %d", out.Instructions, int64(1000*f))
+	}
+	if out.DRAM.Cycles != int64(120000*f) {
+		t.Errorf("DRAM.Cycles = %d, want %d", out.DRAM.Cycles, int64(120000*f))
+	}
+
+	// Derived rates are invariant.
+	relClose("row-hit rate", out.DRAM.HitRate(), s.DRAM.HitRate())
+	relClose("bandwidth", out.DRAM.Bandwidth(), s.DRAM.Bandwidth())
+	relClose("screener busy fraction",
+		float64(out.ScreenerBusy)/float64(out.DRAM.Cycles),
+		float64(s.ScreenerBusy)/float64(s.DRAM.Cycles))
+	relClose("executor busy fraction",
+		float64(out.ExecutorBusy)/float64(out.DRAM.Cycles),
+		float64(s.ExecutorBusy)/float64(s.DRAM.Cycles))
+
+	// Phase attribution scales with the busy totals, preserving each
+	// phase's share.
+	if out.Phases.Total() == 0 {
+		t.Fatal("scaled phase cycles vanished")
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		relClose("phase "+p.String(),
+			float64(out.Phases[p])/float64(out.Phases.Total()),
+			float64(s.Phases[p])/float64(s.Phases.Total()))
+	}
+}
+
+func TestStatsScaleIdentity(t *testing.T) {
+	s := sampleStats()
+	out := s.Scale(1)
+	if out != s {
+		t.Errorf("Scale(1) changed stats:\n got %+v\nwant %+v", out, s)
+	}
+}
+
+func TestPhaseCyclesByName(t *testing.T) {
+	var p PhaseCycles
+	p[PhaseScreen] = 10
+	p[PhaseExact] = 20
+	m := p.ByName()
+	if len(m) != 2 || m["screen"] != 10 || m["exact-recompute"] != 20 {
+		t.Errorf("ByName = %v", m)
+	}
+	if p.Total() != 30 {
+		t.Errorf("Total = %d, want 30", p.Total())
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		name := p.String()
+		if name == "" || name == "invalid" {
+			t.Errorf("phase %d has bad name %q", p, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+	}
+}

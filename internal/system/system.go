@@ -15,6 +15,7 @@ import (
 	"enmc/internal/energy"
 	"enmc/internal/enmc"
 	"enmc/internal/nmp"
+	"enmc/internal/telemetry"
 )
 
 // Config describes the simulated system.
@@ -28,6 +29,10 @@ type Config struct {
 	// cut to this window and the results scaled linearly. 0 disables
 	// sampling.
 	SampleRows int
+	// Tracer, when non-nil, receives the representative rank's
+	// structured execution spans (screen/filter/exact/DRAM phases) in
+	// simulated time.
+	Tracer *telemetry.Tracer
 }
 
 // Default returns the Table 3 system (8 channels × 8 ranks) around a
@@ -87,6 +92,9 @@ func (c Config) Run(task compiler.Task, mode compiler.Mode) (Result, error) {
 	eng, err := enmc.New(c.Design.Hw)
 	if err != nil {
 		return Result{}, err
+	}
+	if c.Tracer != nil {
+		eng.SetTracer(c.Tracer)
 	}
 	if _, err := eng.Run(prog.Init); err != nil {
 		return Result{}, err

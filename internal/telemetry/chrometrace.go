@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event (the "X" complete-event
+// form), plus the "M" metadata form for thread names. Timestamps and
+// durations are microseconds, per the trace-event spec.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  *float64               `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, which Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event
+// JSON. Load the file in chrome://tracing or https://ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var spans []Span
+	ticksPerUsec := 1000.0
+	var names map[int]string
+	if t != nil {
+		t.mu.Lock()
+		spans = make([]Span, len(t.spans))
+		copy(spans, t.spans)
+		ticksPerUsec = t.ticksPerUsec
+		names = make(map[int]string, len(t.threadNames))
+		for k, v := range t.threadNames {
+			names[k] = v
+		}
+		t.mu.Unlock()
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(names))
+
+	// Thread-name metadata first, in deterministic order.
+	tids := make([]int, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			TID:  tid,
+			Args: map[string]interface{}{"name": names[tid]},
+		})
+	}
+
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, s := range spans {
+		dur := float64(s.Dur) / ticksPerUsec
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / ticksPerUsec,
+			Dur:  &dur,
+			TID:  s.TID,
+		}
+		if s.Bytes != 0 {
+			ev.Args = map[string]interface{}{"bytes": s.Bytes}
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry's snapshot as the expvar
+// variable "enmc" (visible at /debug/vars). Idempotent.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("enmc", expvar.Func(func() interface{} {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/pprof/*  — net/http/pprof profiles
+//	/debug/vars     — expvar, including the "enmc" registry snapshot
+//	/metrics        — the default registry snapshot as plain JSON
+//
+// It returns the bound address (useful with ":0") after the listener
+// is live; the server itself runs until the process exits.
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(Default().Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	go func() {
+		// Serve on the default mux, where pprof and expvar registered.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

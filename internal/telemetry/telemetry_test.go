@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentInstruments hammers one counter, gauge and histogram
+// from many goroutines; run under -race this doubles as the data-race
+// proof for the lock-free paths.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1, 2, 4, 8})
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(id))
+				h.Observe(float64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Sum of 0..9 repeated: 45 * workers * perWorker/10.
+	wantSum := 45.0 * workers * perWorker / 10
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+	s := h.snapshot()
+	if s.Min != 0 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g, want 0/9", s.Min, s.Max)
+	}
+	var bucketTotal int64
+	for _, b := range s.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	// Values 9 land in the overflow bucket (last bound 8).
+	if last := s.Buckets[len(s.Buckets)-1]; !last.Overflow || last.Count != workers*perWorker/10 {
+		t.Errorf("overflow bucket = %+v", last)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 50, 99, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	wantCounts := []int64{2, 2, 1, 1} // ≤10, ≤100, ≤1000, overflow
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if q := s.Quantile(0.5); q < 10 || q > 100 {
+		t.Errorf("median %g outside (10, 100]", q)
+	}
+	if q := s.Quantile(1); q != 1000 {
+		// Top quantile clamps to the largest finite bound.
+		t.Errorf("q1 = %g, want 1000", q)
+	}
+}
+
+func TestRegistrySnapshotAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 2.5 || s.Histograms["c"].Count != 1 {
+		t.Errorf("snapshot mismatch: %+v", s)
+	}
+	// Snapshots are JSON-marshalable (expvar/-metrics contract), with
+	// no Inf/NaN leaking from empty histograms.
+	r.Histogram("empty", []float64{1})
+	if _, err := json.Marshal(r.Snapshot()); err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if s.Counters["a"] != 0 || s.Gauges["b"] != 0 || s.Histograms["c"].Count != 0 {
+		t.Errorf("reset did not zero: %+v", s)
+	}
+	// Instrument handles stay live after Reset.
+	r.Counter("a").Inc()
+	if r.Snapshot().Counters["a"] != 1 {
+		t.Error("counter handle dead after Reset")
+	}
+}
+
+func TestGetOrCreateReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Histogram("y", []float64{1}) != r.Histogram("y", nil) {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+// TestNilTracer proves every Tracer method is nil-receiver safe — the
+// contract that lets instrumented code skip guards.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer enabled")
+	}
+	tr.Add(Span{Name: "x"})
+	tr.AddSince("x", 0, 0)
+	tr.SetTimebase(1)
+	tr.SetThreadName(0, "x")
+	if tr.Now() != 0 || tr.Len() != 0 || tr.Spans() != nil {
+		t.Error("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+}
+
+// TestChromeTraceGolden checks the exporter emits valid Chrome
+// trace-event JSON that encoding/json consumes back with the expected
+// structure and microsecond conversion.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetTimebase(2) // 2 ticks per µs
+	tr.SetThreadName(7, "unit-7")
+	tr.Add(Span{Name: "screen", Cat: "sim", TID: 7, Start: 10, Dur: 4, Bytes: 256})
+	tr.Add(Span{Name: "filter", TID: 7, Start: 14, Dur: 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Cat  string                 `json:"cat"`
+			Ph   string                 `json:"ph"`
+			TS   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			TID  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3 (1 metadata + 2 spans)", len(out.TraceEvents))
+	}
+	meta := out.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "unit-7" {
+		t.Errorf("metadata event = %+v", meta)
+	}
+	span := out.TraceEvents[1]
+	if span.Ph != "X" || span.Name != "screen" || span.Cat != "sim" || span.TID != 7 {
+		t.Errorf("span event = %+v", span)
+	}
+	if span.TS != 5 || span.Dur != 2 { // ticks 10,4 at 2 ticks/µs
+		t.Errorf("ts/dur = %g/%g, want 5/2", span.TS, span.Dur)
+	}
+	if b, ok := span.Args["bytes"].(float64); !ok || b != 256 {
+		t.Errorf("bytes arg = %v", span.Args["bytes"])
+	}
+}
+
+// TestConcurrentTracer races span recording against export.
+func TestConcurrentTracer(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add(Span{Name: "s", TID: id, Start: int64(i), Dur: 1})
+			}
+		}(w)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Errorf("len = %d, want 4000", tr.Len())
+	}
+}
+
+func TestDefaultBuckets(t *testing.T) {
+	for _, bounds := range [][]float64{LatencyBuckets(), CountBuckets()} {
+		if len(bounds) == 0 {
+			t.Fatal("empty default buckets")
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("bounds not ascending at %d: %v", i, bounds)
+			}
+		}
+		if math.IsInf(bounds[len(bounds)-1], 1) {
+			t.Fatal("explicit +Inf bound (overflow bucket is implicit)")
+		}
+	}
+}

@@ -58,6 +58,9 @@ type SimResult struct {
 	LogicJoules      float64
 	// DRAMBytes is the weight/feature traffic of one rank.
 	DRAMBytes int64
+	// PhaseCycles attributes one rank's unit-busy cycles to pipeline
+	// phases (screen, filter, exact-recompute, activation, ...).
+	PhaseCycles map[string]int64
 }
 
 // TotalJoules sums the energy components.
@@ -86,8 +89,12 @@ func designByName(name string) (nmp.Design, error) {
 
 // Simulate compiles the task for the named design ("enmc",
 // "tensordimm", "tensordimm-large", "nda", "chameleon") and runs the
-// cycle-level system simulation.
-func Simulate(design string, task SimTask) (SimResult, error) {
+// cycle-level system simulation. Pass WithTracer to capture the
+// representative rank's execution as structured spans (screen,
+// filter, exact-recompute and DRAM phases) in simulated time.
+func Simulate(design string, task SimTask, opts ...Option) (SimResult, error) {
+	var o callOpts
+	o.apply(opts)
 	d, err := designByName(design)
 	if err != nil {
 		return SimResult{}, err
@@ -98,6 +105,7 @@ func Simulate(design string, task SimTask) (SimResult, error) {
 		mode = compiler.ModeFull
 	}
 	cfg := system.Default(d)
+	cfg.Tracer = o.tracer
 	res, err := cfg.Run(compiler.Task{
 		Categories: task.Categories,
 		Hidden:     task.Hidden,
@@ -117,6 +125,7 @@ func Simulate(design string, task SimTask) (SimResult, error) {
 		DRAMAccessJoules: res.Energy.DRAMAccessJ,
 		LogicJoules:      res.Energy.LogicJ,
 		DRAMBytes:        res.RankStats.DRAM.BytesRead + res.RankStats.DRAM.BytesWritten,
+		PhaseCycles:      res.RankStats.Phases.ByName(),
 	}, nil
 }
 
