@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check clean
+.PHONY: all build test race bench bench-smoke vet fmt check ci cover clean
 
 all: build
 
@@ -33,6 +33,28 @@ fmt:
 # Pre-commit gate: vet, formatting, and the race-enabled test suite.
 check: vet fmt race
 	@echo "check OK"
+
+# What CI runs on every push/PR — the same gate as `make check` plus
+# an explicit build and plain test pass, kept here so the CI workflow
+# can't drift from the Makefile.
+ci: vet fmt build test race
+	@echo "ci OK"
+
+# One-iteration benchmark pass: compiles and runs every benchmark
+# once so perf regressions are at least visible per-PR (CI uploads
+# bench-smoke.txt as an artifact).
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-smoke.txt
+
+# Coverage gate over the tier-1 packages. CI passes COVER_FLOOR so
+# the recorded baseline lives in .github/workflows/ci.yml; locally
+# the default floor of 0 just prints the total.
+COVER_FLOOR ?= 0
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }'
 
 clean:
 	$(GO) clean ./...

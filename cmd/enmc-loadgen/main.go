@@ -1,0 +1,228 @@
+// Command enmc-loadgen drives an enmc-serve instance with synthetic
+// traffic and reports throughput and latency percentiles — the
+// harness that makes the serving layer's admission-control and
+// degradation behavior observable.
+//
+// Two load models:
+//
+//	closed loop (default): -concurrency N workers, each issuing the
+//	    next request as soon as the previous answers — throughput
+//	    finds the server's capacity.
+//	open loop: -rate R fires R requests/second regardless of
+//	    completions (bounded outstanding) — the model that exposes
+//	    queueing collapse and the 429 admission path.
+//
+// Usage:
+//
+//	enmc-loadgen -addr localhost:8080 -dim 128 -duration 10s -concurrency 16
+//	enmc-loadgen -addr localhost:8080 -dim 128 -rate 2000 -duration 10s
+//	enmc-loadgen -addr localhost:8080 -dim 128 -batch 64   # /v1/classify_batch
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type result struct {
+	code     int // HTTP status; 0 for transport error
+	latency  time.Duration
+	degraded bool
+	items    int // classifications carried (batch size or 1)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "enmc-serve host:port")
+	dim := flag.Int("dim", 128, "hidden dimension (must match the server)")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
+	batch := flag.Int("batch", 0, "send /v1/classify_batch with this many items (0: /v1/classify)")
+	topK := flag.Int("topk", 5, "top_k to request")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 42, "feature generation seed")
+	flag.Parse()
+
+	client := &http.Client{
+		Timeout:   *timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency + 64},
+	}
+	url := "http://" + *addr + "/v1/classify"
+	if *batch > 0 {
+		url = "http://" + *addr + "/v1/classify_batch"
+	}
+
+	var (
+		mu      sync.Mutex
+		results []result
+	)
+	record := func(r result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	if *rate > 0 {
+		openLoop(&wg, client, url, *dim, *batch, *topK, *seed, *rate, deadline, record)
+	} else {
+		closedLoop(&wg, client, url, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
+	}
+	wg.Wait()
+	report(results, *duration)
+}
+
+func closedLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			for time.Now().Before(deadline) {
+				record(issue(client, url, payload(rng, dim, batch, topK)))
+			}
+		}(w)
+	}
+}
+
+func openLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, topK int, seed int64, rate float64, deadline time.Time, record func(result)) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	// Bound outstanding requests so an unresponsive server degrades
+	// to shed load here rather than unbounded goroutine growth.
+	sem := make(chan struct{}, 4096)
+	rng := rand.New(rand.NewSource(seed))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if !now.Before(deadline) {
+			return
+		}
+		body := payload(rng, dim, batch, topK)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(issue(client, url, body))
+				<-sem
+			}()
+		default:
+			record(result{code: 0}) // shed at the generator
+		}
+	}
+}
+
+func payload(rng *rand.Rand, dim, batch, topK int) []byte {
+	vec := func() []float32 {
+		h := make([]float32, dim)
+		for i := range h {
+			h[i] = float32(rng.NormFloat64())
+		}
+		return h
+	}
+	var v interface{}
+	if batch > 0 {
+		b := make([][]float32, batch)
+		for i := range b {
+			b[i] = vec()
+		}
+		v = map[string]interface{}{"batch": b, "top_k": topK}
+	} else {
+		v = map[string]interface{}{"h": vec(), "top_k": topK}
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+func issue(client *http.Client, url string, body []byte) result {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{code: 0, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	r := result{code: resp.StatusCode, latency: time.Since(start), items: 1}
+	if resp.StatusCode == http.StatusOK {
+		var parsed struct {
+			Degraded bool `json:"degraded"`
+			Results  []struct {
+				Class int `json:"class"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&parsed); err == nil {
+			r.degraded = parsed.Degraded
+			if n := len(parsed.Results); n > 0 {
+				r.items = n
+			}
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return r
+}
+
+func report(results []result, d time.Duration) {
+	var ok, too, unavail, other, transport, degraded, items int
+	var lats []time.Duration
+	for _, r := range results {
+		switch {
+		case r.code == http.StatusOK:
+			ok++
+			items += r.items
+			lats = append(lats, r.latency)
+			if r.degraded {
+				degraded++
+			}
+		case r.code == http.StatusTooManyRequests:
+			too++
+		case r.code == http.StatusServiceUnavailable:
+			unavail++
+		case r.code == 0:
+			transport++
+		default:
+			other++
+		}
+	}
+	fmt.Printf("requests: %d over %s\n", len(results), d)
+	fmt.Printf("  ok: %d (%d classifications, %.1f/s)  degraded: %d (%.1f%%)\n",
+		ok, items, float64(items)/d.Seconds(), degraded, pct(degraded, ok))
+	fmt.Printf("  429 overload: %d (%.1f%%)  503 draining: %d  other: %d  transport/shed: %d\n",
+		too, pct(too, len(results)), unavail, other, transport)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
+			quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99), lats[len(lats)-1])
+	}
+	if ok == 0 {
+		fmt.Fprintln(os.Stderr, "no successful requests")
+		os.Exit(1)
+	}
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

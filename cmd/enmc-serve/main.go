@@ -1,0 +1,191 @@
+// Command enmc-serve exposes ENMC classification as an HTTP/JSON
+// service with dynamic micro-batching, bounded admission (429 +
+// Retry-After past the queue cap), and graceful degradation of the
+// screening budget under load (see internal/server).
+//
+// Usage:
+//
+//	enmc-serve                             # demo model, :8080
+//	enmc-serve -classifier cls.bin -screener scr.bin -addr :8080
+//	enmc-serve -shards 4                   # sharded demo backend
+//	enmc-serve -debug-addr :6060           # pprof + /metrics sidecar
+//
+// Endpoints: POST /v1/classify, POST /v1/classify_batch, GET
+// /healthz, GET /readyz. SIGINT/SIGTERM triggers the graceful
+// sequence: readiness fails, intake stops (503), the queue drains,
+// then the listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"enmc/internal/core"
+	"enmc/internal/distributed"
+	"enmc/internal/quant"
+	"enmc/internal/server"
+	"enmc/internal/telemetry"
+	"enmc/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "pprof/expvar/metrics listen address (empty: disabled)")
+
+	clsPath := flag.String("classifier", "", "serialized classifier (SaveClassifier format)")
+	scrPath := flag.String("screener", "", "serialized screener (SaveScreener format)")
+	featPath := flag.String("features", "", "serialized features for shard screener training (WriteFeatures format)")
+	shards := flag.Int("shards", 1, "row-shard the class space across N local shards (sharded backend)")
+
+	demoClasses := flag.Int("demo-classes", 4096, "demo model: class count")
+	demoDim := flag.Int("demo-dim", 128, "demo model: hidden dimension")
+	demoSeed := flag.Uint64("demo-seed", 7, "demo model: generation/training seed")
+	epochs := flag.Int("epochs", 4, "demo/shard screener distillation epochs")
+	bits := flag.Int("bits", 4, "demo/shard screening precision: 2, 4 or 8")
+
+	maxBatch := flag.Int("max-batch", 32, "micro-batch flush size")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch flush delay")
+	queueCap := flag.Int("queue-cap", 256, "admission queue bound (429 past this)")
+	flushWorkers := flag.Int("flush-workers", 2, "concurrent batch flushes")
+	topM := flag.Int("m", 0, "screening budget TopM (default classes/64)")
+	mFloor := flag.Int("m-floor", 0, "degradation floor for TopM (default TopM/4)")
+	watermark := flag.Float64("watermark", 0.5, "queue-depth fraction where degradation starts")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	cls, scr, feats := buildModel(*clsPath, *scrPath, *featPath, *demoClasses, *demoDim, *demoSeed, *epochs, *bits)
+	backend := buildBackend(cls, scr, feats, *shards, *bits, *epochs, *demoSeed)
+
+	srv, err := server.New(backend, server.Config{
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+		QueueCap:     *queueCap,
+		FlushWorkers: *flushWorkers,
+		TopM:         *topM,
+		MFloor:       *mFloor,
+		Watermark:    *watermark,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint on http://%s (pprof, /metrics, /debug/vars)", dbg)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("serving %d classes × %d dims on %s (shards=%d queue=%d batch=%d/%s)",
+			backend.Categories(), backend.Hidden(), *addr, *shards, *queueCap, *maxBatch, *maxDelay)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("%s: draining (readiness down, intake stopped)", got)
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}
+
+// buildModel loads the classifier/screener pair from disk, or trains
+// a synthetic demo pair when no paths are given. It also returns
+// training features when available (needed for shard retraining).
+func buildModel(clsPath, scrPath, featPath string, classes, dim int, seed uint64, epochs, bits int) (*core.Classifier, *core.Screener, [][]float32) {
+	if clsPath != "" {
+		f, err := os.Open(clsPath)
+		fatalIf(err)
+		cls, err := core.ReadClassifier(f)
+		fatalIf(err)
+		fatalIf(f.Close())
+		var scr *core.Screener
+		if scrPath != "" {
+			g, err := os.Open(scrPath)
+			fatalIf(err)
+			scr, err = core.ReadScreener(g)
+			fatalIf(err)
+			fatalIf(g.Close())
+		}
+		var feats [][]float32
+		if featPath != "" {
+			h, err := os.Open(featPath)
+			fatalIf(err)
+			feats, err = core.ReadFeatures(h)
+			fatalIf(err)
+			fatalIf(h.Close())
+		}
+		if scr == nil {
+			if len(feats) == 0 {
+				fatalIf(fmt.Errorf("need -screener or -features alongside -classifier"))
+			}
+			scr = train(cls, feats, bits, epochs, seed)
+		}
+		return cls, scr, feats
+	}
+
+	log.Printf("no -classifier given: training a %d×%d demo model", classes, dim)
+	inst := workload.Generate(
+		workload.Spec{Name: "serve-demo", Categories: classes, Hidden: dim, LatentRank: 32, ZipfS: 1.05},
+		workload.GenOptions{Seed: seed, Train: 512, Valid: 32, Test: 32})
+	scr := train(inst.Classifier, inst.Train, bits, epochs, seed)
+	return inst.Classifier, scr, inst.Train
+}
+
+func train(cls *core.Classifier, feats [][]float32, bits, epochs int, seed uint64) *core.Screener {
+	scr, _, err := core.TrainScreener(cls, feats, core.Config{
+		Categories: cls.Categories(),
+		Hidden:     cls.Hidden(),
+		Reduced:    cls.Hidden() / 4,
+		Precision:  quant.Bits(bits),
+		Seed:       seed,
+	}, core.TrainOptions{Epochs: epochs, Seed: seed + 1})
+	fatalIf(err)
+	return scr
+}
+
+func buildBackend(cls *core.Classifier, scr *core.Screener, feats [][]float32, shards, bits, epochs int, seed uint64) server.Backend {
+	if shards <= 1 {
+		b, err := server.NewLocal(cls, scr)
+		fatalIf(err)
+		return b
+	}
+	if len(feats) == 0 {
+		fatalIf(fmt.Errorf("-shards > 1 needs training features (-features, or demo mode)"))
+	}
+	set, err := distributed.ShardClassifier(cls, shards, feats, core.Config{
+		Hidden:    cls.Hidden(),
+		Reduced:   cls.Hidden() / 4,
+		Precision: quant.Bits(bits),
+		Seed:      seed,
+	}, core.TrainOptions{Epochs: epochs, Seed: seed + 1})
+	fatalIf(err)
+	b, err := server.NewSharded(set)
+	fatalIf(err)
+	return b
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -22,6 +22,7 @@
 package enmc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -197,6 +198,34 @@ func ClassifyBatch(c *Classifier, s *Screener, batch [][]float32, sel Selection,
 		out[i] = &Result{Logits: res.Mixed, Candidates: res.Candidates}
 	}
 	return out
+}
+
+// ClassifyContext is Classify with a cancellation point: when ctx is
+// already done it returns ctx.Err() without touching the model.
+// Serving stacks thread per-request deadlines through here.
+func ClassifyContext(ctx context.Context, c *Classifier, s *Screener, h []float32, sel Selection, opts ...Option) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Classify(c, s, h, sel, opts...), nil
+}
+
+// ClassifyBatchContext is ClassifyBatch with cancellation honored
+// between batch items: once ctx is done no further item starts and
+// the call returns ctx.Err() with a nil slice. In-flight items (one
+// screen matmul plus a few exact rows each) run to completion.
+func ClassifyBatchContext(ctx context.Context, c *Classifier, s *Screener, batch [][]float32, sel Selection, opts ...Option) ([]*Result, error) {
+	var o callOpts
+	o.apply(opts)
+	inner, err := core.ClassifyBatchCtx(ctx, c.inner, s.inner, batch, sel, o.tracer)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(inner))
+	for i, res := range inner {
+		out[i] = &Result{Logits: res.Mixed, Candidates: res.Candidates}
+	}
+	return out, nil
 }
 
 // SaveScreener serializes a trained screener to w in the binary

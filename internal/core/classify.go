@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -136,6 +137,72 @@ func ClassifyBatchTraced(cls *Classifier, scr *Screener, batch [][]float32, sel 
 	mBatchNs.Observe(float64(time.Since(start)))
 	mBatchSize.Observe(float64(len(batch)))
 	return out
+}
+
+// ClassifyApproxCtx is ClassifyApprox with a cancellation point: it
+// returns ctx.Err() without touching the model when the context is
+// already done. A single item's pipeline (one screen matmul plus a
+// few candidate rows) is the finest abort granularity the math
+// offers, so the check sits at item boundaries rather than inside
+// the matmul.
+func ClassifyApproxCtx(ctx context.Context, cls *Classifier, scr *Screener, h []float32, sel Selection) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline), nil
+}
+
+// ClassifyBatchCtx is ClassifyBatch with cancellation honored between
+// batch items: once ctx is done no further item starts (in-flight
+// items finish — they are short and read-only), and the call returns
+// ctx.Err() with a nil slice. Serving stacks use this so a client
+// disconnect or deadline stops burning CPU mid-batch.
+func ClassifyBatchCtx(ctx context.Context, cls *Classifier, scr *Screener, batch [][]float32, sel Selection, tr *telemetry.Tracer) ([]*Result, error) {
+	start := time.Now()
+	out := make([]*Result, len(batch))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	done := ctx.Done()
+	if workers <= 1 {
+		for i, h := range batch {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(batch) {
+						return
+					}
+					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid)
+				}
+			}(telemetry.TrackPipeline + w)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	mBatchNs.Observe(float64(time.Since(start)))
+	mBatchSize.Observe(float64(len(batch)))
+	return out, nil
 }
 
 // SigmoidProbabilities normalizes the mixed vector element-wise with

@@ -1,0 +1,46 @@
+package distributed
+
+import (
+	"context"
+	"testing"
+
+	"enmc/internal/core"
+)
+
+func TestClassifyCtxCanceled(t *testing.T) {
+	inst := testInstance(t)
+	shards, err := ShardClassifier(inst.Classifier, 2, inst.Train, trainCfg(), core.TrainOptions{Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ClassifyCtx(ctx, shards, inst.Test[0], 4, 3); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A live context classifies normally through the same path.
+	merged, err := ClassifyCtx(context.Background(), shards, inst.Test[0], 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 {
+		t.Fatalf("top-k = %d, want 3", len(merged))
+	}
+}
+
+func TestClassifyCtxErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	if _, err := ClassifyCtx(ctx, nil, make([]float32, 4), 1, 1); err == nil {
+		t.Fatal("empty shards accepted")
+	}
+	// A shard missing its screener must error by index, not panic.
+	inst := testInstance(t)
+	shards, err := ShardClassifier(inst.Classifier, 2, inst.Train, trainCfg(), core.TrainOptions{Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := []Shard{shards[0], {Offset: shards[1].Offset, Classifier: shards[1].Classifier}}
+	if _, err := ClassifyCtx(ctx, broken, inst.Test[0], 4, 3); err == nil {
+		t.Fatal("incomplete shard accepted")
+	}
+}

@@ -15,6 +15,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,11 +46,22 @@ type Candidate struct {
 // recomputes local candidates exactly, and merges the global top-k,
 // descending by exact logit.
 func Classify(shards []Shard, h []float32, perShardM, topK int) ([]Candidate, error) {
+	return ClassifyCtx(context.Background(), shards, h, perShardM, topK)
+}
+
+// ClassifyCtx is Classify with cancellation honored between shards:
+// once ctx is done no further shard is screened and the call returns
+// ctx.Err() — the abort path a serving frontend uses when the client
+// deadline expires mid-scatter.
+func ClassifyCtx(ctx context.Context, shards []Shard, h []float32, perShardM, topK int) ([]Candidate, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("distributed: no shards")
 	}
 	var merged []Candidate
 	for i, s := range shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if s.Classifier == nil || s.Screener == nil {
 			return nil, fmt.Errorf("distributed: shard %d incomplete", i)
 		}

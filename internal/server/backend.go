@@ -1,0 +1,141 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"enmc/internal/core"
+	"enmc/internal/distributed"
+	"enmc/internal/telemetry"
+	"enmc/internal/tensor"
+)
+
+// Candidate is one ranked class in a response, in global class
+// numbering.
+type Candidate struct {
+	Class int     `json:"class"`
+	Logit float32 `json:"logit"`
+}
+
+// Outcome is one request's classification result.
+type Outcome struct {
+	Class int
+	TopK  []Candidate
+}
+
+// Backend computes classifications for the serving layer. The two
+// implementations are Local (single-node classifier + screener over
+// the core worker pool) and Sharded (class space split row-wise
+// across distributed shards, merged top-k). Both honor ctx
+// cancellation between batch items.
+type Backend interface {
+	// ClassifyBatch classifies each hidden vector under screening
+	// budget m, returning each item's top-k candidates (k capped by
+	// the backend's class count).
+	ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error)
+	// Hidden is the expected feature dimension d.
+	Hidden() int
+	// Categories is the global class count l.
+	Categories() int
+}
+
+// Local serves a single-node classifier/screener pair.
+type Local struct {
+	Classifier *core.Classifier
+	Screener   *core.Screener
+}
+
+// NewLocal validates that the screener matches the classifier's
+// shape and returns a Local backend.
+func NewLocal(cls *core.Classifier, scr *core.Screener) (*Local, error) {
+	if cls == nil || scr == nil {
+		return nil, fmt.Errorf("server: nil classifier or screener")
+	}
+	if scr.Cfg.Categories != cls.Categories() || scr.Cfg.Hidden != cls.Hidden() {
+		return nil, fmt.Errorf("server: screener shape %dx%d does not match classifier %dx%d",
+			scr.Cfg.Categories, scr.Cfg.Hidden, cls.Categories(), cls.Hidden())
+	}
+	return &Local{Classifier: cls, Screener: scr}, nil
+}
+
+// Hidden implements Backend.
+func (l *Local) Hidden() int { return l.Classifier.Hidden() }
+
+// Categories implements Backend.
+func (l *Local) Categories() int { return l.Classifier.Categories() }
+
+// ClassifyBatch implements Backend over core.ClassifyBatchCtx.
+func (l *Local) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
+	res, err := core.ClassifyBatchCtx(ctx, l.Classifier, l.Screener, batch, core.TopM(m), telemetry.Global())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Outcome, len(res))
+	for i, r := range res {
+		idx := tensor.TopK(r.Mixed, topK)
+		cands := make([]Candidate, len(idx))
+		for j, c := range idx {
+			cands[j] = Candidate{Class: c, Logit: r.Mixed[c]}
+		}
+		out[i] = Outcome{Class: r.Predict(), TopK: cands}
+	}
+	return out, nil
+}
+
+// Sharded serves a row-sharded class space: every shard screens
+// locally and the merged global top-k is returned — the same handler
+// surface as Local, so a frontend can scale out without clients
+// noticing.
+type Sharded struct {
+	Shards     []distributed.Shard
+	hidden     int
+	categories int
+}
+
+// NewSharded validates the shard set and returns a Sharded backend.
+func NewSharded(shards []distributed.Shard) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("server: no shards")
+	}
+	total := 0
+	for i, s := range shards {
+		if s.Classifier == nil || s.Screener == nil {
+			return nil, fmt.Errorf("server: shard %d incomplete", i)
+		}
+		total += s.Classifier.Categories()
+	}
+	return &Sharded{Shards: shards, hidden: shards[0].Classifier.Hidden(), categories: total}, nil
+}
+
+// Hidden implements Backend.
+func (s *Sharded) Hidden() int { return s.hidden }
+
+// Categories implements Backend.
+func (s *Sharded) Categories() int { return s.categories }
+
+// ClassifyBatch implements Backend: the screening budget m is split
+// evenly across shards (ceiling division, so the merged candidate
+// pool is at least m).
+func (s *Sharded) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
+	per := (m + len(s.Shards) - 1) / len(s.Shards)
+	if per < 1 {
+		per = 1
+	}
+	out := make([]Outcome, len(batch))
+	for i, h := range batch {
+		cands, err := distributed.ClassifyCtx(ctx, s.Shards, h, per, topK)
+		if err != nil {
+			return nil, err
+		}
+		ck := make([]Candidate, len(cands))
+		for j, c := range cands {
+			ck[j] = Candidate{Class: c.Class, Logit: c.Logit}
+		}
+		o := Outcome{TopK: ck}
+		if len(cands) > 0 {
+			o.Class = cands[0].Class
+		}
+		out[i] = o
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enmc/internal/telemetry"
+)
+
+// Admission errors. The HTTP layer maps ErrOverloaded to 429 (with
+// Retry-After) and ErrDraining to 503.
+var (
+	// ErrOverloaded means the bounded admission queue is full.
+	ErrOverloaded = errors.New("server: admission queue full")
+	// ErrDraining means the server is shutting down and no longer
+	// accepts work.
+	ErrDraining = errors.New("server: draining")
+)
+
+// Batching and queue instruments on the default telemetry registry.
+var (
+	mQueueDepth = telemetry.Default().Gauge("server.queue.depth")
+	mEnqueued   = telemetry.Default().Counter("server.queue.enqueued")
+	mRejected   = telemetry.Default().Counter("server.queue.rejected")
+	mExpired    = telemetry.Default().Counter("server.queue.expired")
+	mQueueNs    = telemetry.Default().Histogram("server.queue.wait_ns", telemetry.LatencyBuckets())
+	mFlushSize  = telemetry.Default().Histogram("server.batch.size", telemetry.CountBuckets())
+	mFlushNs    = telemetry.Default().Histogram("server.batch.flush_ns", telemetry.LatencyBuckets())
+	mBudget     = telemetry.Default().Gauge("server.batch.m")
+	mDegraded   = telemetry.Default().Counter("server.batch.degraded")
+)
+
+// request is one queued single-item classification.
+type request struct {
+	ctx  context.Context
+	h    []float32
+	topK int
+	enq  time.Time
+	resp chan reply // buffered(1): the flush worker never blocks on it
+}
+
+// reply carries a request's outcome plus the serving metadata
+// surfaced in the response body.
+type reply struct {
+	out      Outcome
+	m        int
+	degraded bool
+	batch    int
+	queuedNs int64
+	err      error
+}
+
+// batcher is the dynamic micro-batching queue: single requests are
+// admitted into a bounded channel, a collector goroutine groups them
+// into batches (flushing when MaxBatch accumulate or the oldest has
+// waited MaxDelay), and a small pool of flush workers fans each
+// batch into the backend's worker-pool ClassifyBatch.
+type batcher struct {
+	cfg     Config
+	backend Backend
+
+	mu     sync.RWMutex // serializes enqueue against close(queue)
+	closed bool
+
+	queue chan *request
+	flush chan []*request
+	wg    sync.WaitGroup // collector + flush workers
+	depth atomic.Int64
+}
+
+func newBatcher(cfg Config, backend Backend) *batcher {
+	b := &batcher{
+		cfg:     cfg,
+		backend: backend,
+		queue:   make(chan *request, cfg.QueueCap),
+		flush:   make(chan []*request),
+	}
+	b.wg.Add(1 + cfg.FlushWorkers)
+	go b.collect()
+	for i := 0; i < cfg.FlushWorkers; i++ {
+		go b.flushWorker()
+	}
+	return b
+}
+
+// enqueue admits a request or rejects it immediately: ErrDraining
+// once drain has begun, ErrOverloaded when the bounded queue is full.
+func (b *batcher) enqueue(r *request) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrDraining
+	}
+	select {
+	case b.queue <- r:
+		b.depth.Add(1)
+		mQueueDepth.Add(1)
+		mEnqueued.Inc()
+		return nil
+	default:
+		mRejected.Inc()
+		return ErrOverloaded
+	}
+}
+
+// drain stops intake (subsequent enqueues fail with ErrDraining) and
+// blocks until every already-admitted request has been flushed and
+// replied to. Safe to call more than once.
+func (b *batcher) drain() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// collect is the batching loop: it blocks for the first request,
+// then gathers more until the batch is full or MaxDelay has elapsed
+// since the batch opened, and hands the batch to a flush worker.
+func (b *batcher) collect() {
+	defer b.wg.Done()
+	for {
+		r, ok := <-b.queue
+		if !ok {
+			close(b.flush)
+			return
+		}
+		b.popped(r)
+		pending := []*request{r}
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	gather:
+		for len(pending) < b.cfg.MaxBatch {
+			select {
+			case r2, ok := <-b.queue:
+				if !ok {
+					timer.Stop()
+					b.flush <- pending
+					close(b.flush)
+					return
+				}
+				b.popped(r2)
+				pending = append(pending, r2)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.flush <- pending
+	}
+}
+
+func (b *batcher) popped(r *request) {
+	b.depth.Add(-1)
+	mQueueDepth.Add(-1)
+	mQueueNs.Observe(float64(time.Since(r.enq)))
+}
+
+func (b *batcher) flushWorker() {
+	defer b.wg.Done()
+	for batch := range b.flush {
+		b.doFlush(batch)
+	}
+}
+
+// doFlush classifies one collected batch. Requests whose context has
+// already expired are answered with their context error without
+// touching the model; the rest run under the batcher's own lifetime
+// context so a graceful drain always completes admitted work.
+func (b *batcher) doFlush(batch []*request) {
+	start := time.Now()
+	m, degraded := b.effectiveM()
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			mExpired.Inc()
+			r.resp <- reply{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	hs := make([][]float32, len(live))
+	maxK := 1
+	for i, r := range live {
+		hs[i] = r.h
+		if r.topK > maxK {
+			maxK = r.topK
+		}
+	}
+	outs, err := b.backend.ClassifyBatch(context.Background(), hs, m, maxK)
+	for i, r := range live {
+		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), err: err}
+		if err == nil {
+			rep.out = outs[i]
+			if r.topK < len(rep.out.TopK) {
+				rep.out.TopK = rep.out.TopK[:r.topK]
+			}
+		}
+		r.resp <- rep
+	}
+	mFlushSize.Observe(float64(len(live)))
+	mFlushNs.Observe(float64(time.Since(start)))
+}

@@ -1,0 +1,38 @@
+package server
+
+// effectiveM is the graceful-degradation policy: the screening
+// budget for the next flush given current queue pressure. Below the
+// watermark the configured TopM is used unchanged; above it the
+// budget shrinks linearly toward MFloor as the queue approaches
+// capacity, trading a little candidate recall for per-item latency —
+// the knob the paper's screening/recompute split uniquely exposes
+// (fewer candidates ⇒ proportionally fewer exact rows).
+//
+// The returned bool reports whether degradation is active; both the
+// budget and the event count are surfaced in telemetry
+// (server.batch.m, server.batch.degraded) and in every response body
+// so clients can observe quality, not just latency.
+func (b *batcher) effectiveM() (int, bool) {
+	m := b.cfg.TopM
+	depth := int(b.depth.Load())
+	wm := int(b.cfg.Watermark * float64(b.cfg.QueueCap))
+	if depth <= wm || b.cfg.MFloor >= m {
+		mBudget.Set(float64(m))
+		return m, false
+	}
+	span := b.cfg.QueueCap - wm
+	frac := 1.0
+	if span > 0 {
+		frac = float64(depth-wm) / float64(span)
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	m -= int(frac * float64(m-b.cfg.MFloor))
+	if m < b.cfg.MFloor {
+		m = b.cfg.MFloor
+	}
+	mBudget.Set(float64(m))
+	mDegraded.Inc()
+	return m, true
+}

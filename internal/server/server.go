@@ -1,0 +1,386 @@
+// Package server is the production serving layer over the ENMC
+// inference facade: an HTTP/JSON classification service with dynamic
+// micro-batching, bounded admission, per-request deadlines, and
+// graceful degradation under load.
+//
+// Endpoints:
+//
+//	POST /v1/classify        {"h":[...], "top_k":5}  — single item,
+//	     admitted into the micro-batching queue
+//	POST /v1/classify_batch  {"batch":[[...],...], "top_k":5} — a
+//	     caller-formed batch, run directly on the backend worker pool
+//	     under the request's context (deadline threads down to
+//	     core.ClassifyApprox item boundaries)
+//	GET  /healthz            — liveness (always 200 while serving)
+//	GET  /readyz             — readiness (503 once Drain has begun)
+//
+// Load behavior: when the bounded queue is full the service answers
+// 429 with Retry-After instead of queueing unboundedly; when queue
+// depth crosses the configured watermark the screening budget TopM
+// shrinks toward MFloor (see degrade.go), surfaced per-response as
+// "m"/"degraded" and in telemetry. Drain fails readiness first, stops
+// intake (503), and completes every admitted request.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"enmc/internal/telemetry"
+)
+
+// Per-endpoint instruments on the default telemetry registry.
+var (
+	mClassifyNs      = telemetry.Default().Histogram("server.http.classify_ns", telemetry.LatencyBuckets())
+	mClassifyBatchNs = telemetry.Default().Histogram("server.http.classify_batch_ns", telemetry.LatencyBuckets())
+	mRequests        = telemetry.Default().Counter("server.http.requests")
+	mStatus429       = telemetry.Default().Counter("server.http.status_429")
+	mStatus5xx       = telemetry.Default().Counter("server.http.status_5xx")
+)
+
+// Config tunes the serving layer. Zero values take the documented
+// defaults in New.
+type Config struct {
+	// MaxBatch flushes the micro-batch queue at this many pending
+	// items (default 32).
+	MaxBatch int
+	// MaxDelay flushes the queue when the batch has been open this
+	// long (default 2ms) — the latency bound a single idle request
+	// pays for batching.
+	MaxDelay time.Duration
+	// QueueCap bounds the admission queue; a full queue answers 429
+	// (default 256).
+	QueueCap int
+	// FlushWorkers is the number of batches that may be in flight on
+	// the backend concurrently (default 2).
+	FlushWorkers int
+	// TopM is the screening budget at idle (default Categories/64,
+	// min 1).
+	TopM int
+	// MFloor is the degradation floor TopM shrinks toward under
+	// pressure (default max(1, TopM/4)).
+	MFloor int
+	// Watermark is the queue-depth fraction of QueueCap past which
+	// degradation engages (default 0.5).
+	Watermark float64
+	// MaxTopK caps the per-request top_k (default 64).
+	MaxTopK int
+	// MaxBatchItems caps a /v1/classify_batch request (default 1024).
+	MaxBatchItems int
+	// RetryAfter is the hint sent with 429/503 (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *Config) defaults(categories int) {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.FlushWorkers <= 0 {
+		c.FlushWorkers = 2
+	}
+	if c.TopM <= 0 {
+		c.TopM = categories / 64
+		if c.TopM < 1 {
+			c.TopM = 1
+		}
+	}
+	if c.MFloor <= 0 {
+		c.MFloor = c.TopM / 4
+		if c.MFloor < 1 {
+			c.MFloor = 1
+		}
+	}
+	if c.Watermark <= 0 || c.Watermark >= 1 {
+		c.Watermark = 0.5
+	}
+	if c.MaxTopK <= 0 {
+		c.MaxTopK = 64
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// Server is the HTTP serving layer. Create with New, expose with
+// Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	backend Backend
+	b       *batcher
+	ready   chan struct{} // closed when draining
+	mux     *http.ServeMux
+}
+
+// New builds a Server over the backend and starts its batching
+// goroutines. The server is immediately ready.
+func New(backend Backend, cfg Config) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("server: nil backend")
+	}
+	cfg.defaults(backend.Categories())
+	if cfg.MFloor > cfg.TopM {
+		return nil, fmt.Errorf("server: MFloor %d exceeds TopM %d", cfg.MFloor, cfg.TopM)
+	}
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		b:       newBatcher(cfg, backend),
+		ready:   make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/classify", s.handleClassify)
+	s.mux.HandleFunc("/v1/classify_batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain performs the graceful-shutdown sequence: readiness fails
+// first (so load balancers stop routing here), intake stops (new
+// work gets 503 + Retry-After), and the call blocks until every
+// already-admitted request has been answered. Idempotent; safe to
+// call from a signal handler goroutine. The caller still owns the
+// http.Server and should Shutdown it after Drain returns so in-
+// flight response writes complete.
+func (s *Server) Drain() {
+	select {
+	case <-s.ready:
+	default:
+		close(s.ready)
+	}
+	s.b.drain()
+}
+
+// --- request/response bodies ---
+
+// ClassifyRequest is the /v1/classify body.
+type ClassifyRequest struct {
+	H    []float32 `json:"h"`
+	TopK int       `json:"top_k"`
+}
+
+// ClassifyResponse is the /v1/classify body: the prediction plus the
+// serving metadata (budget actually used, whether degradation was
+// active, micro-batch size, queue wait) that makes degradation
+// observable per-request.
+type ClassifyResponse struct {
+	Class     int         `json:"class"`
+	TopK      []Candidate `json:"topk,omitempty"`
+	M         int         `json:"m"`
+	Degraded  bool        `json:"degraded"`
+	BatchSize int         `json:"batch_size"`
+	QueueUs   int64       `json:"queue_us"`
+}
+
+// ClassifyBatchRequest is the /v1/classify_batch body.
+type ClassifyBatchRequest struct {
+	Batch [][]float32 `json:"batch"`
+	TopK  int         `json:"top_k"`
+}
+
+// BatchItem is one result in a ClassifyBatchResponse.
+type BatchItem struct {
+	Class int         `json:"class"`
+	TopK  []Candidate `json:"topk,omitempty"`
+}
+
+// ClassifyBatchResponse is the /v1/classify_batch body.
+type ClassifyBatchResponse struct {
+	Results  []BatchItem `json:"results"`
+	M        int         `json:"m"`
+	Degraded bool        `json:"degraded"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { mClassifyNs.Observe(float64(time.Since(start))) }()
+	mRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body ClassifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.H) != s.backend.Hidden() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("feature length %d, want %d", len(body.H), s.backend.Hidden()))
+		return
+	}
+	topK := s.clampTopK(body.TopK)
+
+	req := &request{
+		ctx:  r.Context(),
+		h:    body.H,
+		topK: topK,
+		enq:  time.Now(),
+		resp: make(chan reply, 1),
+	}
+	if err := s.b.enqueue(req); err != nil {
+		s.writeUnavailable(w, err)
+		return
+	}
+	select {
+	case rep := <-req.resp:
+		if rep.err != nil {
+			mStatus5xx.Inc()
+			writeError(w, http.StatusServiceUnavailable, rep.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, ClassifyResponse{
+			Class:     rep.out.Class,
+			TopK:      rep.out.TopK,
+			M:         rep.m,
+			Degraded:  rep.degraded,
+			BatchSize: rep.batch,
+			QueueUs:   rep.queuedNs / 1e3,
+		})
+	case <-r.Context().Done():
+		// The flush worker will still drain req.resp (buffered), so
+		// nothing leaks; the client has gone or timed out.
+		mStatus5xx.Inc()
+		writeError(w, http.StatusGatewayTimeout, r.Context().Err().Error())
+	}
+}
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { mClassifyBatchNs.Observe(float64(time.Since(start))) }()
+	mRequests.Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Draining() {
+		s.writeUnavailable(w, ErrDraining)
+		return
+	}
+	var body ClassifyBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.Batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(body.Batch) > s.cfg.MaxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(body.Batch), s.cfg.MaxBatchItems))
+		return
+	}
+	for i, h := range body.Batch {
+		if len(h) != s.backend.Hidden() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("item %d: feature length %d, want %d", i, len(h), s.backend.Hidden()))
+			return
+		}
+	}
+	topK := s.clampTopK(body.TopK)
+
+	// Caller-formed batches bypass the micro-batcher (they already
+	// amortize) but share the degradation policy, and run under the
+	// request's own context so a client deadline aborts between
+	// items.
+	m, degraded := s.b.effectiveM()
+	outs, err := s.backend.ClassifyBatch(r.Context(), body.Batch, m, topK)
+	if err != nil {
+		mStatus5xx.Inc()
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	resp := ClassifyBatchResponse{Results: make([]BatchItem, len(outs)), M: m, Degraded: degraded}
+	for i, o := range outs {
+		resp.Results[i] = BatchItem{Class: o.Class, TopK: o.TopK}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// --- helpers ---
+
+func (s *Server) clampTopK(k int) int {
+	if k <= 0 {
+		k = 1
+	}
+	if k > s.cfg.MaxTopK {
+		k = s.cfg.MaxTopK
+	}
+	if l := s.backend.Categories(); k > l {
+		k = l
+	}
+	return k
+}
+
+// writeUnavailable maps admission errors: full queue → 429, draining
+// → 503, both with a Retry-After hint.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	code := http.StatusServiceUnavailable
+	if err == ErrOverloaded {
+		code = http.StatusTooManyRequests
+		mStatus429.Inc()
+	}
+	writeError(w, code, err.Error())
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,614 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"enmc/internal/core"
+	"enmc/internal/distributed"
+	"enmc/internal/quant"
+	"enmc/internal/workload"
+)
+
+// fakeBackend is a controllable Backend: when gate is non-nil every
+// ClassifyBatch blocks until the gate closes (or the ctx dies),
+// which lets tests hold the pipeline at a precise saturation point.
+type fakeBackend struct {
+	hidden     int
+	categories int
+	gate       chan struct{}
+
+	calls atomic.Int64
+	mu    sync.Mutex
+	sizes []int
+	ms    []int
+}
+
+func (f *fakeBackend) Hidden() int     { return f.hidden }
+func (f *fakeBackend) Categories() int { return f.categories }
+
+func (f *fakeBackend) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
+	f.calls.Add(1)
+	f.mu.Lock()
+	f.sizes = append(f.sizes, len(batch))
+	f.ms = append(f.ms, m)
+	f.mu.Unlock()
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]Outcome, len(batch))
+	for i := range out {
+		c := i % f.categories
+		out[i] = Outcome{Class: c, TopK: []Candidate{{Class: c, Logit: 1}}}
+	}
+	return out, nil
+}
+
+func classifyBody(t *testing.T, dim int) []byte {
+	t.Helper()
+	h := make([]float32, dim)
+	for i := range h {
+		h[i] = float32(i)
+	}
+	buf, err := json.Marshal(ClassifyRequest{H: h, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func postClassify(ts *httptest.Server, body []byte) (*http.Response, error) {
+	return ts.Client().Post(ts.URL+"/v1/classify", "application/json", bytes.NewReader(body))
+}
+
+// TestFlushOnTimeout: a lone request must not wait for the batch to
+// fill — MaxDelay bounds its queueing and it flushes as a batch of 1.
+func TestFlushOnTimeout(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32}
+	s, err := New(fb, Config{MaxBatch: 64, MaxDelay: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := postClassify(ts, classifyBody(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.BatchSize != 1 {
+		t.Fatalf("batch_size = %d, want 1", out.BatchSize)
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("flushed after %s: did not wait for MaxDelay", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("flush took %s", elapsed)
+	}
+}
+
+// TestFlushOnSize: with a long MaxDelay, the only fast path out of
+// the queue is filling the batch — MaxBatch concurrent requests must
+// all return promptly in one flush.
+func TestFlushOnSize(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32}
+	s, err := New(fb, Config{MaxBatch: 4, MaxDelay: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sizes := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := postClassify(ts, classifyBody(t, 8))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var out ClassifyResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Error(err)
+				return
+			}
+			sizes[i] = out.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("size-triggered flush took %s", elapsed)
+	}
+	for i, sz := range sizes {
+		if sz != 4 {
+			t.Fatalf("request %d: batch_size = %d, want 4 (sizes %v)", i, sz, sizes)
+		}
+	}
+}
+
+// TestSaturation429: past the bounded queue the server must answer
+// 429 with Retry-After — never hang or queue unboundedly — and the
+// admitted requests must still complete once capacity frees up.
+func TestSaturation429(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32, gate: make(chan struct{})}
+	s, err := New(fb, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueCap: 2, FlushWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 12
+	baseRejected := mRejected.Value()
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := postClassify(ts, classifyBody(t, 8))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+
+	// Wait until rejections are observable, then open the gate so the
+	// admitted requests complete.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if mRejected.Value() > baseRejected {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(fb.gate)
+	wg.Wait()
+	s.Drain()
+
+	var ok, too int
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			too++
+			if retryAfter[i] == "" {
+				t.Fatalf("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+	if too == 0 {
+		t.Fatalf("no 429 under saturation (ok=%d)", ok)
+	}
+	if ok == 0 {
+		t.Fatalf("admitted requests did not complete")
+	}
+	if ok+too != n {
+		t.Fatalf("ok=%d too=%d of %d", ok, too, n)
+	}
+}
+
+// TestReadinessDuringDrain: Drain must fail /readyz first (while
+// /healthz stays live), reject new work with 503, and complete every
+// already-admitted request.
+func TestReadinessDuringDrain(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32, gate: make(chan struct{})}
+	s, err := New(fb, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if get("/readyz") != http.StatusOK {
+		t.Fatal("not ready before drain")
+	}
+
+	// Park one request inside the backend.
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := postClassify(ts, classifyBody(t, 8))
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	for fb.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(drained)
+	}()
+	// Readiness flips while the in-flight request is still running.
+	deadline := time.Now().Add(10 * time.Second)
+	for get("/readyz") != http.StatusServiceUnavailable {
+		if !time.Now().Before(deadline) {
+			t.Fatal("readyz never flipped during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if get("/healthz") != http.StatusOK {
+		t.Fatal("healthz failed during drain")
+	}
+	// New work is refused with 503 + Retry-After.
+	resp, err := postClassify(ts, classifyBody(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during drain: status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	select {
+	case <-drained:
+		t.Fatal("drain finished with a request still gated")
+	default:
+	}
+	close(fb.gate)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not finish")
+	}
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request failed during drain: %d", code)
+	}
+}
+
+// TestDrainZeroFailures: every request admitted before drain begins
+// must be answered 200; concurrent arrivals may only see 200, 429 or
+// 503 — never a hang or another failure.
+func TestDrainZeroFailures(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32}
+	s, err := New(fb, Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 50
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := postClassify(ts, classifyBody(t, 8))
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s.Drain()
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK && c != http.StatusTooManyRequests && c != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d", i, c)
+		}
+	}
+}
+
+// TestDegradationPolicy exercises effectiveM directly across the
+// depth range: full budget below the watermark, linear shrink above
+// it, never below the floor.
+func TestDegradationPolicy(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 256}
+	cfg := Config{TopM: 16, MFloor: 2, QueueCap: 100, Watermark: 0.5}
+	cfg.defaults(fb.categories)
+	b := &batcher{cfg: cfg, backend: fb}
+
+	cases := []struct {
+		depth    int
+		want     int
+		degraded bool
+	}{
+		{0, 16, false},
+		{50, 16, false},   // at the watermark: full budget
+		{75, 9, true},     // halfway into the band
+		{100, 2, true},    // full queue: floor
+		{10_000, 2, true}, // beyond capacity still clamps to the floor
+	}
+	for _, c := range cases {
+		b.depth.Store(int64(c.depth))
+		m, degraded := b.effectiveM()
+		if m != c.want || degraded != c.degraded {
+			t.Fatalf("depth %d: m=%d degraded=%v, want m=%d degraded=%v",
+				c.depth, m, degraded, c.want, c.degraded)
+		}
+		if m < cfg.MFloor {
+			t.Fatalf("depth %d: budget %d under floor %d", c.depth, m, cfg.MFloor)
+		}
+	}
+}
+
+// TestClassifyDeadline: a request whose context expires while queued
+// or gated must get 504, not hang.
+func TestClassifyDeadline(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32, gate: make(chan struct{})}
+	s, err := New(fb, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(fb.gate); s.Drain() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify", bytes.NewReader(classifyBody(t, 8))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler hung past its deadline")
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+}
+
+// TestBatchEndpointDeadline: /v1/classify_batch threads the request
+// context into the backend, so an expired deadline aborts the batch.
+func TestBatchEndpointDeadline(t *testing.T) {
+	fb := &fakeBackend{hidden: 4, categories: 32, gate: make(chan struct{})}
+	s, err := New(fb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(fb.gate); s.Drain() }()
+
+	body, _ := json.Marshal(ClassifyBatchRequest{Batch: [][]float32{{1, 2, 3, 4}}, TopK: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify_batch", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch handler hung past its deadline")
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rec.Code)
+	}
+}
+
+// TestValidation covers the 4xx surface: wrong dimension, bad JSON,
+// wrong method, oversized and empty batches.
+func TestValidation(t *testing.T) {
+	fb := &fakeBackend{hidden: 8, categories: 32}
+	s, err := New(fb, Config{MaxBatchItems: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string, v interface{}) int {
+		buf, _ := json.Marshal(v)
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if c := post("/v1/classify", ClassifyRequest{H: make([]float32, 3)}); c != http.StatusBadRequest {
+		t.Fatalf("wrong dim: %d", c)
+	}
+	if c := post("/v1/classify_batch", ClassifyBatchRequest{}); c != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", c)
+	}
+	big := ClassifyBatchRequest{Batch: make([][]float32, 5)}
+	for i := range big.Batch {
+		big.Batch[i] = make([]float32, 8)
+	}
+	if c := post("/v1/classify_batch", big); c != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d", c)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET classify: %d", resp.StatusCode)
+	}
+}
+
+// TestEndToEndLocalBackend runs the full stack — HTTP, batcher,
+// Local backend, core worker pool — over a real trained screener and
+// checks the served prediction matches direct classification.
+func TestEndToEndLocalBackend(t *testing.T) {
+	inst := workload.Generate(
+		workload.Spec{Name: "serve-test", Categories: 96, Hidden: 32, LatentRank: 8, ZipfS: 1},
+		workload.GenOptions{Seed: 11, Train: 128, Valid: 8, Test: 8})
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, core.Config{
+		Categories: 96, Hidden: 32, Reduced: 8, Precision: quant.INT4, Seed: 3,
+	}, core.TrainOptions{Epochs: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewLocal(inst.Classifier, scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(backend, Config{TopM: 8, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	h := inst.Test[0]
+	want := core.ClassifyApprox(inst.Classifier, scr, h, core.TopM(8)).Predict()
+
+	buf, _ := json.Marshal(ClassifyRequest{H: h, TopK: 5})
+	resp, err := postClassify(ts, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != want {
+		t.Fatalf("served class %d != direct %d", out.Class, want)
+	}
+	if len(out.TopK) != 5 {
+		t.Fatalf("topk = %d", len(out.TopK))
+	}
+	if out.M != 8 || out.Degraded {
+		t.Fatalf("m=%d degraded=%v at idle", out.M, out.Degraded)
+	}
+
+	// The batch endpoint serves the same answers.
+	bbuf, _ := json.Marshal(ClassifyBatchRequest{Batch: inst.Test[:4], TopK: 3})
+	bresp, err := ts.Client().Post(ts.URL+"/v1/classify_batch", "application/json", bytes.NewReader(bbuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", bresp.StatusCode)
+	}
+	var bout ClassifyBatchResponse
+	if err := json.NewDecoder(bresp.Body).Decode(&bout); err != nil {
+		t.Fatal(err)
+	}
+	if len(bout.Results) != 4 {
+		t.Fatalf("batch results = %d", len(bout.Results))
+	}
+	for i, r := range bout.Results {
+		direct := core.ClassifyApprox(inst.Classifier, scr, inst.Test[i], core.TopM(8)).Predict()
+		if r.Class != direct {
+			t.Fatalf("batch item %d: served %d != direct %d", i, r.Class, direct)
+		}
+	}
+}
+
+// TestShardedBackendServes: the sharded backend answers through the
+// identical handler surface.
+func TestShardedBackendServes(t *testing.T) {
+	inst := workload.Generate(
+		workload.Spec{Name: "serve-shard", Categories: 96, Hidden: 32, LatentRank: 8, ZipfS: 1},
+		workload.GenOptions{Seed: 17, Train: 128, Valid: 8, Test: 8})
+	backend := shardedBackend(t, inst, 3)
+	s, err := New(backend, Config{TopM: 9, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if backend.Categories() != 96 {
+		t.Fatalf("sharded categories = %d", backend.Categories())
+	}
+	buf, _ := json.Marshal(ClassifyRequest{H: inst.Test[0], TopK: 4})
+	resp, err := postClassify(ts, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ClassifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Class < 0 || out.Class >= 96 {
+		t.Fatalf("class %d out of range", out.Class)
+	}
+	if len(out.TopK) == 0 {
+		t.Fatal("no candidates")
+	}
+}
+
+func shardedBackend(t *testing.T, inst *workload.Instance, n int) *Sharded {
+	t.Helper()
+	// Mirrors the distributed.ShardClassifier wiring in cmd/enmc-serve.
+	shards, err := distributed.ShardClassifier(inst.Classifier, n, inst.Train, core.Config{
+		Hidden: inst.Classifier.Hidden(), Reduced: 8, Precision: quant.INT4, Seed: 5,
+	}, core.TrainOptions{Epochs: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSharded(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

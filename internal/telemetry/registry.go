@@ -46,6 +46,18 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the last stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Add atomically adds delta to the gauge (CAS loop) — the up/down
+// form queue-depth and in-flight gauges need, where Set would race
+// between concurrent enqueuers and dequeuers.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Histogram is a fixed-bucket distribution: observations land in the
 // first bucket whose upper bound is >= the value, with one implicit
 // overflow bucket at +Inf. Observe is lock-free and allocation-free.

@@ -235,3 +235,24 @@ func TestDefaultBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(0.5)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 14 {
+		t.Fatalf("gauge = %v, want 14", got)
+	}
+}
