@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke vet fmt check ci cover clean
+.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean
 
 all: build
 
@@ -45,6 +45,20 @@ ci: vet fmt build test race
 # bench-smoke.txt as an artifact).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-smoke.txt
+
+# Hot-path perf harness at the paper's serving shapes. Appends a
+# PerfRecord to BENCH_FILE and fails on a >MAXREG slowdown of
+# screen/classify vs the last committed record — a generous
+# cross-machine tripwire for lost fast paths, not a microbenchmark
+# gate. PERF_SHAPES narrows the run (CI uses the small shape only).
+BENCH_FILE ?= BENCH_$(shell date -u +%Y-%m-%d).json
+BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
+MAXREG ?= 1.75
+PERF_SHAPES ?=
+bench-perf:
+	$(GO) run ./cmd/enmc-bench -perf -shapes '$(PERF_SHAPES)' \
+		-label "bench-perf $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)" \
+		-json $(BENCH_FILE) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE) -maxreg $(MAXREG))
 
 # Coverage gate over the tier-1 packages. CI passes COVER_FLOOR so
 # the recorded baseline lives in .github/workflows/ci.yml; locally

@@ -12,10 +12,12 @@ package enmc
 // completes in minutes.
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"enmc/internal/compiler"
 	"enmc/internal/core"
@@ -30,11 +32,14 @@ import (
 	"enmc/internal/isa"
 	"enmc/internal/metrics"
 	"enmc/internal/nmp"
+	"enmc/internal/projection"
 	"enmc/internal/quant"
+	"enmc/internal/server"
 	"enmc/internal/system"
 	"enmc/internal/telemetry"
 	"enmc/internal/tensor"
 	"enmc/internal/workload"
+	"enmc/internal/xrand"
 )
 
 func quickQuality() experiments.QualityOptions {
@@ -393,6 +398,168 @@ func BenchmarkINT4GEMV(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qm.MatVec(dst, qx)
+	}
+}
+
+// --- zero-allocation hot-path benchmarks (Table 2 serving shapes) ---
+//
+// These run the real software pipeline (not the cycle simulator) at
+// the paper's dataset shapes with randomly initialized weights —
+// numerics don't matter here, only kernel time and allocation
+// behavior. The "into" variants are the arena-backed zero-allocation
+// path a saturated server loops on; compare the allocs/op columns
+// under -benchmem. cmd/enmc-bench -perf records the same shapes into
+// a BENCH_<date>.json trajectory file.
+
+type perfShape struct {
+	name    string
+	l, d, k int // categories, hidden, reduced
+	m       int // top-m candidate budget (~2% of l)
+}
+
+var perfShapes = []perfShape{
+	{name: "wiki-lstm-33k", l: 33278, d: 1500, k: 375, m: 666},
+	{name: "amazon-670k", l: 670091, d: 512, k: 128, m: 13401},
+}
+
+// perfScreener builds a frozen screener with uniform random weights.
+func perfScreener(b *testing.B, s perfShape) *core.Screener {
+	b.Helper()
+	r := xrand.New(1234)
+	wt := tensor.NewMatrix(s.l, s.k)
+	for i := range wt.Data {
+		wt.Data[i] = r.Float32()*2 - 1
+	}
+	bt := make([]float32, s.l)
+	for i := range bt {
+		bt[i] = r.Float32()*2 - 1
+	}
+	scr := &core.Screener{
+		Cfg: core.Config{Categories: s.l, Hidden: s.d, Reduced: s.k, Precision: quant.INT4, Seed: 7},
+		P:   projection.New(s.k, s.d, 7),
+		Wt:  wt,
+		Bt:  bt,
+	}
+	scr.Freeze()
+	return scr
+}
+
+// perfClassifier builds a random full classifier matching the shape.
+func perfClassifier(b *testing.B, s perfShape) *core.Classifier {
+	b.Helper()
+	r := xrand.New(4321)
+	w := tensor.NewMatrix(s.l, s.d)
+	for i := range w.Data {
+		w.Data[i] = r.Float32()*2 - 1
+	}
+	bias := make([]float32, s.l)
+	for i := range bias {
+		bias[i] = r.Float32()*2 - 1
+	}
+	cls, err := core.NewClassifier(w, bias)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cls
+}
+
+func perfHidden(s perfShape) []float32 {
+	r := xrand.New(99)
+	h := make([]float32, s.d)
+	for i := range h {
+		h[i] = r.Float32()*2 - 1
+	}
+	return h
+}
+
+func BenchmarkScreen(b *testing.B) {
+	for _, s := range perfShapes {
+		b.Run(s.name, func(b *testing.B) {
+			scr := perfScreener(b, s)
+			h := perfHidden(s)
+			b.Run("alloc", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					scr.Screen(h)
+				}
+			})
+			b.Run("into", func(b *testing.B) {
+				sc := core.GetScratch()
+				defer sc.Release()
+				sc.MaxShards = 1
+				dst := make([]float32, s.l)
+				scr.ScreenInto(dst, h, sc)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					scr.ScreenInto(dst, h, sc)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkClassifyApprox(b *testing.B) {
+	for _, s := range perfShapes {
+		b.Run(s.name, func(b *testing.B) {
+			scr := perfScreener(b, s)
+			cls := perfClassifier(b, s)
+			h := perfHidden(s)
+			sel := core.TopM(s.m)
+			b.Run("alloc", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.ClassifyApprox(cls, scr, h, sel)
+				}
+			})
+			b.Run("into", func(b *testing.B) {
+				sc := core.GetScratch()
+				defer sc.Release()
+				sc.MaxShards = 1
+				core.ClassifyApproxInto(cls, scr, h, sel, sc)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.ClassifyApproxInto(cls, scr, h, sel, sc)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServerThroughput drives the serving backend's batch path
+// (the visit API over per-worker scratch arenas) at a moderate shape;
+// one op is an 8-request batch with per-response top-5 extraction.
+func BenchmarkServerThroughput(b *testing.B) {
+	s := perfShape{name: "server-33k", l: 33278, d: 512, k: 128, m: 666}
+	scr := perfScreener(b, s)
+	cls := perfClassifier(b, s)
+	backend, err := server.NewLocal(cls, scr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 8
+	batch := make([][]float32, batchSize)
+	r := xrand.New(77)
+	for i := range batch {
+		h := make([]float32, s.d)
+		for j := range h {
+			h[j] = r.Float32()*2 - 1
+		}
+		batch[i] = h
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.ClassifyBatch(ctx, batch, s.m, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batchSize)/elapsed.Seconds(), "req/s")
 	}
 }
 

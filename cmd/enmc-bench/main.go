@@ -35,7 +35,42 @@ func main() {
 	traceOut := flag.String("trace", "", "write Chrome trace-event JSON of the algorithm pipeline to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry registry as JSON to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve pprof/expvar/metrics HTTP on this address (e.g. localhost:6060)")
+	perf := flag.Bool("perf", false, "run the hot-path perf harness (Table 2 serving shapes) instead of the experiments")
+	perfJSON := flag.String("json", "", "with -perf: append the PerfRecord to this JSON trajectory file (e.g. BENCH_2026-08-06.json)")
+	perfLabel := flag.String("label", "dev", "with -perf: label stored in the PerfRecord")
+	perfShapesFlag := flag.String("shapes", "", "with -perf: comma-separated substrings selecting shapes (empty = all)")
+	baseline := flag.String("baseline", "", "with -perf: trajectory file whose last record is the regression baseline")
+	maxReg := flag.Float64("maxreg", 1.5, "with -perf -baseline: fail when screen/classify ns/op exceed baseline by this factor")
 	flag.Parse()
+
+	if *perf {
+		rec := runPerf(*perfLabel, *perfShapesFlag)
+		out := json.NewEncoder(os.Stdout)
+		out.SetIndent("", "  ")
+		if err := out.Encode(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Compare before appending: -baseline and -json may name the
+		// same trajectory file, and the regression check must run
+		// against the previous last record, not the fresh one.
+		compareErr := error(nil)
+		if *baseline != "" {
+			compareErr = comparePerf(rec, *baseline, *maxReg)
+		}
+		if *perfJSON != "" {
+			if err := appendPerfFile(*perfJSON, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "perf: appended record to %s\n", *perfJSON)
+		}
+		if compareErr != nil {
+			fmt.Fprintln(os.Stderr, compareErr)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pprofAddr != "" {
 		addr, err := enmc.ServeDebug(*pprofAddr)

@@ -1,0 +1,280 @@
+package main
+
+// Hot-path performance harness: -perf times the software classify
+// pipeline at the paper's Table 2 serving shapes and appends a
+// PerfRecord to a JSON trajectory file (BENCH_<date>.json), so kernel
+// regressions show up as a diffable number series rather than
+// anecdotes. -baseline compares the fresh run against the last record
+// of a committed file and fails the process on a >maxreg slowdown —
+// the CI tripwire. The same shapes are benchmarked by
+// BenchmarkScreen/BenchmarkClassifyApprox in the repo root.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"enmc/internal/core"
+	"enmc/internal/projection"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// perfShape is one serving workload: l categories, d hidden, k
+// reduced, and a top-m candidate budget of about 2% of l (the paper's
+// working point).
+type perfShape struct {
+	Name    string
+	L, D, K int
+	M       int
+}
+
+var perfShapes = []perfShape{
+	{Name: "wiki-lstm-33k", L: 33278, D: 1500, K: 375, M: 666},
+	{Name: "amazon-670k", L: 670091, D: 512, K: 128, M: 13401},
+}
+
+// PerfResult is the measured hot-path profile of one shape.
+type PerfResult struct {
+	Shape            string  `json:"shape"`
+	L                int     `json:"l"`
+	D                int     `json:"d"`
+	K                int     `json:"k"`
+	M                int     `json:"m"`
+	ScreenNsOp       float64 `json:"screen_ns_op"`
+	ClassifyNsOp     float64 `json:"classify_ns_op"`
+	ClassifyIntoNsOp float64 `json:"classify_into_ns_op"`
+	AllocsOp         float64 `json:"allocs_op"` // steady-state ClassifyApproxInto
+	BatchQPS         float64 `json:"batch_qps"` // ClassifyBatchVisitCtx, batch 8
+}
+
+// PerfRecord is one harness invocation; a trajectory file holds a
+// JSON array of them, oldest first.
+type PerfRecord struct {
+	Date       string       `json:"date"`
+	Label      string       `json:"label"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []PerfResult `json:"results"`
+}
+
+// buildPerfModel constructs a random frozen screener and classifier at
+// the shape. Weights are uniform noise — the harness measures kernel
+// time, not quality — but the construction is deterministic so runs
+// are comparable.
+func buildPerfModel(s perfShape) (*core.Classifier, *core.Screener, []float32) {
+	r := xrand.New(1234)
+	wt := tensor.NewMatrix(s.L, s.K)
+	for i := range wt.Data {
+		wt.Data[i] = r.Float32()*2 - 1
+	}
+	bt := make([]float32, s.L)
+	for i := range bt {
+		bt[i] = r.Float32()*2 - 1
+	}
+	scr := &core.Screener{
+		Cfg: core.Config{Categories: s.L, Hidden: s.D, Reduced: s.K, Precision: quant.INT4, Seed: 7},
+		P:   projection.New(s.K, s.D, 7),
+		Wt:  wt,
+		Bt:  bt,
+	}
+	scr.Freeze()
+
+	w := tensor.NewMatrix(s.L, s.D)
+	for i := range w.Data {
+		w.Data[i] = r.Float32()*2 - 1
+	}
+	bias := make([]float32, s.L)
+	for i := range bias {
+		bias[i] = r.Float32()*2 - 1
+	}
+	cls, err := core.NewClassifier(w, bias)
+	if err != nil {
+		panic(err)
+	}
+	h := make([]float32, s.D)
+	for i := range h {
+		h[i] = r.Float32()*2 - 1
+	}
+	return cls, scr, h
+}
+
+// timeIt runs f repeatedly (after one warm-up call) until minTime has
+// elapsed or maxIters runs, returning the fastest single call in ns.
+// Minimum — not mean — because shared hosts suffer bursty steal time
+// that inflates any averaging window unpredictably; the fastest
+// observed iteration is the stable estimator of what the code costs,
+// which is what a regression tripwire needs to compare across runs.
+func timeIt(minTime time.Duration, maxIters int, f func()) float64 {
+	f() // warm caches and scratch buffers
+	start := time.Now()
+	iters := 0
+	best := time.Duration(1<<63 - 1)
+	for time.Since(start) < minTime && iters < maxIters {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+		iters++
+	}
+	return float64(best.Nanoseconds())
+}
+
+// minNonZero treats zero as "not yet measured".
+func minNonZero(cur, v float64) float64 {
+	if cur == 0 || v < cur {
+		return v
+	}
+	return cur
+}
+
+func perfShapeSet(filter string) []perfShape {
+	if filter == "" {
+		return perfShapes
+	}
+	var out []perfShape
+	for _, s := range perfShapes {
+		for _, want := range strings.Split(filter, ",") {
+			if strings.Contains(s.Name, strings.TrimSpace(want)) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// runPerf measures every selected shape and returns the record.
+func runPerf(label, filter string) PerfRecord {
+	rec := PerfRecord{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	const minTime = 700 * time.Millisecond
+	const maxIters = 25
+	const passes = 3
+	for _, s := range perfShapeSet(filter) {
+		fmt.Fprintf(os.Stderr, "perf: building %s (l=%d d=%d k=%d m=%d)...\n", s.Name, s.L, s.D, s.K, s.M)
+		cls, scr, h := buildPerfModel(s)
+		sel := core.TopM(s.M)
+
+		res := PerfResult{Shape: s.Name, L: s.L, D: s.D, K: s.K, M: s.M}
+
+		dst := make([]float32, s.L)
+		sc := core.GetScratch()
+		sc.MaxShards = 1
+		const batchSize = 8
+		batch := make([][]float32, batchSize)
+		for i := range batch {
+			batch[i] = h
+		}
+		var sink int
+		// Several short passes over the metric set, keeping the best of
+		// each: contention storms on shared hosts outlast any single
+		// timing window, so interleaving is what keeps one storm from
+		// poisoning one metric while its neighbors measure clean.
+		var batchNs float64
+		for p := 0; p < passes; p++ {
+			res.ScreenNsOp = minNonZero(res.ScreenNsOp, timeIt(minTime, maxIters, func() { scr.ScreenInto(dst, h, sc) }))
+			res.ClassifyNsOp = minNonZero(res.ClassifyNsOp, timeIt(minTime, maxIters, func() { core.ClassifyApprox(cls, scr, h, sel) }))
+			res.ClassifyIntoNsOp = minNonZero(res.ClassifyIntoNsOp, timeIt(minTime, maxIters, func() { core.ClassifyApproxInto(cls, scr, h, sel, sc) }))
+			batchNs = minNonZero(batchNs, timeIt(minTime, 5, func() {
+				_ = core.ClassifyBatchVisitCtx(context.Background(), cls, scr, batch, sel, nil,
+					func(i int, r *core.Result, _ *core.Scratch) { sink += r.Predict() })
+			}))
+		}
+		_ = sink
+		res.AllocsOp = testing.AllocsPerRun(5, func() { core.ClassifyApproxInto(cls, scr, h, sel, sc) })
+		sc.Release()
+		res.BatchQPS = float64(batchSize) / (batchNs / 1e9)
+
+		fmt.Fprintf(os.Stderr, "perf: %-14s screen %8.2f ms  classify %8.2f ms  into %8.2f ms  allocs %g  batch %7.1f qps\n",
+			s.Name, res.ScreenNsOp/1e6, res.ClassifyNsOp/1e6, res.ClassifyIntoNsOp/1e6, res.AllocsOp, res.BatchQPS)
+		rec.Results = append(rec.Results, res)
+	}
+	return rec
+}
+
+// loadPerfFile reads a trajectory file (JSON array of PerfRecord).
+func loadPerfFile(path string) ([]PerfRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []PerfRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// appendPerfFile appends rec to the trajectory at path, creating the
+// file if needed.
+func appendPerfFile(path string, rec PerfRecord) error {
+	recs, err := loadPerfFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	recs = append(recs, rec)
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// comparePerf checks rec against the last record in the baseline
+// trajectory: any matching shape whose classify_into_ns_op or
+// screen_ns_op grew by more than maxReg fails. The bound is generous
+// on purpose — it is a cross-machine tripwire for order-of-magnitude
+// regressions (an accidental O(n log n) → O(n²), a lost fast path),
+// not a microbenchmark gate.
+func comparePerf(rec PerfRecord, baselinePath string, maxReg float64) error {
+	base, err := loadPerfFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s: empty baseline", baselinePath)
+	}
+	last := base[len(base)-1]
+	byShape := map[string]PerfResult{}
+	for _, r := range last.Results {
+		byShape[r.Shape] = r
+	}
+	var failures []string
+	for _, cur := range rec.Results {
+		b, ok := byShape[cur.Shape]
+		if !ok {
+			continue
+		}
+		check := func(metric string, got, want float64) {
+			if want <= 0 {
+				return
+			}
+			ratio := got / want
+			status := "ok"
+			if ratio > maxReg {
+				status = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s %s %.2fx (limit %.2fx)", cur.Shape, metric, ratio, maxReg))
+			}
+			fmt.Fprintf(os.Stderr, "perf: %-14s %-20s %8.2f ms vs baseline(%s) %8.2f ms  = %.2fx  %s\n",
+				cur.Shape, metric, got/1e6, last.Label, want/1e6, ratio, status)
+		}
+		check("screen_ns_op", cur.ScreenNsOp, b.ScreenNsOp)
+		check("classify_into_ns_op", cur.ClassifyIntoNsOp, b.ClassifyIntoNsOp)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf regression vs %s: %s", baselinePath, strings.Join(failures, "; "))
+	}
+	return nil
+}

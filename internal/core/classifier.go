@@ -48,11 +48,18 @@ func (c *Classifier) Logits(h []float32) []float32 {
 // — the candidates-only classification kernel (paper Fig. 6(c)).
 func (c *Classifier) LogitsRows(rows []int, h []float32) []float32 {
 	z := make([]float32, len(rows))
-	c.W.MatVecRows(z, rows, h)
-	for j, r := range rows {
-		z[j] += c.B[r]
-	}
+	c.LogitsRowsInto(z, rows, h)
 	return z
+}
+
+// LogitsRowsInto is LogitsRows with a caller-provided destination of
+// length len(rows) — the destination-reuse variant the allocation-
+// free classify path runs on.
+func (c *Classifier) LogitsRowsInto(dst []float32, rows []int, h []float32) {
+	c.W.MatVecRows(dst, rows, h)
+	for j, r := range rows {
+		dst[j] += c.B[r]
+	}
 }
 
 // Probabilities computes softmax(W·h + b).

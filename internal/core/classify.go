@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,14 +17,15 @@ import (
 // always live: recording is a few atomic ops with no allocations, so
 // the hot path pays nothing measurable when nobody reads them.
 var (
-	mClassifyCount = telemetry.Default().Counter("core.classify.count")
-	mClassifyNs    = telemetry.Default().Histogram("core.classify.latency_ns", telemetry.LatencyBuckets())
-	mScreenNs      = telemetry.Default().Histogram("core.classify.screen_ns", telemetry.LatencyBuckets())
-	mSelectNs      = telemetry.Default().Histogram("core.classify.select_ns", telemetry.LatencyBuckets())
-	mExactNs       = telemetry.Default().Histogram("core.classify.exact_ns", telemetry.LatencyBuckets())
-	mCandidates    = telemetry.Default().Histogram("core.classify.candidates", telemetry.CountBuckets())
-	mBatchNs       = telemetry.Default().Histogram("core.classify.batch_ns", telemetry.LatencyBuckets())
-	mBatchSize     = telemetry.Default().Histogram("core.classify.batch_size", telemetry.CountBuckets())
+	mClassifyCount  = telemetry.Default().Counter("core.classify.count")
+	mClassifyNs     = telemetry.Default().Histogram("core.classify.latency_ns", telemetry.LatencyBuckets())
+	mScreenNs       = telemetry.Default().Histogram("core.classify.screen_ns", telemetry.LatencyBuckets())
+	mSelectNs       = telemetry.Default().Histogram("core.classify.select_ns", telemetry.LatencyBuckets())
+	mExactNs        = telemetry.Default().Histogram("core.classify.exact_ns", telemetry.LatencyBuckets())
+	mCandidates     = telemetry.Default().Histogram("core.classify.candidates", telemetry.CountBuckets())
+	mBatchNs        = telemetry.Default().Histogram("core.classify.batch_ns", telemetry.LatencyBuckets())
+	mBatchSize      = telemetry.Default().Histogram("core.classify.batch_size", telemetry.CountBuckets())
+	mBatchCancelled = telemetry.Default().Counter("core.classify.batch_cancelled")
 )
 
 // Result is the outcome of screening-based classification: the mixed
@@ -58,23 +60,63 @@ func (r *Result) TopPredictions(k int) []int { return tensor.TopK(r.Mixed, k) }
 // land in the telemetry registry; spans are recorded only when a
 // global tracer is installed.
 func ClassifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection) *Result {
-	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline)
+	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline, 0)
 }
 
 // ClassifyApproxTraced is ClassifyApprox with an explicit tracer for
 // per-stage spans (nil falls back to pure metrics).
 func ClassifyApproxTraced(cls *Classifier, scr *Screener, h []float32, sel Selection, tr *telemetry.Tracer) *Result {
-	return classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+	return classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline, 0)
 }
 
-func classifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection, tr *telemetry.Tracer, tid int) *Result {
+// classifyApprox runs one query with pooled intermediates and returns
+// a caller-owned Result (its slices are freshly allocated; everything
+// else came from and went back to the scratch pool).
+func classifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection, tr *telemetry.Tracer, tid, maxShards int) *Result {
+	sc := GetScratch()
+	defer sc.Release()
+	sc.MaxShards = maxShards
+	mixed := make([]float32, scr.Cfg.Categories)
+	cands, exact := classifyInto(cls, scr, h, sel, mixed, sc, tr, tid)
+	return &Result{
+		Mixed:      mixed,
+		Candidates: append([]int(nil), cands...),
+		Exact:      append([]float32(nil), exact...),
+	}
+}
+
+// ClassifyApproxInto is ClassifyApprox running entirely in sc's
+// arena: zero allocations in steady state. The returned Result is
+// arena-backed — its slices alias sc and are overwritten by the next
+// pipeline call on the same scratch (and invalid after sc.Release),
+// so copy out anything you keep. This is the kernel a saturated
+// server loops on, one scratch per worker.
+func ClassifyApproxInto(cls *Classifier, scr *Screener, h []float32, sel Selection, sc *Scratch) *Result {
+	sc.mixed = growF32(sc.mixed, scr.Cfg.Categories)
+	cands, exact := classifyInto(cls, scr, h, sel, sc.mixed, sc, telemetry.Global(), telemetry.TrackPipeline)
+	sc.res = Result{Mixed: sc.mixed, Candidates: cands, Exact: exact}
+	return &sc.res
+}
+
+// classifyInto is the pipeline engine: screen into mixed, select
+// candidates, recompute them exactly, merge into mixed. The returned
+// candidate/exact slices alias sc. All stage telemetry is recorded
+// here.
+func classifyInto(cls *Classifier, scr *Screener, h []float32, sel Selection, mixed []float32, sc *Scratch, tr *telemetry.Tracer, tid int) (cands []int, exact []float32) {
 	t0 := time.Now()
-	ztilde := scr.Screen(h)
+	scr.ScreenInto(mixed, h, sc)
 	t1 := time.Now()
-	cands := SelectCandidates(ztilde, sel)
+	cands = SelectCandidatesInto(mixed, sel, sc)
+	// Ascending-index recompute order: the exact gather touches one
+	// classifier row per candidate out of an l×d matrix far larger
+	// than cache, and a monotone walk keeps it page-local instead of
+	// hopping the address space in score order. No caller depends on
+	// candidate order — Exact stays j-aligned with Candidates.
+	sort.Ints(cands)
 	t2 := time.Now()
-	exact := cls.LogitsRows(cands, h)
-	mixed := ztilde // screening output is consumed; reuse as the mixed vector
+	sc.exact = growF32(sc.exact, len(cands))
+	exact = sc.exact
+	cls.LogitsRowsInto(exact, cands, h)
 	for j, c := range cands {
 		mixed[c] = exact[j]
 	}
@@ -92,7 +134,27 @@ func classifyApprox(cls *Classifier, scr *Screener, h []float32, sel Selection, 
 		tr.Add(telemetry.Span{Name: "select", Cat: "classify", TID: tid, Start: base + t1.Sub(t0).Nanoseconds(), Dur: t2.Sub(t1).Nanoseconds()})
 		tr.Add(telemetry.Span{Name: "exact-recompute", Cat: "classify", TID: tid, Start: base + t2.Sub(t0).Nanoseconds(), Dur: t3.Sub(t2).Nanoseconds()})
 	}
-	return &Result{Mixed: mixed, Candidates: cands, Exact: exact}
+	return cands, exact
+}
+
+// batchShardBudget splits GOMAXPROCS between inter-item workers and
+// intra-query GEMV shards: a full batch runs serial per-query kernels
+// on every core, a short batch lets each worker fan its screening
+// sweep across the idle cores.
+func batchShardBudget(items int) (workers, maxShards int) {
+	p := runtime.GOMAXPROCS(0)
+	workers = p
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	maxShards = p / workers
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	return workers, maxShards
 }
 
 // ClassifyBatch applies ClassifyApprox to a batch of hidden vectors,
@@ -108,13 +170,10 @@ func ClassifyBatch(cls *Classifier, scr *Screener, batch [][]float32, sel Select
 func ClassifyBatchTraced(cls *Classifier, scr *Screener, batch [][]float32, sel Selection, tr *telemetry.Tracer) []*Result {
 	start := time.Now()
 	out := make([]*Result, len(batch))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(batch) {
-		workers = len(batch)
-	}
+	workers, maxShards := batchShardBudget(len(batch))
 	if workers <= 1 {
 		for i, h := range batch {
-			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline, 0)
 		}
 	} else {
 		var next int64 = -1
@@ -128,7 +187,7 @@ func ClassifyBatchTraced(cls *Classifier, scr *Screener, batch [][]float32, sel 
 					if i >= len(batch) {
 						return
 					}
-					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid)
+					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid, maxShards)
 				}
 			}(telemetry.TrackPipeline + w)
 		}
@@ -149,30 +208,39 @@ func ClassifyApproxCtx(ctx context.Context, cls *Classifier, scr *Screener, h []
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline), nil
+	return classifyApprox(cls, scr, h, sel, telemetry.Global(), telemetry.TrackPipeline, 0), nil
+}
+
+// observeCancelledBatch records the work a batch performed before its
+// context was cancelled: without it, load-shedding makes dashboards
+// undercount both wall time burned and items actually classified.
+func observeCancelledBatch(start time.Time, completed int) {
+	mBatchCancelled.Inc()
+	mBatchNs.Observe(float64(time.Since(start)))
+	mBatchSize.Observe(float64(completed))
 }
 
 // ClassifyBatchCtx is ClassifyBatch with cancellation honored between
 // batch items: once ctx is done no further item starts (in-flight
 // items finish — they are short and read-only), and the call returns
 // ctx.Err() with a nil slice. Serving stacks use this so a client
-// disconnect or deadline stops burning CPU mid-batch.
+// disconnect or deadline stops burning CPU mid-batch. Cancelled
+// batches still observe batch_ns/batch_size (with the completed item
+// count) and bump the core.classify.batch_cancelled counter.
 func ClassifyBatchCtx(ctx context.Context, cls *Classifier, scr *Screener, batch [][]float32, sel Selection, tr *telemetry.Tracer) ([]*Result, error) {
 	start := time.Now()
 	out := make([]*Result, len(batch))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(batch) {
-		workers = len(batch)
-	}
+	workers, maxShards := batchShardBudget(len(batch))
 	done := ctx.Done()
 	if workers <= 1 {
 		for i, h := range batch {
 			select {
 			case <-done:
+				observeCancelledBatch(start, i)
 				return nil, ctx.Err()
 			default:
 			}
-			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline)
+			out[i] = classifyApprox(cls, scr, h, sel, tr, telemetry.TrackPipeline, 0)
 		}
 	} else {
 		var next int64 = -1
@@ -191,18 +259,85 @@ func ClassifyBatchCtx(ctx context.Context, cls *Classifier, scr *Screener, batch
 					if i >= len(batch) {
 						return
 					}
-					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid)
+					out[i] = classifyApprox(cls, scr, batch[i], sel, tr, tid, maxShards)
 				}
 			}(telemetry.TrackPipeline + w)
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
+			completed := 0
+			for _, r := range out {
+				if r != nil {
+					completed++
+				}
+			}
+			observeCancelledBatch(start, completed)
 			return nil, err
 		}
 	}
 	mBatchNs.Observe(float64(time.Since(start)))
 	mBatchSize.Observe(float64(len(batch)))
 	return out, nil
+}
+
+// ClassifyBatchVisitCtx is the zero-copy batch driver for serving
+// stacks: instead of materializing caller-owned Results (an l-sized
+// allocation per item — megabytes of garbage per request at extreme
+// scale), it invokes visit(i, res, sc) on the worker goroutine with
+// an arena-backed Result. The Result and anything reached through it
+// are recycled as soon as visit returns, so visit must copy out what
+// it keeps; sc is the worker's scratch, handy for scratch-backed
+// post-processing such as sc.TopK over res.Mixed. visit runs
+// concurrently across workers (for distinct items i), so it must not
+// touch shared state without synchronization beyond writing i-indexed
+// outputs. Cancellation and telemetry follow ClassifyBatchCtx.
+func ClassifyBatchVisitCtx(ctx context.Context, cls *Classifier, scr *Screener, batch [][]float32, sel Selection, tr *telemetry.Tracer, visit func(i int, res *Result, sc *Scratch)) error {
+	start := time.Now()
+	workers, maxShards := batchShardBudget(len(batch))
+	done := ctx.Done()
+	var completed atomic.Int64
+	runWorker := func(tid int, next *int64) {
+		sc := GetScratch()
+		defer sc.Release()
+		sc.MaxShards = maxShards
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			i := int(atomic.AddInt64(next, 1))
+			if i >= len(batch) {
+				return
+			}
+			sc.mixed = growF32(sc.mixed, scr.Cfg.Categories)
+			cands, exact := classifyInto(cls, scr, batch[i], sel, sc.mixed, sc, tr, tid)
+			sc.res = Result{Mixed: sc.mixed, Candidates: cands, Exact: exact}
+			visit(i, &sc.res, sc)
+			completed.Add(1)
+		}
+	}
+	var next int64 = -1
+	if workers <= 1 {
+		runWorker(telemetry.TrackPipeline, &next)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				runWorker(tid, &next)
+			}(telemetry.TrackPipeline + w)
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		observeCancelledBatch(start, int(completed.Load()))
+		return err
+	}
+	mBatchNs.Observe(float64(time.Since(start)))
+	mBatchSize.Observe(float64(len(batch)))
+	return nil
 }
 
 // SigmoidProbabilities normalizes the mixed vector element-wise with

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"enmc/internal/projection"
+	"enmc/internal/quant"
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// bigScreener builds a frozen screener large enough to clear the
+// shardMinRows gate, with random weights (no training — these tests
+// only care about numerics, not quality).
+func bigScreener(t testing.TB, l, d, k int) *Screener {
+	t.Helper()
+	r := xrand.New(31)
+	wt := tensor.NewMatrix(l, k)
+	for i := range wt.Data {
+		wt.Data[i] = r.Float32()*2 - 1
+	}
+	bt := make([]float32, l)
+	for i := range bt {
+		bt[i] = r.Float32()*2 - 1
+	}
+	s := &Screener{
+		Cfg: Config{Categories: l, Hidden: d, Reduced: k, Precision: quant.INT4, Seed: 7},
+		P:   projection.New(k, d, 7),
+		Wt:  wt,
+		Bt:  bt,
+	}
+	s.Freeze()
+	return s
+}
+
+func randHidden(r *xrand.RNG, d int) []float32 {
+	h := make([]float32, d)
+	for i := range h {
+		h[i] = r.Float32()*2 - 1
+	}
+	return h
+}
+
+// TestScreenIntoShardedBitIdentical forces the parallel GEMV path
+// (GOMAXPROCS is raised for the test — this box may have one core)
+// and checks it against the serial kernel bit-for-bit.
+func TestScreenIntoShardedBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const l, d, k = 2 * shardMinRows, 64, 16
+	scr := bigScreener(t, l, d, k)
+	h := randHidden(xrand.New(33), d)
+
+	serial := GetScratch()
+	serial.MaxShards = 1
+	want := make([]float32, l)
+	scr.ScreenInto(want, h, serial)
+	serial.Release()
+
+	sharded := GetScratch()
+	defer sharded.Release()
+	if got := sharded.shardCount(l); got < 2 {
+		t.Fatalf("shardCount(%d) = %d, want parallel", l, got)
+	}
+	got := make([]float32, l)
+	scr.ScreenInto(got, h, sharded)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: sharded %v != serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSelectTopMShardedBitIdentical forces the sharded top-m search
+// and checks the merged winners equal the serial selection exactly,
+// on a vector dense with ties.
+func TestSelectTopMShardedBitIdentical(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	r := xrand.New(35)
+	n := 2*shardMinRows + 123
+	z := make([]float32, n)
+	for i := range z {
+		z[i] = float32(r.Intn(1000)) // many ties
+	}
+	for _, m := range []int{1, 64, 4096} {
+		want := tensor.TopK(z, m)
+		sc := GetScratch()
+		if sc.shardCount(n) < 2 {
+			t.Fatalf("shardCount(%d) not parallel", n)
+		}
+		got := SelectCandidatesInto(z, TopM(m), sc)
+		if len(got) != len(want) {
+			t.Fatalf("m=%d: len %d != %d", m, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d pos %d: sharded %d != serial %d", m, i, got[i], want[i])
+			}
+		}
+		sc.Release()
+	}
+}
+
+// TestWeightBytesNoFreezeSideEffect pins the fix for the reporting
+// getter that used to quantize an unfrozen screener as a side effect:
+// WeightBytes must leave QW nil and still report exactly the deployed
+// footprint.
+func TestWeightBytesNoFreezeSideEffect(t *testing.T) {
+	for _, bits := range []quant.Bits{quant.INT2, quant.INT4, quant.INT8} {
+		scr, err := newScreener(Config{Categories: 37, Hidden: 16, Reduced: 5, Precision: bits, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := scr.WeightBytes()
+		if scr.QW != nil {
+			t.Fatalf("%v: WeightBytes froze the screener", bits)
+		}
+		scr.Freeze()
+		after := scr.QW.Bytes() + int64(len(scr.QW.Scales))*4 + int64(len(scr.Bt))*4 + scr.P.Bytes()
+		if before != after {
+			t.Fatalf("%v: WeightBytes %d != deployed %d", bits, before, after)
+		}
+	}
+}
+
+func approxModel(t testing.TB) (*Classifier, *Screener, []float32) {
+	t.Helper()
+	cls, samples := testModel(t, 512, 64, 1)
+	scr, _, err := TrainScreener(cls, samples, testConfig(512, 64), TrainOptions{Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls, scr, samples[0]
+}
+
+// TestClassifyApproxIntoMatchesClassifyApprox checks the arena-backed
+// pipeline returns exactly what the allocating one does, under both
+// selection policies, across repeated reuse of one scratch.
+func TestClassifyApproxIntoMatchesClassifyApprox(t *testing.T) {
+	cls, scr, h := approxModel(t)
+	sc := GetScratch()
+	defer sc.Release()
+	for _, sel := range []Selection{TopM(16), Threshold(0.5), TopM(3)} {
+		want := ClassifyApprox(cls, scr, h, sel)
+		got := ClassifyApproxInto(cls, scr, h, sel, sc)
+		if len(got.Mixed) != len(want.Mixed) || len(got.Candidates) != len(want.Candidates) {
+			t.Fatalf("%v: shape mismatch", sel)
+		}
+		for i := range want.Mixed {
+			if got.Mixed[i] != want.Mixed[i] {
+				t.Fatalf("%v: mixed[%d] %v != %v", sel, i, got.Mixed[i], want.Mixed[i])
+			}
+		}
+		for i := range want.Candidates {
+			if got.Candidates[i] != want.Candidates[i] || got.Exact[i] != want.Exact[i] {
+				t.Fatalf("%v: candidate %d mismatch", sel, i)
+			}
+		}
+	}
+}
+
+// TestClassifyApproxIntoZeroAlloc is the allocation contract of the
+// hot path: with a warmed scratch pinned to the serial kernels
+// (MaxShards=1 — the saturated-server configuration), steady-state
+// classification must not allocate at all.
+func TestClassifyApproxIntoZeroAlloc(t *testing.T) {
+	cls, scr, h := approxModel(t)
+	sc := GetScratch()
+	defer sc.Release()
+	sc.MaxShards = 1
+	sel := TopM(16)
+	ClassifyApproxInto(cls, scr, h, sel, sc) // warm the arena
+	allocs := testing.AllocsPerRun(50, func() {
+		ClassifyApproxInto(cls, scr, h, sel, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ClassifyApproxInto allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestClassifyBatchVisitCtxMatchesBatch checks the zero-copy batch
+// driver delivers every item, in order, with the same numbers as the
+// materializing API.
+func TestClassifyBatchVisitCtxMatchesBatch(t *testing.T) {
+	cls, samples := testModel(t, 256, 32, 9)
+	scr, _, err := TrainScreener(cls, samples, testConfig(256, 32), TrainOptions{Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := TopM(12)
+	want := ClassifyBatch(cls, scr, samples, sel)
+
+	type snap struct {
+		pred  int
+		cands []int
+		top1  float32
+	}
+	got := make([]*snap, len(samples))
+	err = ClassifyBatchVisitCtx(context.Background(), cls, scr, samples, sel, nil,
+		func(i int, r *Result, sc *Scratch) {
+			got[i] = &snap{
+				pred:  r.Predict(),
+				cands: append([]int(nil), r.Candidates...),
+				top1:  r.Mixed[sc.TopK(r.Mixed, 1)[0]],
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		g := got[i]
+		if g == nil {
+			t.Fatalf("item %d not visited", i)
+		}
+		if g.pred != w.Predict() {
+			t.Fatalf("item %d: pred %d != %d", i, g.pred, w.Predict())
+		}
+		if len(g.cands) != len(w.Candidates) {
+			t.Fatalf("item %d: candidate count", i)
+		}
+		for j := range g.cands {
+			if g.cands[j] != w.Candidates[j] {
+				t.Fatalf("item %d: candidates differ", i)
+			}
+		}
+		if g.top1 != w.Mixed[w.TopPredictions(1)[0]] {
+			t.Fatalf("item %d: top-1 logit differs", i)
+		}
+	}
+}
+
+// TestClassifyBatchVisitCtxCancelled checks a pre-cancelled context
+// stops the visit driver, reports the error, and bumps the
+// cancelled-batch counter.
+func TestClassifyBatchVisitCtxCancelled(t *testing.T) {
+	cls, samples := testModel(t, 128, 32, 4)
+	scr, _, err := TrainScreener(cls, samples, testConfig(128, 32), TrainOptions{Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := mBatchCancelled.Value()
+	visited := 0
+	err = ClassifyBatchVisitCtx(ctx, cls, scr, samples, TopM(4), nil,
+		func(int, *Result, *Scratch) { visited++ })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if visited != 0 {
+		t.Fatalf("visited %d items under a dead context", visited)
+	}
+	if mBatchCancelled.Value() != before+1 {
+		t.Fatal("cancelled batch not counted")
+	}
+}
+
+// TestClassifyBatchCtxCancelledTelemetry pins the satellite fix: a
+// cancelled ClassifyBatchCtx must record batch telemetry rather than
+// vanish from the dashboards.
+func TestClassifyBatchCtxCancelledTelemetry(t *testing.T) {
+	cls, samples := testModel(t, 128, 32, 4)
+	scr, _, err := TrainScreener(cls, samples, testConfig(128, 32), TrainOptions{Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	beforeCancelled := mBatchCancelled.Value()
+	beforeBatches := mBatchNs.Count()
+	res, err := ClassifyBatchCtx(ctx, cls, scr, samples, TopM(4), nil)
+	if err != context.Canceled || res != nil {
+		t.Fatalf("ClassifyBatchCtx = %v, %v", res, err)
+	}
+	if mBatchCancelled.Value() != beforeCancelled+1 {
+		t.Fatal("cancelled batch not counted")
+	}
+	if mBatchNs.Count() != beforeBatches+1 {
+		t.Fatal("cancelled batch did not observe batch_ns")
+	}
+}
+
+// TestScratchPoolRace hammers the scratch pool from every public
+// entry point at once; run under -race (make check / make ci) this
+// verifies the pool recycling and the sharded kernels are data-race
+// free.
+func TestScratchPoolRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	cls, samples := testModel(t, 256, 32, 8)
+	scr, _, err := TrainScreener(cls, samples, testConfig(256, 32), TrainOptions{Epochs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := TopM(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				switch g % 3 {
+				case 0:
+					ClassifyBatch(cls, scr, samples, sel)
+				case 1:
+					if err := ClassifyBatchVisitCtx(context.Background(), cls, scr, samples, sel, nil,
+						func(i int, r *Result, sc *Scratch) { _ = r.Predict() }); err != nil {
+						t.Error(err)
+					}
+				default:
+					sc := GetScratch()
+					for _, h := range samples {
+						ClassifyApproxInto(cls, scr, h, sel, sc)
+					}
+					sc.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"enmc/internal/projection"
 	"enmc/internal/quant"
@@ -94,18 +95,53 @@ func (s *Screener) Project(h []float32) []float32 {
 // projected feature is quantized to the screening precision, the
 // integer MAC array accumulates, and the bias is added in float.
 func (s *Screener) Screen(h []float32) []float32 {
+	sc := GetScratch()
+	defer sc.Release()
+	z := make([]float32, s.Cfg.Categories)
+	s.ScreenInto(z, h, sc)
+	return z
+}
+
+// ScreenInto is Screen with a caller-provided destination (length l)
+// and scratch arena: the projection, quantization and GEMV all run in
+// reused buffers, so the steady-state cost is zero allocations. For
+// large category counts the GEMV is sharded row-wise across
+// goroutines (up to sc.MaxShards); every shard writes a disjoint dst
+// range with the same per-row integer math, so the output is
+// bit-identical to the serial kernel.
+func (s *Screener) ScreenInto(dst, h []float32, sc *Scratch) {
 	if len(h) != s.Cfg.Hidden {
 		panic(fmt.Sprintf("core: Screen hidden %d != %d", len(h), s.Cfg.Hidden))
+	}
+	if len(dst) != s.Cfg.Categories {
+		panic(fmt.Sprintf("core: Screen dst %d != %d", len(dst), s.Cfg.Categories))
 	}
 	if s.QW == nil {
 		panic("core: Screen called before Freeze")
 	}
-	ph := s.Project(h)
-	qh := quant.QuantizeVector(ph, s.Cfg.Precision)
-	z := make([]float32, s.Cfg.Categories)
-	s.QW.MatVec(z, qh)
-	tensor.Add(z, z, s.Bt)
-	return z
+	sc.projected = growF32(sc.projected, s.Cfg.Reduced)
+	s.P.Apply(sc.projected, h)
+	quant.QuantizeVectorInto(&sc.q, sc.projected, s.Cfg.Precision)
+	shards := sc.shardCount(s.Cfg.Categories)
+	if shards <= 1 {
+		s.QW.MatVec(dst, &sc.q)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (s.QW.Rows + shards - 1) / shards
+		for lo := 0; lo < s.QW.Rows; lo += chunk {
+			hi := lo + chunk
+			if hi > s.QW.Rows {
+				hi = s.QW.Rows
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s.QW.MatVecRange(dst, &sc.q, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	tensor.Add(dst, dst, s.Bt)
 }
 
 // ScreenFloat computes z̃ on the float32 master weights (no
@@ -119,12 +155,13 @@ func (s *Screener) ScreenFloat(h []float32) []float32 {
 }
 
 // WeightBytes reports the deployed screener footprint: quantized W̃,
-// per-row scales, float bias, and the 2-bit projection matrix.
+// per-row scales, float bias, and the 2-bit projection matrix. The
+// size is computed from the configuration alone — a reporting getter
+// must not quantize an unfrozen screener as a side effect, so QW is
+// left untouched; the value matches what Freeze would deploy exactly.
 func (s *Screener) WeightBytes() int64 {
-	if s.QW == nil {
-		s.Freeze()
-	}
-	return s.QW.Bytes() + int64(len(s.QW.Scales))*4 + int64(len(s.Bt))*4 + s.P.Bytes()
+	qBytes := (int64(s.Cfg.Categories)*int64(s.Cfg.Reduced)*int64(s.Cfg.Precision) + 7) / 8
+	return qBytes + int64(s.Cfg.Categories)*4 + int64(len(s.Bt))*4 + s.P.Bytes()
 }
 
 // ScreenBatch computes approximate logits for a batch of hidden

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"enmc/internal/tensor"
 )
@@ -55,6 +56,50 @@ func SelectCandidates(ztilde []float32, sel Selection) []int {
 	default:
 		panic(fmt.Sprintf("core: unknown selection method %d", sel.Method))
 	}
+}
+
+// SelectCandidatesInto is SelectCandidates with scratch-backed
+// storage: the returned slice aliases sc and is overwritten by the
+// next selection through it. For large category counts the top-m
+// search shards across goroutines (each shard keeps its own partial
+// heap over a disjoint row range, and the shard winners are merged),
+// returning exactly the serial result — the global top-m is a subset
+// of the shard winners and the (value, index) comparator is a total
+// order.
+func SelectCandidatesInto(ztilde []float32, sel Selection, sc *Scratch) []int {
+	switch sel.Method {
+	case SelectTopM:
+		return sc.selectTopM(ztilde, sel.M)
+	case SelectThreshold:
+		sc.cands = tensor.AboveThresholdInto(sc.cands, ztilde, sel.Threshold)
+		return sc.cands
+	default:
+		panic(fmt.Sprintf("core: unknown selection method %d", sel.Method))
+	}
+}
+
+func (sc *Scratch) selectTopM(ztilde []float32, m int) []int {
+	shards := sc.shardCount(len(ztilde))
+	if shards <= 1 {
+		return tensor.TopKInto(ztilde, m, &sc.sel)
+	}
+	bufs, lists := sc.shardBufs(shards)
+	chunk := (len(ztilde) + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(ztilde) {
+			hi = len(ztilde)
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			lists[s] = tensor.TopKRange(ztilde, lo, hi, m, &bufs[s])
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	return tensor.TopKMerge(ztilde, lists, m, &sc.sel)
 }
 
 // CalibrateThreshold tunes a threshold on validation features so the

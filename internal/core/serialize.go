@@ -127,6 +127,7 @@ func ReadScreener(r io.Reader) (*Screener, error) {
 			Scales: scales, Q: q,
 		},
 	}
+	scr.QW.BuildAccel()
 	return scr, nil
 }
 

@@ -83,22 +83,73 @@ func (p *Sparse) At(row, col int) int {
 func (p *Sparse) Bytes() int64 { return int64(len(p.packed)) }
 
 // Apply computes dst = P·h, where dst has length K and h length D.
-// Only additions/subtractions plus one final scale per output are
-// performed, matching the hardware cost model.
+// Only additions/subtracts plus one final scale per output are
+// performed, matching the hardware cost model. Apply is the
+// destination-reuse variant the allocation-free classify path runs
+// on; the kernel walks the packed storage a byte (four trits) at a
+// time, skipping all-zero bytes outright — about a fifth of them at
+// the Achlioptas 2/3 sparsity — instead of re-deriving a bit offset
+// per entry. The additions execute in the same ascending-j order as
+// the scalar definition, so results are bit-identical.
 func (p *Sparse) Apply(dst, h []float32) {
 	if len(h) != p.D || len(dst) != p.K {
 		panic(fmt.Sprintf("projection: Apply shapes %dx%d · %d -> %d", p.K, p.D, len(h), len(dst)))
 	}
 	for i := 0; i < p.K; i++ {
 		var acc float32
-		base := i * p.D
-		for j := 0; j < p.D; j++ {
-			switch p.trit(base + j) {
+		t := i * p.D
+		end := t + p.D
+		j := 0
+		// Head: rows need not start on a byte boundary when D%4 != 0.
+		for ; t%4 != 0 && t < end; t++ {
+			switch p.packed[t>>2] >> (uint(t&3) * 2) & 0b11 {
 			case tritPlus:
 				acc += h[j]
 			case tritMinus:
 				acc -= h[j]
 			}
+			j++
+		}
+		for ; t+4 <= end; t += 4 {
+			b := p.packed[t>>2]
+			if b == 0 {
+				j += 4
+				continue
+			}
+			switch b & 0b11 {
+			case tritPlus:
+				acc += h[j]
+			case tritMinus:
+				acc -= h[j]
+			}
+			switch b >> 2 & 0b11 {
+			case tritPlus:
+				acc += h[j+1]
+			case tritMinus:
+				acc -= h[j+1]
+			}
+			switch b >> 4 & 0b11 {
+			case tritPlus:
+				acc += h[j+2]
+			case tritMinus:
+				acc -= h[j+2]
+			}
+			switch b >> 6 & 0b11 {
+			case tritPlus:
+				acc += h[j+3]
+			case tritMinus:
+				acc -= h[j+3]
+			}
+			j += 4
+		}
+		for ; t < end; t++ {
+			switch p.packed[t>>2] >> (uint(t&3) * 2) & 0b11 {
+			case tritPlus:
+				acc += h[j]
+			case tritMinus:
+				acc -= h[j]
+			}
+			j++
 		}
 		dst[i] = acc * p.Scale
 	}

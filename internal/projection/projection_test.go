@@ -87,6 +87,49 @@ func TestApplyMatchesDense(t *testing.T) {
 	}
 }
 
+// TestApplyBitIdenticalToScalar pins the byte-walking kernel to the
+// trit-at-a-time scalar definition exactly (same ascending-j addition
+// order), across D values that exercise the unaligned head, the
+// aligned body, and the tail.
+func TestApplyBitIdenticalToScalar(t *testing.T) {
+	r := xrand.New(13)
+	for _, k := range []int{1, 3, 8} {
+		for _, d := range []int{1, 2, 3, 4, 5, 7, 8, 9, 33, 130} {
+			p := New(k, d, uint64(k*1000+d))
+			h := make([]float32, d)
+			for i := range h {
+				h[i] = r.NormFloat32()
+			}
+			got := make([]float32, k)
+			p.Apply(got, h)
+			for i := 0; i < k; i++ {
+				var acc float32
+				for j := 0; j < d; j++ {
+					switch p.At(i, j) {
+					case 1:
+						acc += h[j]
+					case -1:
+						acc -= h[j]
+					}
+				}
+				if want := acc * p.Scale; got[i] != want {
+					t.Fatalf("k=%d d=%d row %d: kernel %v != scalar %v", k, d, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyZeroAlloc(t *testing.T) {
+	p := New(32, 128, 5)
+	h := make([]float32, 128)
+	dst := make([]float32, 32)
+	allocs := testing.AllocsPerRun(20, func() { p.Apply(dst, h) })
+	if allocs != 0 {
+		t.Fatalf("Apply allocates %v/op", allocs)
+	}
+}
+
 func TestApplyShapePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,186 @@
+package quant
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enmc/internal/tensor"
+	"enmc/internal/xrand"
+)
+
+// refMatVec is the plain scalar GEMV (one row, one column at a time)
+// the blocked/unrolled kernel must reproduce bit-for-bit: int32
+// accumulation is associative, so any summation order gives the same
+// integer, and the final float multiply is identical.
+func refMatVec(m *Matrix, x *Vector) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = float32(m.DotInt32(i, x.Q)) * m.Scales[i] * x.Scale
+	}
+	return out
+}
+
+func randQuantized(r *xrand.RNG, rows, cols int, bits Bits) (*Matrix, *Vector) {
+	w := tensor.NewMatrix(rows, cols)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	x := make([]float32, cols)
+	for i := range x {
+		x[i] = r.NormFloat32()
+	}
+	return QuantizeMatrix(w, bits), QuantizeVector(x, bits)
+}
+
+// TestMatVecBitIdenticalToScalar sweeps odd shapes around the 4-row
+// block and 8-wide unroll boundaries at every supported precision.
+func TestMatVecBitIdenticalToScalar(t *testing.T) {
+	r := xrand.New(21)
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 37} {
+			// 255/256/257/600 straddle the SWAR kernel's 256-column
+			// chunk flush; 600 forces multiple chunks plus a tail.
+			for _, cols := range []int{1, 3, 7, 8, 9, 15, 16, 17, 67, 255, 256, 257, 600} {
+				qm, qx := randQuantized(r, rows, cols, bits)
+				got := make([]float32, rows)
+				qm.MatVec(got, qx)
+				want := refMatVec(qm, qx)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v %dx%d row %d: blocked %v != scalar %v", bits, rows, cols, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatVecRangeCoversAndIsDisjoint splits the rows into random
+// ranges and checks the union reproduces the full kernel while rows
+// outside each range stay untouched.
+func TestMatVecRangeCoversAndIsDisjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows := 1 + r.Intn(40)
+		cols := 1 + r.Intn(40)
+		qm, qx := randQuantized(r, rows, cols, INT4)
+		want := make([]float32, rows)
+		qm.MatVec(want, qx)
+
+		const sentinel = float32(-1e30)
+		got := make([]float32, rows)
+		for i := range got {
+			got[i] = sentinel
+		}
+		lo := 0
+		for lo < rows {
+			hi := lo + 1 + r.Intn(rows-lo)
+			qm.MatVecRange(got, qx, lo, hi)
+			lo = hi
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		// Empty range writes nothing.
+		probe := make([]float32, rows)
+		for i := range probe {
+			probe[i] = sentinel
+		}
+		qm.MatVecRange(probe, qx, 0, 0)
+		for _, v := range probe {
+			if v != sentinel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVecRangePanicsOnBadRange(t *testing.T) {
+	qm, qx := randQuantized(xrand.New(5), 8, 8, INT4)
+	dst := make([]float32, 8)
+	for _, bad := range [][2]int{{-1, 4}, {2, 9}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MatVecRange(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			qm.MatVecRange(dst, qx, bad[0], bad[1])
+		}()
+	}
+}
+
+// TestMatVecBatchBitIdenticalToPerVector checks the weight-stationary
+// batch loop against per-vector MatVec on shapes that exercise the
+// row-block and unroll tails.
+func TestMatVecBatchBitIdenticalToPerVector(t *testing.T) {
+	r := xrand.New(23)
+	for _, bits := range []Bits{INT2, INT4, INT8} {
+		for _, shape := range [][2]int{{1, 1}, {3, 5}, {4, 8}, {6, 9}, {13, 33}} {
+			rows, cols := shape[0], shape[1]
+			w := tensor.NewMatrix(rows, cols)
+			for i := range w.Data {
+				w.Data[i] = r.NormFloat32()
+			}
+			qm := QuantizeMatrix(w, bits)
+			batch := 1 + r.Intn(5)
+			xs := make([]*Vector, batch)
+			got := make([][]float32, batch)
+			for b := range xs {
+				x := make([]float32, cols)
+				for i := range x {
+					x[i] = r.NormFloat32()
+				}
+				xs[b] = QuantizeVector(x, bits)
+				got[b] = make([]float32, rows)
+			}
+			qm.MatVecBatch(got, xs)
+			for b, x := range xs {
+				want := make([]float32, rows)
+				qm.MatVec(want, x)
+				for i := range want {
+					if got[b][i] != want[i] {
+						t.Fatalf("%v %dx%d batch %d row %d: got %v want %v", bits, rows, cols, b, i, got[b][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeVectorIntoReuse checks that a reused destination (grown
+// then shrunk) produces exactly what a fresh quantization would.
+func TestQuantizeVectorIntoReuse(t *testing.T) {
+	r := xrand.New(29)
+	var dst Vector
+	for _, n := range []int{64, 8, 33, 1, 64} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = r.NormFloat32()
+		}
+		QuantizeVectorInto(&dst, x, INT4)
+		fresh := QuantizeVector(x, INT4)
+		if dst.Scale != fresh.Scale || dst.Bits != fresh.Bits || len(dst.Q) != len(fresh.Q) {
+			t.Fatalf("n=%d: header mismatch", n)
+		}
+		for i := range fresh.Q {
+			if dst.Q[i] != fresh.Q[i] {
+				t.Fatalf("n=%d: Q[%d] = %d, want %d", n, i, dst.Q[i], fresh.Q[i])
+			}
+		}
+	}
+	// Steady state must not allocate once the buffer has grown.
+	x := make([]float32, 64)
+	allocs := testing.AllocsPerRun(20, func() {
+		QuantizeVectorInto(&dst, x, INT4)
+	})
+	if allocs != 0 {
+		t.Fatalf("QuantizeVectorInto steady state allocates %v/op", allocs)
+	}
+}

@@ -43,22 +43,54 @@ type Vector struct {
 	Bits  Bits
 	Scale float32
 	Q     []int8
+
+	// biased caches q + (MaxLevel+1) as uint64 scalars for the SWAR
+	// GEMV kernel (INT2/INT4 only; nil otherwise). Maintained by
+	// QuantizeVectorInto; vectors built by hand simply fall back to
+	// the scalar kernel.
+	biased []uint64
 }
 
 // QuantizeVector quantizes x symmetrically at the given precision.
 // A zero vector gets scale 1 so dequantization stays well-defined.
 func QuantizeVector(x []float32, bits Bits) *Vector {
+	v := &Vector{}
+	QuantizeVectorInto(v, x, bits)
+	return v
+}
+
+// QuantizeVectorInto quantizes x into dst, reusing dst.Q when its
+// capacity suffices — the destination-reuse variant the allocation-
+// free classify path runs on. The result is identical to
+// QuantizeVector.
+func QuantizeVectorInto(dst *Vector, x []float32, bits Bits) {
 	maxLevel := bits.MaxLevel()
 	maxAbs := tensor.MaxAbs(x)
 	scale := maxAbs / float32(maxLevel)
 	if scale == 0 {
 		scale = 1
 	}
-	q := make([]int8, len(x))
-	for i, v := range x {
-		q[i] = clampRound(v/scale, maxLevel)
+	if cap(dst.Q) < len(x) {
+		dst.Q = make([]int8, len(x))
 	}
-	return &Vector{Bits: bits, Scale: scale, Q: q}
+	dst.Q = dst.Q[:len(x)]
+	for i, v := range x {
+		dst.Q[i] = clampRound(v/scale, maxLevel)
+	}
+	dst.Bits = bits
+	dst.Scale = scale
+	if bits <= INT4 {
+		if cap(dst.biased) < len(x) {
+			dst.biased = make([]uint64, len(x))
+		}
+		dst.biased = dst.biased[:len(x)]
+		bias := int32(maxLevel) + 1
+		for i, q := range dst.Q {
+			dst.biased[i] = uint64(int32(q) + bias)
+		}
+	} else {
+		dst.biased = nil
+	}
 }
 
 // Dequantize reconstructs the float32 vector.
@@ -78,6 +110,48 @@ type Matrix struct {
 	Rows, Cols int
 	Scales     []float32 // len Rows
 	Q          []int8    // len Rows*Cols
+
+	// SWAR acceleration structure (INT2/INT4 only), built by
+	// BuildAccel: panels packs each aligned 4-row group column-major —
+	// panels[(i/4)*Cols+j] holds rows i..i+3 at column j as biased
+	// (always-positive) 16-bit lanes — and rowSums holds per-row Σq for
+	// the bias correction. Matrices assembled by hand (e.g. the
+	// deserializer) may leave these nil; MatVec then falls back to the
+	// scalar-blocked kernel.
+	panels  []uint64
+	rowSums []int32
+}
+
+// BuildAccel (re)builds the SWAR panel packing from Q. It is called
+// by the quantizers and is safe to call on any fully-populated
+// matrix; INT8 matrices have no packing (16-bit lanes would overflow)
+// and reset it to nil.
+func (m *Matrix) BuildAccel() {
+	if m.Bits > INT4 {
+		m.panels, m.rowSums = nil, nil
+		return
+	}
+	m.rowSums = make([]int32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s int32
+		for _, q := range m.Row(i) {
+			s += int32(q)
+		}
+		m.rowSums[i] = s
+	}
+	bias := m.Bits.MaxLevel() + 1
+	n := m.Cols
+	m.panels = make([]uint64, (m.Rows/4)*n)
+	for p := 0; p < m.Rows/4; p++ {
+		r0, r1, r2, r3 := m.Row(4*p), m.Row(4*p+1), m.Row(4*p+2), m.Row(4*p+3)
+		dst := m.panels[p*n : (p+1)*n]
+		for j := 0; j < n; j++ {
+			dst[j] = uint64(int32(r0[j])+bias) |
+				uint64(int32(r1[j])+bias)<<16 |
+				uint64(int32(r2[j])+bias)<<32 |
+				uint64(int32(r3[j])+bias)<<48
+		}
+	}
 }
 
 // QuantizeMatrix quantizes m row-wise at the given precision.
@@ -102,6 +176,7 @@ func QuantizeMatrix(m *tensor.Matrix, bits Bits) *Matrix {
 			qrow[j] = clampRound(v/scale, maxLevel)
 		}
 	}
+	qm.BuildAccel()
 	return qm
 }
 
@@ -127,6 +202,7 @@ func QuantizeMatrixPerTensor(m *tensor.Matrix, bits Bits) *Matrix {
 	for i, v := range m.Data {
 		qm.Q[i] = clampRound(v/scale, maxLevel)
 	}
+	qm.BuildAccel()
 	return qm
 }
 
@@ -156,18 +232,234 @@ func (m *Matrix) Bytes() int64 {
 // MatVec computes dst = dequant(m)·dequant(x) using the integer
 // datapath: per-row int32 accumulation of int8 products, then a
 // single float multiply by (rowScale · xScale). This is bit-exact
-// with what the Screener MAC array computes.
+// with what the Screener MAC array computes. The inner loop is a
+// 4-row-blocked, 8-wide-unrolled kernel: the activation loads are
+// amortized across four weight rows and the unroll breaks the
+// accumulation dependency chain — integer addition is associative,
+// so the result is bit-identical to the scalar loop.
 func (m *Matrix) MatVec(dst []float32, x *Vector) {
 	if len(x.Q) != m.Cols || len(dst) != m.Rows {
 		panic(fmt.Sprintf("quant: MatVec shapes %dx%d · %d -> %d", m.Rows, m.Cols, len(x.Q), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var acc int32
-		for j, q := range row {
-			acc += int32(q) * int32(x.Q[j])
+	m.matVecRange(dst, x, 0, m.Rows)
+}
+
+// MatVecRange computes dst[i] = dequant(m).Row(i)·dequant(x) for rows
+// lo ≤ i < hi only, leaving the rest of dst untouched. dst is indexed
+// globally (length m.Rows), so disjoint ranges can be filled from
+// concurrent goroutines — the shard kernel of the intra-query
+// parallel screening GEMV.
+func (m *Matrix) MatVecRange(dst []float32, x *Vector, lo, hi int) {
+	if len(x.Q) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("quant: MatVecRange shapes %dx%d · %d -> %d", m.Rows, m.Cols, len(x.Q), len(dst)))
+	}
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("quant: MatVecRange rows [%d,%d) of %d", lo, hi, m.Rows))
+	}
+	m.matVecRange(dst, x, lo, hi)
+}
+
+// matVecRange dispatches to the fastest kernel available: the SWAR
+// path needs the matrix panel packing and a biased vector cache (both
+// INT2/INT4-only); anything else — INT8, hand-assembled operands —
+// takes the scalar-blocked kernel. Both produce the same int32 row
+// sums, so the choice is invisible in the output bits.
+func (m *Matrix) matVecRange(dst []float32, x *Vector, lo, hi int) {
+	if m.panels != nil && x.biased != nil && len(x.biased) == m.Cols {
+		m.matVecRangeSWAR(dst, x, lo, hi)
+		return
+	}
+	m.matVecRangeBlocked(dst, x, lo, hi)
+}
+
+// matVecRangeSWAR is the 4-rows-per-word GEMV kernel. Weights and
+// activations are biased to be strictly positive (w' = w+bw,
+// x' = x+bx with b = MaxLevel+1), four weight rows live in the 16-bit
+// lanes of one uint64, and a single 64-bit multiply by the scalar x'
+// then performs four MACs at once: lane products are at most 15·15
+// and per-lane sums are flushed to int32 accumulators every 256
+// columns, so lanes can never carry into each other. The bias is
+// removed exactly afterwards — Σw'x' = Σwx + bx·Σw + bw·Σx + n·bw·bx,
+// with Σw per row precomputed by BuildAccel — so the result is the
+// same integer the scalar kernel accumulates, hence bit-identical
+// output.
+func (m *Matrix) matVecRangeSWAR(dst []float32, x *Vector, lo, hi int) {
+	n := m.Cols
+	xb := x.biased
+	bw := m.Bits.MaxLevel() + 1
+	bx := x.Bits.MaxLevel() + 1
+	var sumX int32
+	for _, q := range x.Q {
+		sumX += int32(q)
+	}
+	xcorr := bw*sumX + int32(n)*bw*bx
+	xs := x.Scale
+
+	// Rows before the first aligned panel and past the last one run on
+	// the scalar kernel.
+	if r := lo & 3; r != 0 {
+		edge := lo + 4 - r
+		if edge > hi {
+			edge = hi
 		}
-		dst[i] = float32(acc) * m.Scales[i] * x.Scale
+		m.matVecRangeBlocked(dst, x, lo, edge)
+		lo = edge
+	}
+	aligned := m.Rows &^ 3
+	if aligned > hi {
+		aligned = hi
+	}
+	i := lo
+	// Two panel groups (8 rows) per pass: the activation lane vector
+	// is loaded once and feeds both panel streams, halving the load
+	// traffic that bounds the single-group loop.
+	for ; i+8 <= aligned; i += 8 {
+		base := (i >> 2) * n
+		pw0 := m.panels[base : base+n : base+n]
+		pw1 := m.panels[base+n : base+2*n : base+2*n]
+		var a0, a1, a2, a3, a4, a5, a6, a7 int32
+		j := 0
+		for j < n {
+			end := j + 256
+			if end > n {
+				end = n
+			}
+			cw0 := pw0[j:end]
+			cw1 := pw1[j:end][:len(cw0)]
+			cx := xb[j:end][:len(cw0)]
+			var accA0, accA1, accB0, accB1 uint64
+			t := 0
+			for ; t+8 <= len(cw0); t += 8 {
+				x0, x1, x2, x3 := cx[t], cx[t+1], cx[t+2], cx[t+3]
+				accA0 += cw0[t]*x0 + cw0[t+1]*x1 + cw0[t+2]*x2 + cw0[t+3]*x3
+				accB0 += cw1[t]*x0 + cw1[t+1]*x1 + cw1[t+2]*x2 + cw1[t+3]*x3
+				x4, x5, x6, x7 := cx[t+4], cx[t+5], cx[t+6], cx[t+7]
+				accA1 += cw0[t+4]*x4 + cw0[t+5]*x5 + cw0[t+6]*x6 + cw0[t+7]*x7
+				accB1 += cw1[t+4]*x4 + cw1[t+5]*x5 + cw1[t+6]*x6 + cw1[t+7]*x7
+			}
+			for ; t < len(cw0); t++ {
+				accA0 += cw0[t] * cx[t]
+				accB0 += cw1[t] * cx[t]
+			}
+			accA := accA0 + accA1
+			accB := accB0 + accB1
+			a0 += int32(accA & 0xffff)
+			a1 += int32(accA >> 16 & 0xffff)
+			a2 += int32(accA >> 32 & 0xffff)
+			a3 += int32(accA >> 48 & 0xffff)
+			a4 += int32(accB & 0xffff)
+			a5 += int32(accB >> 16 & 0xffff)
+			a6 += int32(accB >> 32 & 0xffff)
+			a7 += int32(accB >> 48 & 0xffff)
+			j = end
+		}
+		dst[i] = float32(a0-bx*m.rowSums[i]-xcorr) * m.Scales[i] * xs
+		dst[i+1] = float32(a1-bx*m.rowSums[i+1]-xcorr) * m.Scales[i+1] * xs
+		dst[i+2] = float32(a2-bx*m.rowSums[i+2]-xcorr) * m.Scales[i+2] * xs
+		dst[i+3] = float32(a3-bx*m.rowSums[i+3]-xcorr) * m.Scales[i+3] * xs
+		dst[i+4] = float32(a4-bx*m.rowSums[i+4]-xcorr) * m.Scales[i+4] * xs
+		dst[i+5] = float32(a5-bx*m.rowSums[i+5]-xcorr) * m.Scales[i+5] * xs
+		dst[i+6] = float32(a6-bx*m.rowSums[i+6]-xcorr) * m.Scales[i+6] * xs
+		dst[i+7] = float32(a7-bx*m.rowSums[i+7]-xcorr) * m.Scales[i+7] * xs
+	}
+	for ; i+4 <= aligned; i += 4 {
+		base := (i >> 2) * n
+		pw := m.panels[base : base+n : base+n]
+		var a0, a1, a2, a3 int32
+		j := 0
+		for j < n {
+			end := j + 256
+			if end > n {
+				end = n
+			}
+			// Equal-length chunk slices so the compiler drops the
+			// bounds checks; two accumulators break the add dependency
+			// chain (each covers ≤128 columns, so lanes stay <2¹⁶ even
+			// after the final lane-wise add).
+			cw := pw[j:end]
+			cx := xb[j:end][:len(cw)]
+			var acc0, acc1 uint64
+			t := 0
+			for ; t+8 <= len(cw); t += 8 {
+				acc0 += cw[t]*cx[t] + cw[t+1]*cx[t+1] + cw[t+2]*cx[t+2] + cw[t+3]*cx[t+3]
+				acc1 += cw[t+4]*cx[t+4] + cw[t+5]*cx[t+5] + cw[t+6]*cx[t+6] + cw[t+7]*cx[t+7]
+			}
+			for ; t < len(cw); t++ {
+				acc0 += cw[t] * cx[t]
+			}
+			acc := acc0 + acc1
+			a0 += int32(acc & 0xffff)
+			a1 += int32(acc >> 16 & 0xffff)
+			a2 += int32(acc >> 32 & 0xffff)
+			a3 += int32(acc >> 48 & 0xffff)
+			j = end
+		}
+		dst[i] = float32(a0-bx*m.rowSums[i]-xcorr) * m.Scales[i] * xs
+		dst[i+1] = float32(a1-bx*m.rowSums[i+1]-xcorr) * m.Scales[i+1] * xs
+		dst[i+2] = float32(a2-bx*m.rowSums[i+2]-xcorr) * m.Scales[i+2] * xs
+		dst[i+3] = float32(a3-bx*m.rowSums[i+3]-xcorr) * m.Scales[i+3] * xs
+	}
+	if i < hi {
+		m.matVecRangeBlocked(dst, x, i, hi)
+	}
+}
+
+// matVecRangeBlocked is the portable 4-row-blocked, 8-wide-unrolled
+// scalar kernel: activation loads are amortized across four weight
+// rows and the unroll breaks the accumulation dependency chain.
+func (m *Matrix) matVecRangeBlocked(dst []float32, x *Vector, lo, hi int) {
+	xq := x.Q
+	n := len(xq)
+	cols := m.Cols
+	xs := x.Scale
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		base := i * cols
+		r0 := m.Q[base : base+n : base+n]
+		r1 := m.Q[base+cols : base+cols+n : base+cols+n]
+		r2 := m.Q[base+2*cols : base+2*cols+n : base+2*cols+n]
+		r3 := m.Q[base+3*cols : base+3*cols+n : base+3*cols+n]
+		var a0, a1, a2, a3 int32
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			x0, x1, x2, x3 := int32(xq[j]), int32(xq[j+1]), int32(xq[j+2]), int32(xq[j+3])
+			x4, x5, x6, x7 := int32(xq[j+4]), int32(xq[j+5]), int32(xq[j+6]), int32(xq[j+7])
+			a0 += int32(r0[j])*x0 + int32(r0[j+1])*x1 + int32(r0[j+2])*x2 + int32(r0[j+3])*x3 +
+				int32(r0[j+4])*x4 + int32(r0[j+5])*x5 + int32(r0[j+6])*x6 + int32(r0[j+7])*x7
+			a1 += int32(r1[j])*x0 + int32(r1[j+1])*x1 + int32(r1[j+2])*x2 + int32(r1[j+3])*x3 +
+				int32(r1[j+4])*x4 + int32(r1[j+5])*x5 + int32(r1[j+6])*x6 + int32(r1[j+7])*x7
+			a2 += int32(r2[j])*x0 + int32(r2[j+1])*x1 + int32(r2[j+2])*x2 + int32(r2[j+3])*x3 +
+				int32(r2[j+4])*x4 + int32(r2[j+5])*x5 + int32(r2[j+6])*x6 + int32(r2[j+7])*x7
+			a3 += int32(r3[j])*x0 + int32(r3[j+1])*x1 + int32(r3[j+2])*x2 + int32(r3[j+3])*x3 +
+				int32(r3[j+4])*x4 + int32(r3[j+5])*x5 + int32(r3[j+6])*x6 + int32(r3[j+7])*x7
+		}
+		for ; j < n; j++ {
+			xv := int32(xq[j])
+			a0 += int32(r0[j]) * xv
+			a1 += int32(r1[j]) * xv
+			a2 += int32(r2[j]) * xv
+			a3 += int32(r3[j]) * xv
+		}
+		dst[i] = float32(a0) * m.Scales[i] * xs
+		dst[i+1] = float32(a1) * m.Scales[i+1] * xs
+		dst[i+2] = float32(a2) * m.Scales[i+2] * xs
+		dst[i+3] = float32(a3) * m.Scales[i+3] * xs
+	}
+	for ; i < hi; i++ {
+		base := i * cols
+		row := m.Q[base : base+n : base+n]
+		var acc int32
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			acc += int32(row[j])*int32(xq[j]) + int32(row[j+1])*int32(xq[j+1]) +
+				int32(row[j+2])*int32(xq[j+2]) + int32(row[j+3])*int32(xq[j+3]) +
+				int32(row[j+4])*int32(xq[j+4]) + int32(row[j+5])*int32(xq[j+5]) +
+				int32(row[j+6])*int32(xq[j+6]) + int32(row[j+7])*int32(xq[j+7])
+		}
+		for ; j < n; j++ {
+			acc += int32(row[j]) * int32(xq[j])
+		}
+		dst[i] = float32(acc) * m.Scales[i] * xs
 	}
 }
 
@@ -279,13 +571,53 @@ func (m *Matrix) MatVecBatch(dst [][]float32, xs []*Vector) {
 			panic(fmt.Sprintf("quant: MatVecBatch shapes %dx%d · %d -> %d", m.Rows, m.Cols, len(x.Q), len(dst[b])))
 		}
 	}
-	for i := 0; i < m.Rows; i++ {
+	n := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		base := i * n
+		r0 := m.Q[base : base+n : base+n]
+		r1 := m.Q[base+n : base+2*n : base+2*n]
+		r2 := m.Q[base+2*n : base+3*n : base+3*n]
+		r3 := m.Q[base+3*n : base+4*n : base+4*n]
+		s0, s1, s2, s3 := m.Scales[i], m.Scales[i+1], m.Scales[i+2], m.Scales[i+3]
+		for b, x := range xs {
+			xq := x.Q[:n:n]
+			var a0, a1, a2, a3 int32
+			j := 0
+			for ; j+8 <= n; j += 8 {
+				x0, x1, x2, x3 := int32(xq[j]), int32(xq[j+1]), int32(xq[j+2]), int32(xq[j+3])
+				x4, x5, x6, x7 := int32(xq[j+4]), int32(xq[j+5]), int32(xq[j+6]), int32(xq[j+7])
+				a0 += int32(r0[j])*x0 + int32(r0[j+1])*x1 + int32(r0[j+2])*x2 + int32(r0[j+3])*x3 +
+					int32(r0[j+4])*x4 + int32(r0[j+5])*x5 + int32(r0[j+6])*x6 + int32(r0[j+7])*x7
+				a1 += int32(r1[j])*x0 + int32(r1[j+1])*x1 + int32(r1[j+2])*x2 + int32(r1[j+3])*x3 +
+					int32(r1[j+4])*x4 + int32(r1[j+5])*x5 + int32(r1[j+6])*x6 + int32(r1[j+7])*x7
+				a2 += int32(r2[j])*x0 + int32(r2[j+1])*x1 + int32(r2[j+2])*x2 + int32(r2[j+3])*x3 +
+					int32(r2[j+4])*x4 + int32(r2[j+5])*x5 + int32(r2[j+6])*x6 + int32(r2[j+7])*x7
+				a3 += int32(r3[j])*x0 + int32(r3[j+1])*x1 + int32(r3[j+2])*x2 + int32(r3[j+3])*x3 +
+					int32(r3[j+4])*x4 + int32(r3[j+5])*x5 + int32(r3[j+6])*x6 + int32(r3[j+7])*x7
+			}
+			for ; j < n; j++ {
+				xv := int32(xq[j])
+				a0 += int32(r0[j]) * xv
+				a1 += int32(r1[j]) * xv
+				a2 += int32(r2[j]) * xv
+				a3 += int32(r3[j]) * xv
+			}
+			d := dst[b]
+			d[i] = float32(a0) * s0 * x.Scale
+			d[i+1] = float32(a1) * s1 * x.Scale
+			d[i+2] = float32(a2) * s2 * x.Scale
+			d[i+3] = float32(a3) * s3 * x.Scale
+		}
+	}
+	for ; i < m.Rows; i++ {
 		row := m.Row(i)
 		scale := m.Scales[i]
 		for b, x := range xs {
+			xq := x.Q
 			var acc int32
 			for j, q := range row {
-				acc += int32(q) * int32(x.Q[j])
+				acc += int32(q) * int32(xq[j])
 			}
 			dst[b][i] = float32(acc) * scale * x.Scale
 		}

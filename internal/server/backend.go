@@ -7,7 +7,6 @@ import (
 	"enmc/internal/core"
 	"enmc/internal/distributed"
 	"enmc/internal/telemetry"
-	"enmc/internal/tensor"
 )
 
 // Candidate is one ranked class in a response, in global class
@@ -64,20 +63,23 @@ func (l *Local) Hidden() int { return l.Classifier.Hidden() }
 // Categories implements Backend.
 func (l *Local) Categories() int { return l.Classifier.Categories() }
 
-// ClassifyBatch implements Backend over core.ClassifyBatchCtx.
+// ClassifyBatch implements Backend over core.ClassifyBatchVisitCtx:
+// each item's Result stays in the worker's scratch arena and only the
+// small Outcome (predicted class + top-k candidates) is copied out,
+// instead of materializing an l-sized mixed-logit vector per item.
 func (l *Local) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
-	res, err := core.ClassifyBatchCtx(ctx, l.Classifier, l.Screener, batch, core.TopM(m), telemetry.Global())
+	out := make([]Outcome, len(batch))
+	err := core.ClassifyBatchVisitCtx(ctx, l.Classifier, l.Screener, batch, core.TopM(m), telemetry.Global(),
+		func(i int, r *core.Result, sc *core.Scratch) {
+			idx := sc.TopK(r.Mixed, topK)
+			cands := make([]Candidate, len(idx))
+			for j, c := range idx {
+				cands[j] = Candidate{Class: c, Logit: r.Mixed[c]}
+			}
+			out[i] = Outcome{Class: r.Predict(), TopK: cands}
+		})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]Outcome, len(res))
-	for i, r := range res {
-		idx := tensor.TopK(r.Mixed, topK)
-		cands := make([]Candidate, len(idx))
-		for j, c := range idx {
-			cands[j] = Candidate{Class: c, Logit: r.Mixed[c]}
-		}
-		out[i] = Outcome{Class: r.Predict(), TopK: cands}
 	}
 	return out, nil
 }

@@ -1,35 +1,114 @@
 package tensor
 
-import "container/heap"
-
 // TopK returns the indices of the k largest values in x, in
 // descending value order (ties break toward lower index). It runs in
 // O(n log k) with a bounded min-heap, mirroring the top-m candidate
 // search the Screener's comparator array performs in hardware.
 func TopK(x []float32, k int) []int {
-	if k <= 0 || len(x) == 0 {
+	var buf TopKBuf
+	sel := TopKInto(x, k, &buf)
+	if sel == nil {
 		return nil
 	}
-	if k > len(x) {
-		k = len(x)
+	out := make([]int, len(sel))
+	copy(out, sel)
+	return out
+}
+
+// TopKBuf is reusable scratch for the allocation-free top-k variants:
+// it owns the bounded heap and the output index slice, so steady-state
+// selection allocates nothing. The zero value is ready to use. Slices
+// returned by TopKInto/TopKRange/TopKMerge alias the buffer and stay
+// valid only until the next call on the same buffer.
+type TopKBuf struct {
+	items []heapItem
+	out   []int
+}
+
+// TopKInto is TopK with buffer-backed storage: the returned slice is
+// owned by buf and is overwritten by the next selection through it.
+func TopKInto(x []float32, k int, buf *TopKBuf) []int {
+	return TopKRange(x, 0, len(x), k, buf)
+}
+
+// TopKRange selects the k largest values of x[lo:hi] and returns
+// their *global* indices (descending value, ties toward lower index).
+// This is the per-shard kernel of the parallel candidate search: each
+// shard scans a disjoint row range with its own buffer, and the
+// shard winners are combined with TopKMerge.
+func TopKRange(x []float32, lo, hi, k int, buf *TopKBuf) []int {
+	if k <= 0 || hi <= lo {
+		return nil
 	}
-	h := &minHeap{}
-	h.items = make([]heapItem, 0, k)
-	for i, v := range x {
-		if len(h.items) < k {
-			heap.Push(h, heapItem{idx: i, val: v})
+	if k > hi-lo {
+		k = hi - lo
+	}
+	items := buf.items[:0]
+	for i := lo; i < hi; i++ {
+		it := heapItem{idx: i, val: x[i]}
+		if len(items) < k {
+			items = append(items, it)
+			siftUp(items, len(items)-1)
 			continue
 		}
-		if less(h.items[0], heapItem{idx: i, val: v}) {
-			h.items[0] = heapItem{idx: i, val: v}
-			heap.Fix(h, 0)
+		if less(items[0], it) {
+			items[0] = it
+			siftDown(items, 0)
 		}
 	}
-	out := make([]int, len(h.items))
-	for i := len(h.items) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(heapItem).idx
+	buf.items = items
+	return buf.extract()
+}
+
+// TopKMerge selects the k overall largest entries from the union of
+// the candidate index lists (global indices into x), with the same
+// ordering contract as TopK. Given per-shard top-k lists from
+// TopKRange it returns exactly what a single global TopK would: the
+// global winners are necessarily among the shard winners, and the
+// (value, index) comparator is a total order, so the merged output is
+// bit-identical to the serial selection.
+func TopKMerge(x []float32, lists [][]int, k int, buf *TopKBuf) []int {
+	if k <= 0 {
+		return nil
 	}
-	return out
+	items := buf.items[:0]
+	for _, list := range lists {
+		for _, idx := range list {
+			it := heapItem{idx: idx, val: x[idx]}
+			if len(items) < k {
+				items = append(items, it)
+				siftUp(items, len(items)-1)
+				continue
+			}
+			if less(items[0], it) {
+				items[0] = it
+				siftDown(items, 0)
+			}
+		}
+	}
+	buf.items = items
+	return buf.extract()
+}
+
+// extract heap-sorts the retained items (best first) and writes their
+// indices into the buffer's output slice.
+func (b *TopKBuf) extract() []int {
+	n := len(b.items)
+	if n == 0 {
+		return nil
+	}
+	for end := n - 1; end > 0; end-- {
+		b.items[0], b.items[end] = b.items[end], b.items[0]
+		siftDown(b.items[:end], 0)
+	}
+	if cap(b.out) < n {
+		b.out = make([]int, n)
+	}
+	b.out = b.out[:n]
+	for i, it := range b.items {
+		b.out[i] = it.idx
+	}
+	return b.out
 }
 
 // AboveThreshold returns, in ascending index order, all indices i
@@ -43,6 +122,18 @@ func AboveThreshold(x []float32, threshold float32) []int {
 		}
 	}
 	return out
+}
+
+// AboveThresholdInto is AboveThreshold appending into dst[:0]; the
+// grown slice is returned so callers can keep it as reusable scratch.
+func AboveThresholdInto(dst []int, x []float32, threshold float32) []int {
+	dst = dst[:0]
+	for i, v := range x {
+		if v >= threshold {
+			dst = append(dst, i)
+		}
+	}
+	return dst
 }
 
 type heapItem struct {
@@ -60,16 +151,36 @@ func less(a, b heapItem) bool {
 	return a.idx > b.idx
 }
 
-type minHeap struct{ items []heapItem }
+// siftUp/siftDown are the hand-rolled heap primitives: the previous
+// container/heap implementation boxed every Push/Pop through an
+// interface{}, which cost two allocations per retained candidate —
+// tens of thousands per query at serving-scale m.
+func siftUp(items []heapItem, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(items[i], items[parent]) {
+			return
+		}
+		items[i], items[parent] = items[parent], items[i]
+		i = parent
+	}
+}
 
-func (h *minHeap) Len() int           { return len(h.items) }
-func (h *minHeap) Less(i, j int) bool { return less(h.items[i], h.items[j]) }
-func (h *minHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *minHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
-func (h *minHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+func siftDown(items []heapItem, i int) {
+	n := len(items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && less(items[right], items[left]) {
+			least = right
+		}
+		if !less(items[least], items[i]) {
+			return
+		}
+		items[i], items[least] = items[least], items[i]
+		i = least
+	}
 }

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enmc/internal/xrand"
+)
+
+// refTopK is a straight O(n·k) selection-by-scan reference with the
+// documented ordering contract (descending value, ties toward lower
+// index) — the oracle the heap-based kernels must match exactly.
+func refTopK(x []float32, lo, hi, k int) []int {
+	if k <= 0 || hi <= lo {
+		return nil
+	}
+	if k > hi-lo {
+		k = hi - lo
+	}
+	taken := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		best := -1
+		for i := lo; i < hi; i++ {
+			if taken[i] {
+				continue
+			}
+			if best < 0 || x[i] > x[best] || (x[i] == x[best] && i < best) {
+				best = i
+			}
+		}
+		taken[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dupVec draws values from a small alphabet so ties are common — the
+// ordering contract only bites when values collide.
+func dupVec(r *xrand.RNG, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(r.Intn(7)) - 3
+	}
+	return x
+}
+
+func TestTopKIntoMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(300)
+		k := 1 + r.Intn(n+5) // occasionally k > n
+		x := dupVec(r, n)
+		var buf TopKBuf
+		return eqInts(TopKInto(x, k, &buf), refTopK(x, 0, n, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKBufReuseAcrossCalls(t *testing.T) {
+	r := xrand.New(9)
+	var buf TopKBuf
+	// Shrinking and growing k through the same buffer must not leak
+	// state between selections.
+	for _, k := range []int{5, 50, 1, 17, 50, 3} {
+		x := dupVec(r, 120)
+		if !eqInts(TopKInto(x, k, &buf), refTopK(x, 0, len(x), k)) {
+			t.Fatalf("buffer reuse broke selection at k=%d", k)
+		}
+	}
+}
+
+func TestTopKRangeGlobalIndices(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 2 + r.Intn(300)
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo+1)
+		k := 1 + r.Intn(n)
+		x := dupVec(r, n)
+		var buf TopKBuf
+		return eqInts(TopKRange(x, lo, hi, k, &buf), refTopK(x, lo, hi, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKMergeEqualsSerial is the parallel-selection contract: shard
+// x into random disjoint ranges, take per-shard top-k, merge — the
+// result must be bit-identical to a single global selection.
+func TestTopKMergeEqualsSerial(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 1 + r.Intn(500)
+		k := 1 + r.Intn(n)
+		shards := 1 + r.Intn(6)
+		x := dupVec(r, n)
+
+		lists := make([][]int, 0, shards)
+		bufs := make([]TopKBuf, shards)
+		chunk := (n + shards - 1) / shards
+		for s := 0; s < shards; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			lists = append(lists, TopKRange(x, lo, hi, k, &bufs[s]))
+		}
+		var merged TopKBuf
+		return eqInts(TopKMerge(x, lists, k, &merged), refTopK(x, 0, n, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAboveThresholdIntoMatchesAndReuses(t *testing.T) {
+	x := []float32{1, 5, 2, 5, -1}
+	var dst []int
+	dst = AboveThresholdInto(dst, x, 5)
+	if !eqInts(dst, []int{1, 3}) {
+		t.Fatalf("AboveThresholdInto = %v", dst)
+	}
+	// Reuse with a lower threshold: previous contents must not leak.
+	dst = AboveThresholdInto(dst, x, 1)
+	if !eqInts(dst, []int{0, 1, 2, 3}) {
+		t.Fatalf("AboveThresholdInto reuse = %v", dst)
+	}
+	if got := AboveThresholdInto(dst, x, 100); len(got) != 0 {
+		t.Fatalf("AboveThresholdInto empty = %v", got)
+	}
+}
+
+func TestTopKZeroAllocSteadyState(t *testing.T) {
+	r := xrand.New(11)
+	x := dupVec(r, 4096)
+	var buf TopKBuf
+	TopKInto(x, 64, &buf) // warm the buffer
+	allocs := testing.AllocsPerRun(20, func() {
+		TopKInto(x, 64, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKInto steady state allocates %v/op", allocs)
+	}
+}
