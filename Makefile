@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean
+.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke train-checkpoint
 
 all: build
 
@@ -69,6 +69,20 @@ cover:
 	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	echo "total coverage: $$total% (floor: $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }'
+
+# Hot-swap smoke: serve a registry version under sustained loadgen
+# traffic while triggering two reloads — one passing the canary gate,
+# one failing it (plus a corrupted-artifact reload) — and fail on any
+# non-200 caused by the swaps. The end-to-end proof of the
+# zero-downtime model lifecycle (internal/registry + Swappable).
+swap-smoke:
+	bash scripts/swap_smoke.sh
+
+# Checkpoint/resume demo: interrupt a registry training run
+# (-stop-after), resume it from the checkpoint, and verify the
+# version publishes atomically with the checkpoint cleaned up.
+train-checkpoint:
+	bash scripts/train_checkpoint_demo.sh
 
 clean:
 	$(GO) clean ./...

@@ -36,6 +36,7 @@ import (
 type result struct {
 	code     int // HTTP status; 0 for transport error
 	latency  time.Duration
+	done     time.Time // completion timestamp (success-gap analysis)
 	degraded bool
 	items    int // classifications carried (batch size or 1)
 }
@@ -50,6 +51,7 @@ func main() {
 	topK := flag.Int("topk", 5, "top_k to request")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 42, "feature generation seed")
+	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any request gets a non-200 answer (hot-swap smoke: below capacity, every request must succeed)")
 	flag.Parse()
 
 	client := &http.Client{
@@ -71,7 +73,8 @@ func main() {
 		mu.Unlock()
 	}
 
-	deadline := time.Now().Add(*duration)
+	runStart := time.Now()
+	deadline := runStart.Add(*duration)
 	var wg sync.WaitGroup
 	if *rate > 0 {
 		openLoop(&wg, client, url, *dim, *batch, *topK, *seed, *rate, deadline, record)
@@ -79,7 +82,7 @@ func main() {
 		closedLoop(&wg, client, url, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
 	}
 	wg.Wait()
-	report(results, *duration)
+	report(results, *duration, runStart, time.Now(), *failOnError)
 }
 
 func closedLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
@@ -154,10 +157,10 @@ func issue(client *http.Client, url string, body []byte) result {
 	start := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return result{code: 0, latency: time.Since(start)}
+		return result{code: 0, latency: time.Since(start), done: time.Now()}
 	}
 	defer resp.Body.Close()
-	r := result{code: resp.StatusCode, latency: time.Since(start), items: 1}
+	r := result{code: resp.StatusCode, latency: time.Since(start), done: time.Now(), items: 1}
 	if resp.StatusCode == http.StatusOK {
 		var parsed struct {
 			Degraded bool `json:"degraded"`
@@ -177,40 +180,77 @@ func issue(client *http.Client, url string, body []byte) result {
 	return r
 }
 
-func report(results []result, d time.Duration) {
-	var ok, too, unavail, other, transport, degraded, items int
+func report(results []result, d time.Duration, runStart, runEnd time.Time, failOnError bool) {
+	var ok, degraded, items int
 	var lats []time.Duration
+	var successTimes []time.Time
+	errByStatus := map[int]int{} // status → count; 0 = transport error / generator shed
 	for _, r := range results {
-		switch {
-		case r.code == http.StatusOK:
+		if r.code == http.StatusOK {
 			ok++
 			items += r.items
 			lats = append(lats, r.latency)
+			successTimes = append(successTimes, r.done)
 			if r.degraded {
 				degraded++
 			}
-		case r.code == http.StatusTooManyRequests:
-			too++
-		case r.code == http.StatusServiceUnavailable:
-			unavail++
-		case r.code == 0:
-			transport++
-		default:
-			other++
+			continue
 		}
+		errByStatus[r.code]++
 	}
 	fmt.Printf("requests: %d over %s\n", len(results), d)
 	fmt.Printf("  ok: %d (%d classifications, %.1f/s)  degraded: %d (%.1f%%)\n",
 		ok, items, float64(items)/d.Seconds(), degraded, pct(degraded, ok))
-	fmt.Printf("  429 overload: %d (%.1f%%)  503 draining: %d  other: %d  transport/shed: %d\n",
-		too, pct(too, len(results)), unavail, other, transport)
+
+	// Per-status error breakdown, ascending by status code (0 =
+	// transport error or generator shed).
+	codes := make([]int, 0, len(errByStatus))
+	for c := range errByStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	if len(codes) == 0 {
+		fmt.Printf("  errors: none\n")
+	} else {
+		fmt.Printf("  errors:")
+		for _, c := range codes {
+			label := fmt.Sprintf("%d %s", c, http.StatusText(c))
+			if c == 0 {
+				label = "transport/shed"
+			}
+			fmt.Printf("  [%s] %d (%.1f%%)", label, errByStatus[c], pct(errByStatus[c], len(results)))
+		}
+		fmt.Println()
+	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
 			quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99), lats[len(lats)-1])
 	}
+
+	// Max gap between successes, anchored at run start and end: a hot
+	// swap (or drain bug) that stalls serving shows up here even when
+	// every request eventually succeeds.
+	if len(successTimes) > 0 {
+		sort.Slice(successTimes, func(i, j int) bool { return successTimes[i].Before(successTimes[j]) })
+		maxGap := successTimes[0].Sub(runStart)
+		for i := 1; i < len(successTimes); i++ {
+			if g := successTimes[i].Sub(successTimes[i-1]); g > maxGap {
+				maxGap = g
+			}
+		}
+		if g := runEnd.Sub(successTimes[len(successTimes)-1]); g > maxGap {
+			maxGap = g
+		}
+		fmt.Printf("  max gap between successes: %s\n", maxGap.Round(time.Millisecond))
+	}
+
 	if ok == 0 {
 		fmt.Fprintln(os.Stderr, "no successful requests")
+		os.Exit(1)
+	}
+	if failOnError && len(codes) > 0 {
+		fmt.Fprintf(os.Stderr, "fail-on-error: %d requests did not get 200\n", len(results)-ok)
 		os.Exit(1)
 	}
 }

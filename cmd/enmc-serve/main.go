@@ -8,12 +8,21 @@
 //	enmc-serve                             # demo model, :8080
 //	enmc-serve -classifier cls.bin -screener scr.bin -addr :8080
 //	enmc-serve -shards 4                   # sharded demo backend
+//	enmc-serve -model-root ./models        # versioned registry + hot swap
 //	enmc-serve -debug-addr :6060           # pprof + /metrics sidecar
 //
 // Endpoints: POST /v1/classify, POST /v1/classify_batch, GET
-// /healthz, GET /readyz. SIGINT/SIGTERM triggers the graceful
-// sequence: readiness fails, intake stops (503), the queue drains,
-// then the listener shuts down.
+// /v1/model, POST /v1/model/reload, GET /healthz, GET /readyz.
+// SIGINT/SIGTERM triggers the graceful sequence: readiness fails,
+// intake stops (503), the queue drains, then the listener shuts down.
+//
+// With -model-root the server serves from a versioned model registry
+// (internal/registry): the initial version loads at startup
+// (-model-version pins it; default newest), and SIGHUP or POST
+// /v1/model/reload hot-swaps to a new version behind a canary gate —
+// a candidate whose top-K agreement with the serving model on the
+// held-out probe set falls below -canary-floor is rejected and the
+// current version keeps serving (automatic rollback).
 package main
 
 import (
@@ -21,15 +30,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"enmc/internal/core"
 	"enmc/internal/distributed"
 	"enmc/internal/quant"
+	"enmc/internal/registry"
 	"enmc/internal/server"
 	"enmc/internal/telemetry"
 	"enmc/internal/workload"
@@ -38,11 +50,18 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "pprof/expvar/metrics listen address (empty: disabled)")
+	portFile := flag.String("port-file", "", "write the bound port here once listening (for scripts with -addr :0)")
 
 	clsPath := flag.String("classifier", "", "serialized classifier (SaveClassifier format)")
 	scrPath := flag.String("screener", "", "serialized screener (SaveScreener format)")
 	featPath := flag.String("features", "", "serialized features for shard screener training (WriteFeatures format)")
 	shards := flag.Int("shards", 1, "row-shard the class space across N local shards (sharded backend)")
+
+	modelRoot := flag.String("model-root", "", "versioned model registry root (enables hot swap + /v1/model/reload)")
+	modelVersion := flag.String("model-version", "", "registry version to serve at startup (default newest)")
+	canaryFloor := flag.Float64("canary-floor", 0.9, "reject a reload whose probe top-K agreement falls below this (negative: disable)")
+	canaryTopK := flag.Int("canary-topk", 5, "K for the canary top-K agreement")
+	canaryProbe := flag.String("canary-probe", "", "probe feature file (WriteFeatures format; default: version's shipped probe)")
 
 	demoClasses := flag.Int("demo-classes", 4096, "demo model: class count")
 	demoDim := flag.Int("demo-dim", 128, "demo model: hidden dimension")
@@ -60,8 +79,31 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	flag.Parse()
 
-	cls, scr, feats := buildModel(*clsPath, *scrPath, *featPath, *demoClasses, *demoDim, *demoSeed, *epochs, *bits)
-	backend := buildBackend(cls, scr, feats, *shards, *bits, *epochs, *demoSeed)
+	var backend server.Backend
+	var mgr *registry.Manager
+	if *modelRoot != "" {
+		store, err := registry.Open(*modelRoot)
+		fatalIf(err)
+		var probe [][]float32
+		if *canaryProbe != "" {
+			f, err := os.Open(*canaryProbe)
+			fatalIf(err)
+			probe, err = core.ReadFeatures(f)
+			fatalIf(err)
+			fatalIf(f.Close())
+		}
+		mgr, err = registry.NewManager(store, *modelVersion, registry.Options{
+			ProbeTopK:      *canaryTopK,
+			AgreementFloor: *canaryFloor,
+			Probe:          probe,
+			Logf:           log.Printf,
+		})
+		fatalIf(err)
+		backend = mgr.Swappable()
+	} else {
+		cls, scr, feats := buildModel(*clsPath, *scrPath, *featPath, *demoClasses, *demoDim, *demoSeed, *epochs, *bits)
+		backend = buildBackend(cls, scr, feats, *shards, *bits, *epochs, *demoSeed)
+	}
 
 	srv, err := server.New(backend, server.Config{
 		MaxBatch:     *maxBatch,
@@ -75,6 +117,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if mgr != nil {
+		srv.SetReloader(mgr.Reload)
+	}
 
 	if *debugAddr != "" {
 		dbg, err := telemetry.ServeDebug(*debugAddr)
@@ -84,19 +129,48 @@ func main() {
 		log.Printf("debug endpoint on http://%s (pprof, /metrics, /debug/vars)", dbg)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		fatalIf(os.WriteFile(*portFile, []byte(strconv.Itoa(port)+"\n"), 0o644))
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		log.Printf("serving %d classes × %d dims on %s (shards=%d queue=%d batch=%d/%s)",
-			backend.Categories(), backend.Hidden(), *addr, *shards, *queueCap, *maxBatch, *maxDelay)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			backend.Categories(), backend.Hidden(), ln.Addr(), *shards, *queueCap, *maxBatch, *maxDelay)
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	got := <-sig
-	log.Printf("%s: draining (readiness down, intake stopped)", got)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		got := <-sig
+		if got == syscall.SIGHUP {
+			// SIGHUP = "reload to newest version". A failed canary or
+			// load keeps the current version serving — rollback is the
+			// default, not an action.
+			if mgr == nil {
+				log.Printf("SIGHUP: no -model-root configured, ignoring")
+				continue
+			}
+			go func() {
+				active, err := mgr.Reload(context.Background(), "")
+				if err != nil {
+					log.Printf("SIGHUP reload failed (still serving %q): %v", active, err)
+					return
+				}
+				log.Printf("SIGHUP reload: serving %q", active)
+			}()
+			continue
+		}
+		log.Printf("%s: draining (readiness down, intake stopped)", got)
+		break
+	}
 	srv.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

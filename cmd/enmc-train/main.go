@@ -8,11 +8,22 @@
 //	enmc-train -classifier cls.bin -features feats.bin -out scr.bin \
 //	           [-k 128] [-bits 4] [-epochs 8] [-seed 1]
 //	enmc-train -demo                      # generate a demo pair first
+//	enmc-train -classifier cls.bin -features feats.bin \
+//	           -registry ./models -version v2 -parent v1 \
+//	           [-checkpoint-every 2] [-stop-after 4] [-probe 32]
 //
 // File formats are the binary formats of SaveClassifier /
 // WriteFeatures (see internal/core). -demo writes demo-cls.bin and
 // demo-feats.bin into the current directory so the flow can be tried
 // without external data.
+//
+// With -registry the run is checkpointed: every -checkpoint-every
+// epochs the screener state lands under <registry>/.ckpt/<version>/,
+// an interrupted run (crash, or -stop-after for testing) resumes from
+// the checkpoint on the next invocation with the same flags, and on
+// completion the version is published atomically (classifier,
+// screener, held-out probe set, checksummed manifest) for enmc-serve
+// to hot-swap in.
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 
 	"enmc/internal/core"
 	"enmc/internal/quant"
+	"enmc/internal/registry"
 	"enmc/internal/workload"
 )
 
@@ -34,6 +46,13 @@ func main() {
 	epochs := flag.Int("epochs", 8, "distillation epochs")
 	seed := flag.Uint64("seed", 1, "projection/training seed")
 	demo := flag.Bool("demo", false, "write demo-cls.bin and demo-feats.bin, then exit")
+
+	regRoot := flag.String("registry", "", "publish into this versioned model registry instead of -out")
+	version := flag.String("version", "", "registry version to publish (required with -registry)")
+	parent := flag.String("parent", "", "parent version recorded in the manifest")
+	ckptEvery := flag.Int("checkpoint-every", 2, "registry mode: checkpoint every N epochs")
+	stopAfter := flag.Int("stop-after", 0, "registry mode: interrupt after N epochs (testing resume; 0 = run to completion)")
+	probeCount := flag.Int("probe", 32, "registry mode: held-out probe samples reserved from the feature tail")
 	flag.Parse()
 
 	if *demo {
@@ -41,7 +60,7 @@ func main() {
 		return
 	}
 	if *clsPath == "" || *featPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: enmc-train -classifier cls.bin -features feats.bin [-out scr.bin]")
+		fmt.Fprintln(os.Stderr, "usage: enmc-train -classifier cls.bin -features feats.bin [-out scr.bin | -registry dir -version v1]")
 		os.Exit(2)
 	}
 
@@ -61,6 +80,16 @@ func main() {
 		Precision:  quant.Bits(*bits),
 		Seed:       *seed,
 	}
+
+	if *regRoot != "" {
+		if *version == "" {
+			fmt.Fprintln(os.Stderr, "enmc-train: -registry needs -version")
+			os.Exit(2)
+		}
+		trainToRegistry(cls, feats, cfg, *regRoot, *version, *parent, *epochs, *ckptEvery, *stopAfter, *probeCount, *seed)
+		return
+	}
+
 	scr, stats, err := core.TrainScreener(cls, feats, cfg, core.TrainOptions{
 		Epochs: *epochs,
 		Seed:   *seed + 1,
@@ -79,6 +108,42 @@ func main() {
 	fatalIf(out.Close())
 	fmt.Printf("wrote %s (%.2f MB; %.1f%% of the classifier)\n",
 		*outPath, float64(n)/(1<<20), 100*float64(scr.WeightBytes())/float64(cls.WeightBytes()))
+}
+
+// trainToRegistry runs the checkpointed training flow: resume from an
+// existing checkpoint if one exists, stop early under -stop-after
+// (leaving the checkpoint for the next invocation), publish into the
+// registry on completion.
+func trainToRegistry(cls *core.Classifier, feats [][]float32, cfg core.Config,
+	root, version, parent string, epochs, ckptEvery, stopAfter, probeCount int, seed uint64) {
+	store, err := registry.Open(root)
+	fatalIf(err)
+	if store.HasCheckpoint(version) {
+		fmt.Printf("resuming %q from checkpoint %s\n", version, store.CheckpointDir(version))
+	}
+	m, published, err := store.TrainRun(cls, feats, registry.TrainSpec{
+		Version: version,
+		Parent:  parent,
+		Cfg:     cfg,
+		Opt: core.TrainOptions{
+			Seed: seed + 1,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Printf(format+"\n", args...)
+			},
+		},
+		TotalEpochs:     epochs,
+		CheckpointEvery: ckptEvery,
+		StopAfter:       stopAfter,
+		ProbeCount:      probeCount,
+	})
+	fatalIf(err)
+	if !published {
+		fmt.Printf("interrupted after -stop-after; checkpoint at %s — rerun to resume\n",
+			store.CheckpointDir(version))
+		return
+	}
+	fmt.Printf("published %s/%s (seq %d, %s, final MSE %.6g, probe %d)\n",
+		root, m.Version, m.Seq, m.PrecisionString(), m.Train.FinalLoss, probeCount)
 }
 
 func loadClassifier(path string) *core.Classifier {

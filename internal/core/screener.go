@@ -78,11 +78,18 @@ func newScreener(cfg Config) (*Screener, error) {
 // Freeze (re)quantizes the master weights into the deployment copy.
 // Call after training or after mutating Wt directly.
 func (s *Screener) Freeze() {
+	s.QW = s.quantized()
+}
+
+// quantized builds the deployment copy from the master weights
+// without installing it — the receiver is left untouched, so
+// read-only paths (serialization of an unfrozen screener) can get
+// exactly what Freeze would deploy with no side effect.
+func (s *Screener) quantized() *quant.Matrix {
 	if s.Cfg.PerTensor {
-		s.QW = quant.QuantizeMatrixPerTensor(s.Wt, s.Cfg.Precision)
-	} else {
-		s.QW = quant.QuantizeMatrix(s.Wt, s.Cfg.Precision)
+		return quant.QuantizeMatrixPerTensor(s.Wt, s.Cfg.Precision)
 	}
+	return quant.QuantizeMatrix(s.Wt, s.Cfg.Precision)
 }
 
 // Project computes the reduced feature P·h.

@@ -28,10 +28,15 @@ const (
 	classifierMagic = "ENMCCLS1"
 )
 
-// WriteTo serializes the screener.
+// WriteTo serializes the screener. Serializing is read-only: an
+// unfrozen screener (QW == nil) is quantized into a local copy for
+// the write — the same bytes Freeze would deploy — and the receiver
+// is left exactly as it was (same bug class as WeightBytes once
+// freezing as a side effect of a getter).
 func (s *Screener) WriteTo(w io.Writer) (int64, error) {
-	if s.QW == nil {
-		s.Freeze()
+	qw := s.QW
+	if qw == nil {
+		qw = s.quantized()
 	}
 	bw := bufio.NewWriter(w)
 	cw := &countWriter{w: bw}
@@ -46,14 +51,14 @@ func (s *Screener) WriteTo(w io.Writer) (int64, error) {
 	// Quantized weights, one byte per element (valid for every
 	// supported precision; the INT4 nibble-packing is a DRAM-image
 	// concern, not a file-format one).
-	q := make([]byte, len(s.QW.Q))
-	for i, v := range s.QW.Q {
+	q := make([]byte, len(qw.Q))
+	for i, v := range qw.Q {
 		q[i] = byte(v)
 	}
 	if err := writeAll(cw, uint32(len(q)), q); err != nil {
 		return cw.n, err
 	}
-	if err := writeFloats(cw, s.QW.Scales); err != nil {
+	if err := writeFloats(cw, qw.Scales); err != nil {
 		return cw.n, err
 	}
 	if err := writeFloats(cw, s.Bt); err != nil {

@@ -34,6 +34,12 @@ type Shard struct {
 	Offset     int
 	Classifier *core.Classifier
 	Screener   *core.Screener
+	// Version names the model artifact this shard serves (registry
+	// version string; empty for unversioned shards). Shards reload
+	// independently in a rolling update, so a deployment can be on
+	// mixed versions mid-rollout — the serving layer surfaces that
+	// skew per-response.
+	Version string
 }
 
 // Candidate is a merged result entry in global class numbering.

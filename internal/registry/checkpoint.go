@@ -1,0 +1,237 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"enmc/internal/core"
+)
+
+// Checkpointed training: a long distillation run periodically writes
+// its screener state under <root>/.ckpt/<version>/ so an interrupted
+// run resumes where it left off (core.TrainOptions.InitFrom warm
+// start) instead of restarting. On completion the version is
+// published atomically and the checkpoint is deleted — a checkpoint
+// directory existing means "training in progress or interrupted",
+// never "published".
+
+const ckptDirName = ".ckpt"
+
+// TrainSpec describes one checkpointed training run.
+type TrainSpec struct {
+	// Version names the registry version the run publishes.
+	Version string
+	// Parent is recorded in the manifest ("" for from-scratch).
+	Parent string
+	// Cfg and Opt configure the screener distillation. Opt.Epochs is
+	// ignored; TotalEpochs governs.
+	Cfg core.Config
+	Opt core.TrainOptions
+	// TotalEpochs is the full run length (default 5).
+	TotalEpochs int
+	// CheckpointEvery writes a checkpoint after this many epochs
+	// (default 1).
+	CheckpointEvery int
+	// StopAfter, when positive, interrupts the run once at least this
+	// many epochs are done — the deterministic "process died" hook the
+	// resume path is tested (and demoed) with.
+	StopAfter int
+	// ProbeCount reserves this many samples from the tail of the
+	// sample set as the held-out canary probe (default 32, clamped to
+	// a quarter of the samples). Probes are excluded from training.
+	ProbeCount int
+}
+
+func (s *TrainSpec) defaults() {
+	if s.TotalEpochs <= 0 {
+		s.TotalEpochs = 5
+	}
+	if s.CheckpointEvery <= 0 {
+		s.CheckpointEvery = 1
+	}
+	if s.ProbeCount <= 0 {
+		s.ProbeCount = 32
+	}
+}
+
+// ckptState is the resume metadata next to the screener checkpoint.
+type ckptState struct {
+	Version     string      `json:"version"`
+	Parent      string      `json:"parent,omitempty"`
+	EpochsDone  int         `json:"epochs_done"`
+	TotalEpochs int         `json:"total_epochs"`
+	LastLoss    float64     `json:"last_loss"`
+	Resumed     bool        `json:"resumed"`
+	Cfg         core.Config `json:"cfg"`
+}
+
+const (
+	ckptStateFile    = "state.json"
+	ckptScreenerFile = "screener.ckpt"
+)
+
+// CheckpointDir returns where a version's in-progress training state
+// lives.
+func (s *Store) CheckpointDir(version string) string {
+	return filepath.Join(s.root, ckptDirName, version)
+}
+
+// HasCheckpoint reports whether an interrupted run exists for version.
+func (s *Store) HasCheckpoint(version string) bool {
+	_, err := os.Stat(filepath.Join(s.CheckpointDir(version), ckptStateFile))
+	return err == nil
+}
+
+func (s *Store) readCheckpoint(version string) (*ckptState, *core.Screener, error) {
+	dir := s.CheckpointDir(version)
+	buf, err := os.ReadFile(filepath.Join(dir, ckptStateFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: checkpoint %q: %w", version, err)
+	}
+	var st ckptState
+	if err := json.Unmarshal(buf, &st); err != nil {
+		return nil, nil, fmt.Errorf("registry: checkpoint %q: bad state: %w", version, err)
+	}
+	f, err := os.Open(filepath.Join(dir, ckptScreenerFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: checkpoint %q: %w", version, err)
+	}
+	defer f.Close()
+	scr, err := core.ReadScreener(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: checkpoint %q: decoding screener: %w", version, err)
+	}
+	return &st, scr, nil
+}
+
+func (s *Store) writeCheckpoint(st *ckptState, scr *core.Screener) error {
+	dir := s.CheckpointDir(st.Version)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	// Screener first, state last: a state file present implies a
+	// matching screener image; a crash between the writes leaves the
+	// previous consistent pair (or nothing) behind.
+	tmp := filepath.Join(dir, ckptScreenerFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	if _, err := scr.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("registry: writing checkpoint screener: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptScreenerFile)); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	stTmp := filepath.Join(dir, ckptStateFile+".tmp")
+	if err := os.WriteFile(stTmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(stTmp, filepath.Join(dir, ckptStateFile))
+}
+
+// TrainRun runs (or resumes) a checkpointed training run against the
+// frozen classifier. It returns the published manifest when the run
+// completes, or published=false when StopAfter interrupted it — call
+// TrainRun again with the same spec to resume from the checkpoint.
+func (s *Store) TrainRun(cls *core.Classifier, samples [][]float32, spec TrainSpec) (m Manifest, published bool, err error) {
+	spec.defaults()
+	if err := validVersion(spec.Version); err != nil {
+		return m, false, err
+	}
+	if _, err := os.Stat(s.Dir(spec.Version)); err == nil {
+		return m, false, fmt.Errorf("registry: version %q already published", spec.Version)
+	}
+
+	// Hold out the probe set from the sample tail before any
+	// training, so published probes were never trained on and the
+	// split is identical across resume boundaries.
+	nProbe := spec.ProbeCount
+	if max := len(samples) / 4; nProbe > max {
+		nProbe = max
+	}
+	train := samples[:len(samples)-nProbe]
+	probe := samples[len(samples)-nProbe:]
+	if len(train) == 0 {
+		return m, false, fmt.Errorf("registry: no training samples after probe holdout")
+	}
+
+	epochsDone := 0
+	resumed := false
+	var warm *core.Screener
+	if s.HasCheckpoint(spec.Version) {
+		st, scr, err := s.readCheckpoint(spec.Version)
+		if err != nil {
+			return m, false, err
+		}
+		if st.Cfg != spec.Cfg {
+			return m, false, fmt.Errorf("registry: checkpoint %q was trained with config %+v, spec has %+v",
+				spec.Version, st.Cfg, spec.Cfg)
+		}
+		epochsDone, warm, resumed = st.EpochsDone, scr, true
+	}
+
+	var lastLoss float64
+	scr := warm
+	for epochsDone < spec.TotalEpochs {
+		chunk := spec.CheckpointEvery
+		if rem := spec.TotalEpochs - epochsDone; chunk > rem {
+			chunk = rem
+		}
+		opt := spec.Opt
+		opt.Epochs = chunk
+		// Each chunk shuffles differently (resume does not replay the
+		// first chunk's order) but deterministically for a given spec.
+		opt.Seed = spec.Opt.Seed + uint64(epochsDone)
+		opt.InitFrom = scr
+		if scr != nil {
+			opt.InitProjected = false
+		}
+		next, stats, err := core.TrainScreener(cls, train, spec.Cfg, opt)
+		if err != nil {
+			return m, false, err
+		}
+		scr = next
+		epochsDone += chunk
+		if n := len(stats.EpochLoss); n > 0 {
+			lastLoss = stats.EpochLoss[n-1]
+		}
+		if err := s.writeCheckpoint(&ckptState{
+			Version: spec.Version, Parent: spec.Parent,
+			EpochsDone: epochsDone, TotalEpochs: spec.TotalEpochs,
+			LastLoss: lastLoss, Resumed: resumed, Cfg: spec.Cfg,
+		}, scr); err != nil {
+			return m, false, err
+		}
+		if spec.StopAfter > 0 && epochsDone >= spec.StopAfter && epochsDone < spec.TotalEpochs {
+			return m, false, nil // interrupted; checkpoint holds the progress
+		}
+	}
+
+	m, err = s.Publish(Manifest{
+		Version: spec.Version,
+		Parent:  spec.Parent,
+		Train: TrainMeta{
+			Epochs: spec.TotalEpochs, Samples: len(train),
+			FinalLoss: lastLoss, Resumed: resumed,
+		},
+	}, cls, scr, probe)
+	if err != nil {
+		return m, false, err
+	}
+	// The version is live; the checkpoint is now stale state.
+	if err := os.RemoveAll(s.CheckpointDir(spec.Version)); err != nil {
+		return m, true, fmt.Errorf("registry: published but could not remove checkpoint: %w", err)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,142 @@
+package registry
+
+import (
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/quant"
+	"enmc/internal/workload"
+)
+
+func ckptFixture(t *testing.T) (*Store, *workload.Instance, TrainSpec) {
+	t.Helper()
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.Generate(
+		workload.Spec{Name: "ckpt-test", Categories: 48, Hidden: 16, LatentRank: 4, ZipfS: 1},
+		workload.GenOptions{Seed: 61, Train: 96, Valid: 4, Test: 4})
+	spec := TrainSpec{
+		Version: "v1",
+		Cfg: core.Config{
+			Categories: 48, Hidden: 16, Reduced: 6, Precision: quant.INT4, Seed: 71,
+		},
+		Opt:             core.TrainOptions{Seed: 72},
+		TotalEpochs:     4,
+		CheckpointEvery: 2,
+		ProbeCount:      8,
+	}
+	return store, inst, spec
+}
+
+// TestTrainRunCompletes: an uninterrupted run publishes the version,
+// ships the held-out probe, and leaves no checkpoint behind.
+func TestTrainRunCompletes(t *testing.T) {
+	store, inst, spec := ckptFixture(t)
+	m, published, err := store.TrainRun(inst.Classifier, inst.Train, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !published {
+		t.Fatal("run did not publish")
+	}
+	if m.Train.Epochs != 4 || m.Train.Resumed {
+		t.Fatalf("train meta = %+v", m.Train)
+	}
+	if m.Train.Samples != len(inst.Train)-8 {
+		t.Fatalf("trained on %d samples, want %d (probe held out)", m.Train.Samples, len(inst.Train)-8)
+	}
+	if store.HasCheckpoint("v1") {
+		t.Fatal("checkpoint survived publication")
+	}
+	loaded, err := store.Load("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Probe) != 8 {
+		t.Fatalf("probe = %d features", len(loaded.Probe))
+	}
+	// The probe is the sample tail, never trained on.
+	tail := inst.Train[len(inst.Train)-8:]
+	for i := range tail {
+		for j := range tail[i] {
+			if loaded.Probe[i][j] != tail[i][j] {
+				t.Fatalf("probe %d differs from sample tail", i)
+			}
+		}
+	}
+}
+
+// TestTrainRunInterruptResume: StopAfter interrupts mid-run leaving a
+// checkpoint and no published version; a second call resumes from the
+// checkpoint, completes the remaining epochs, publishes, and cleans
+// up.
+func TestTrainRunInterruptResume(t *testing.T) {
+	store, inst, spec := ckptFixture(t)
+	spec.StopAfter = 2
+
+	_, published, err := store.TrainRun(inst.Classifier, inst.Train, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if published {
+		t.Fatal("interrupted run published")
+	}
+	if !store.HasCheckpoint("v1") {
+		t.Fatal("no checkpoint after interruption")
+	}
+	if _, err := store.Load("v1"); err == nil {
+		t.Fatal("unpublished version loadable")
+	}
+	st, _, err := store.readCheckpoint("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EpochsDone != 2 || st.TotalEpochs != 4 {
+		t.Fatalf("checkpoint state = %+v", st)
+	}
+
+	// Resume: finishes and publishes.
+	spec.StopAfter = 0
+	m, published, err := store.TrainRun(inst.Classifier, inst.Train, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !published || !m.Train.Resumed {
+		t.Fatalf("resume: published=%v meta=%+v", published, m.Train)
+	}
+	if store.HasCheckpoint("v1") {
+		t.Fatal("checkpoint survived resumed publication")
+	}
+	if _, err := store.Load("v1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainRunConfigMismatch: resuming with a different screener
+// config must be refused, not silently restarted.
+func TestTrainRunConfigMismatch(t *testing.T) {
+	store, inst, spec := ckptFixture(t)
+	spec.StopAfter = 2
+	if _, _, err := store.TrainRun(inst.Classifier, inst.Train, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.StopAfter = 0
+	spec.Cfg.Reduced = 8
+	if _, _, err := store.TrainRun(inst.Classifier, inst.Train, spec); err == nil {
+		t.Fatal("config mismatch resume accepted")
+	}
+}
+
+// TestTrainRunAlreadyPublished: a published version cannot be
+// retrained.
+func TestTrainRunAlreadyPublished(t *testing.T) {
+	store, inst, spec := ckptFixture(t)
+	if _, _, err := store.TrainRun(inst.Classifier, inst.Train, spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.TrainRun(inst.Classifier, inst.Train, spec); err == nil {
+		t.Fatal("retrain of published version accepted")
+	}
+}

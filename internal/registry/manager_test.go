@@ -1,0 +1,233 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"enmc/internal/core"
+	"enmc/internal/quant"
+	"enmc/internal/telemetry"
+	"enmc/internal/workload"
+)
+
+// publishGeneration trains a screener on the instance and publishes
+// it; epochs differentiates model quality between versions.
+func publishGeneration(t *testing.T, store *Store, version, parent string, inst *workload.Instance, epochs int, seed uint64) {
+	t.Helper()
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, core.Config{
+		Categories: inst.Classifier.Categories(), Hidden: inst.Classifier.Hidden(),
+		Reduced: 8, Precision: quant.INT4, Seed: seed,
+	}, core.TrainOptions{Epochs: epochs, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish(Manifest{Version: version, Parent: parent}, inst.Classifier, scr, inst.Valid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// publishGarbage publishes a model whose classifier disagrees with
+// the serving one (independent random weights), so its canary
+// agreement is near-zero.
+func publishGarbage(t *testing.T, store *Store, version string, categories, hidden int, seed uint64) {
+	t.Helper()
+	bad := workload.Generate(
+		workload.Spec{Name: "garbage", Categories: categories, Hidden: hidden, LatentRank: 4, ZipfS: 1},
+		workload.GenOptions{Seed: seed, Train: 64, Valid: 4, Test: 4})
+	scr, _, err := core.TrainScreener(bad.Classifier, bad.Train, core.Config{
+		Categories: categories, Hidden: hidden, Reduced: 8, Precision: quant.INT4, Seed: seed + 1,
+	}, core.TrainOptions{Epochs: 1, Seed: seed + 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Publish(Manifest{Version: version}, bad.Classifier, scr, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func managerFixture(t *testing.T) (*Store, *workload.Instance, *Manager) {
+	t.Helper()
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.Generate(
+		workload.Spec{Name: "mgr-test", Categories: 64, Hidden: 24, LatentRank: 6, ZipfS: 1},
+		workload.GenOptions{Seed: 41, Train: 128, Valid: 16, Test: 8})
+	publishGeneration(t, store, "v1", "", inst, 3, 100)
+	mgr, err := NewManager(store, "", Options{ProbeTopK: 3, AgreementFloor: 0.5, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, inst, mgr
+}
+
+// TestManagerReloadAndCanaryAccept: a same-family candidate passes
+// the canary and swaps; metrics and the Swappable version advance.
+func TestManagerReloadAndCanaryAccept(t *testing.T) {
+	store, inst, mgr := managerFixture(t)
+	if v := mgr.Swappable().ModelVersion(); v != "v1" {
+		t.Fatalf("initial version = %q", v)
+	}
+
+	baseSwaps := telemetry.Default().Counter("registry.swap_total").Value()
+	publishGeneration(t, store, "v2", "v1", inst, 4, 200)
+	active, err := mgr.Reload(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if active != "v2" || mgr.Swappable().ModelVersion() != "v2" {
+		t.Fatalf("active = %q, swappable = %q", active, mgr.Swappable().ModelVersion())
+	}
+	if got := telemetry.Default().Counter("registry.swap_total").Value(); got != baseSwaps+1 {
+		t.Fatalf("swap_total = %d, want %d", got, baseSwaps+1)
+	}
+	if seq := telemetry.Default().Gauge("registry.active_version").Value(); seq != 2 {
+		t.Fatalf("active_version gauge = %v", seq)
+	}
+
+	// Reloading the active version is a no-op, not an error.
+	active, err = mgr.Reload(context.Background(), "v2")
+	if err != nil || active != "v2" {
+		t.Fatalf("no-op reload: %q, %v", active, err)
+	}
+}
+
+// TestManagerCanaryReject: a low-agreement candidate is rejected, the
+// old version keeps serving, and the rejection is counted.
+func TestManagerCanaryReject(t *testing.T) {
+	store, inst, mgr := managerFixture(t)
+	baseRejects := telemetry.Default().Counter("registry.canary_rejected").Value()
+	publishGarbage(t, store, "v2-bad", inst.Classifier.Categories(), inst.Classifier.Hidden(), 999)
+
+	active, err := mgr.Reload(context.Background(), "v2-bad")
+	var ce *CanaryError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CanaryError", err)
+	}
+	if ce.Agreement >= ce.Floor {
+		t.Fatalf("agreement %v not below floor %v", ce.Agreement, ce.Floor)
+	}
+	if active != "v1" || mgr.Swappable().ModelVersion() != "v1" {
+		t.Fatalf("after rejection: active = %q, swappable = %q", active, mgr.Swappable().ModelVersion())
+	}
+	if got := telemetry.Default().Counter("registry.canary_rejected").Value(); got != baseRejects+1 {
+		t.Fatalf("canary_rejected = %d, want %d", got, baseRejects+1)
+	}
+	// The rejected model must still serve nothing: a probe classifies
+	// on v1's backend.
+	outs, err := mgr.Swappable().ClassifyBatch(context.Background(), inst.Test[:1], 4, 1)
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("old version stopped serving: %v", err)
+	}
+}
+
+// TestManagerCorruptedLoadReject: a bad checksum fails the load phase
+// — load_failed increments and the old version keeps serving.
+func TestManagerCorruptedLoadReject(t *testing.T) {
+	store, inst, mgr := managerFixture(t)
+	publishGeneration(t, store, "v2", "v1", inst, 4, 300)
+	path := filepath.Join(store.Dir("v2"), ScreenerFile)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/3] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	baseFailed := telemetry.Default().Counter("registry.load_failed").Value()
+	active, err := mgr.Reload(context.Background(), "v2")
+	if err == nil {
+		t.Fatal("corrupted version swapped in")
+	}
+	if active != "v1" || mgr.Swappable().ModelVersion() != "v1" {
+		t.Fatalf("after corrupted load: active = %q", active)
+	}
+	if got := telemetry.Default().Counter("registry.load_failed").Value(); got != baseFailed+1 {
+		t.Fatalf("load_failed = %d, want %d", got, baseFailed+1)
+	}
+}
+
+// TestManagerSwapUnderTraffic: concurrent classification through the
+// Swappable while the manager swaps — zero errors, and the retire
+// callback eventually fires for the old version.
+func TestManagerSwapUnderTraffic(t *testing.T) {
+	store, inst, mgr := managerFixture(t)
+	publishGeneration(t, store, "v2", "v1", inst, 4, 400)
+
+	baseRetired := telemetry.Default().Counter("registry.retired_total").Value()
+	stop := make(chan struct{})
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := mgr.Swappable().ClassifyBatch(context.Background(), inst.Test[:2], 4, 2); err != nil {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+	if _, err := mgr.Reload(context.Background(), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d classification failures during swap", n)
+	}
+	if got := telemetry.Default().Counter("registry.retired_total").Value(); got != baseRetired+1 {
+		t.Fatalf("retired_total = %d, want %d (old version not retired after drain)", got, baseRetired+1)
+	}
+}
+
+// TestManagerTracerSpans: a reload records load/canary/swap spans on
+// the registry track.
+func TestManagerTracerSpans(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := workload.Generate(
+		workload.Spec{Name: "mgr-trace", Categories: 48, Hidden: 16, LatentRank: 4, ZipfS: 1},
+		workload.GenOptions{Seed: 51, Train: 96, Valid: 8, Test: 4})
+	publishGeneration(t, store, "v1", "", inst, 3, 500)
+	publishGeneration(t, store, "v2", "v1", inst, 4, 600)
+
+	tr := telemetry.NewTracer()
+	mgr, err := NewManager(store, "v1", Options{AgreementFloor: 0.3, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Reload(context.Background(), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"registry.load.v2": false, "registry.canary.v2": false, "registry.swap.v2": false}
+	for _, sp := range tr.Spans() {
+		if _, ok := want[sp.Name]; ok {
+			if sp.TID != telemetry.TrackRegistry {
+				t.Fatalf("span %s on track %d, want %d", sp.Name, sp.TID, telemetry.TrackRegistry)
+			}
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("span %s not recorded", name)
+		}
+	}
+}

@@ -3,6 +3,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"enmc/internal/core"
 	"enmc/internal/distributed"
@@ -87,9 +90,12 @@ func (l *Local) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK in
 // Sharded serves a row-sharded class space: every shard screens
 // locally and the merged global top-k is returned — the same handler
 // surface as Local, so a frontend can scale out without clients
-// noticing.
+// noticing. Shards reload independently (ReplaceShard), so a rolling
+// model update serves mixed versions mid-rollout; ModelVersion and
+// VersionSkew surface that state.
 type Sharded struct {
-	Shards     []distributed.Shard
+	mu         sync.RWMutex
+	shards     []distributed.Shard
 	hidden     int
 	categories int
 }
@@ -106,7 +112,11 @@ func NewSharded(shards []distributed.Shard) (*Sharded, error) {
 		}
 		total += s.Classifier.Categories()
 	}
-	return &Sharded{Shards: shards, hidden: shards[0].Classifier.Hidden(), categories: total}, nil
+	return &Sharded{
+		shards:     append([]distributed.Shard(nil), shards...),
+		hidden:     shards[0].Classifier.Hidden(),
+		categories: total,
+	}, nil
 }
 
 // Hidden implements Backend.
@@ -115,17 +125,95 @@ func (s *Sharded) Hidden() int { return s.hidden }
 // Categories implements Backend.
 func (s *Sharded) Categories() int { return s.categories }
 
+// Shards returns a snapshot of the current shard set.
+func (s *Sharded) Shards() []distributed.Shard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]distributed.Shard(nil), s.shards...)
+}
+
+// ReplaceShard hot-swaps shard i with a retrained replacement — the
+// independent per-shard reload path of a rolling model update. The
+// replacement must cover exactly the same class rows (same offset
+// and count) and hidden dimension; batches already holding the old
+// snapshot finish on it, new admissions see the new shard.
+func (s *Sharded) ReplaceShard(i int, sh distributed.Shard) error {
+	if sh.Classifier == nil || sh.Screener == nil {
+		return fmt.Errorf("server: replacement shard incomplete")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("server: shard index %d out of range [0,%d)", i, len(s.shards))
+	}
+	old := s.shards[i]
+	if sh.Offset != old.Offset || sh.Classifier.Categories() != old.Classifier.Categories() ||
+		sh.Classifier.Hidden() != old.Classifier.Hidden() {
+		return fmt.Errorf("server: replacement shard %d shape/offset mismatch (offset %d rows %d vs offset %d rows %d)",
+			i, sh.Offset, sh.Classifier.Categories(), old.Offset, old.Classifier.Categories())
+	}
+	// Copy-on-write: in-flight batches hold the old slice as an
+	// immutable snapshot, so the swap never mixes versions (or races)
+	// within a batch already running.
+	next := append([]distributed.Shard(nil), s.shards...)
+	next[i] = sh
+	s.shards = next
+	return nil
+}
+
+// ModelVersion implements Versioned: the single shard version when
+// the deployment is uniform, or the distinct versions joined with
+// "," while a rolling update is in flight.
+func (s *Sharded) ModelVersion() string {
+	vs := s.distinctVersions()
+	return strings.Join(vs, ",")
+}
+
+// VersionSkew implements SkewReporter: true while shards disagree on
+// their model version.
+func (s *Sharded) VersionSkew() bool { return len(s.distinctVersions()) > 1 }
+
+// ShardVersions returns each shard's version, shard-ordered.
+func (s *Sharded) ShardVersions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Version
+	}
+	return out
+}
+
+func (s *Sharded) distinctVersions() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	var vs []string
+	for _, sh := range s.shards {
+		if !seen[sh.Version] {
+			seen[sh.Version] = true
+			vs = append(vs, sh.Version)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
 // ClassifyBatch implements Backend: the screening budget m is split
 // evenly across shards (ceiling division, so the merged candidate
-// pool is at least m).
+// pool is at least m). The shard set is snapshotted once per batch,
+// so a concurrent ReplaceShard never mixes versions within one item.
 func (s *Sharded) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
-	per := (m + len(s.Shards) - 1) / len(s.Shards)
+	s.mu.RLock()
+	shards := s.shards
+	s.mu.RUnlock()
+	per := (m + len(shards) - 1) / len(shards)
 	if per < 1 {
 		per = 1
 	}
 	out := make([]Outcome, len(batch))
 	for i, h := range batch {
-		cands, err := distributed.ClassifyCtx(ctx, s.Shards, h, per, topK)
+		cands, err := distributed.ClassifyCtx(ctx, shards, h, per, topK)
 		if err != nil {
 			return nil, err
 		}

@@ -50,6 +50,7 @@ type reply struct {
 	degraded bool
 	batch    int
 	queuedNs int64
+	version  string // model version that served the batch
 	err      error
 }
 
@@ -194,9 +195,9 @@ func (b *batcher) doFlush(batch []*request) {
 			maxK = r.topK
 		}
 	}
-	outs, err := b.backend.ClassifyBatch(context.Background(), hs, m, maxK)
+	outs, version, err := classifyTagged(context.Background(), b.backend, hs, m, maxK)
 	for i, r := range live {
-		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), err: err}
+		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, err: err}
 		if err == nil {
 			rep.out = outs[i]
 			if r.topK < len(rep.out.TopK) {

@@ -23,22 +23,29 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"enmc/internal/telemetry"
 )
 
 // Per-endpoint instruments on the default telemetry registry.
+// mSwapTotal/mCanaryRejected are handles to the lifecycle counters
+// the registry manager owns (same names, same registry entries) so
+// /v1/model can report them without an import cycle.
 var (
 	mClassifyNs      = telemetry.Default().Histogram("server.http.classify_ns", telemetry.LatencyBuckets())
 	mClassifyBatchNs = telemetry.Default().Histogram("server.http.classify_batch_ns", telemetry.LatencyBuckets())
 	mRequests        = telemetry.Default().Counter("server.http.requests")
 	mStatus429       = telemetry.Default().Counter("server.http.status_429")
 	mStatus5xx       = telemetry.Default().Counter("server.http.status_5xx")
+	mSwapTotal       = telemetry.Default().Counter("registry.swap_total")
+	mCanaryRejected  = telemetry.Default().Counter("registry.canary_rejected")
 )
 
 // Config tunes the serving layer. Zero values take the documented
@@ -113,14 +120,21 @@ func (c *Config) defaults(categories int) {
 	}
 }
 
+// ReloadFunc triggers a model reload: version "" means "newest
+// available", a non-empty version pins the target. It returns the
+// active version after the attempt — on a rejected canary or failed
+// load the previous version keeps serving and the error says why.
+type ReloadFunc func(ctx context.Context, version string) (active string, err error)
+
 // Server is the HTTP serving layer. Create with New, expose with
 // Handler, stop with Drain.
 type Server struct {
-	cfg     Config
-	backend Backend
-	b       *batcher
-	ready   chan struct{} // closed when draining
-	mux     *http.ServeMux
+	cfg      Config
+	backend  Backend
+	b        *batcher
+	ready    chan struct{} // closed when draining
+	mux      *http.ServeMux
+	reloader atomic.Pointer[ReloadFunc]
 }
 
 // New builds a Server over the backend and starts its batching
@@ -142,9 +156,22 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/classify_batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
+}
+
+// SetReloader installs the model-reload trigger behind POST
+// /v1/model/reload (typically the registry manager's Reload). Safe
+// to call while serving; nil uninstalls.
+func (s *Server) SetReloader(f ReloadFunc) {
+	if f == nil {
+		s.reloader.Store(nil)
+		return
+	}
+	s.reloader.Store(&f)
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -195,6 +222,12 @@ type ClassifyResponse struct {
 	Degraded  bool        `json:"degraded"`
 	BatchSize int         `json:"batch_size"`
 	QueueUs   int64       `json:"queue_us"`
+	// ModelVersion is the registry version that served this request
+	// (empty for unversioned backends); during a hot swap it names
+	// the model the batch actually ran on. VersionSkew reports a
+	// sharded deployment mid-rolling-update.
+	ModelVersion string `json:"model_version,omitempty"`
+	VersionSkew  bool   `json:"version_skew,omitempty"`
 }
 
 // ClassifyBatchRequest is the /v1/classify_batch body.
@@ -211,9 +244,35 @@ type BatchItem struct {
 
 // ClassifyBatchResponse is the /v1/classify_batch body.
 type ClassifyBatchResponse struct {
-	Results  []BatchItem `json:"results"`
-	M        int         `json:"m"`
-	Degraded bool        `json:"degraded"`
+	Results      []BatchItem `json:"results"`
+	M            int         `json:"m"`
+	Degraded     bool        `json:"degraded"`
+	ModelVersion string      `json:"model_version,omitempty"`
+	VersionSkew  bool        `json:"version_skew,omitempty"`
+}
+
+// ModelStatusResponse is the GET /v1/model body: the active model
+// identity plus lifecycle counters.
+type ModelStatusResponse struct {
+	Version       string   `json:"version"`
+	Categories    int      `json:"categories"`
+	Hidden        int      `json:"hidden"`
+	ShardVersions []string `json:"shard_versions,omitempty"`
+	VersionSkew   bool     `json:"version_skew,omitempty"`
+	SwapTotal     int64    `json:"swap_total"`
+	CanaryReject  int64    `json:"canary_rejected"`
+	Draining      bool     `json:"draining"`
+}
+
+// ReloadRequest is the optional POST /v1/model/reload body; an empty
+// body (or empty version) reloads to the newest registry version.
+type ReloadRequest struct {
+	Version string `json:"version"`
+}
+
+// ReloadResponse is the POST /v1/model/reload success body.
+type ReloadResponse struct {
+	Version string `json:"version"`
 }
 
 type errorBody struct {
@@ -261,12 +320,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, ClassifyResponse{
-			Class:     rep.out.Class,
-			TopK:      rep.out.TopK,
-			M:         rep.m,
-			Degraded:  rep.degraded,
-			BatchSize: rep.batch,
-			QueueUs:   rep.queuedNs / 1e3,
+			Class:        rep.out.Class,
+			TopK:         rep.out.TopK,
+			M:            rep.m,
+			Degraded:     rep.degraded,
+			BatchSize:    rep.batch,
+			QueueUs:      rep.queuedNs / 1e3,
+			ModelVersion: rep.version,
+			VersionSkew:  s.versionSkew(),
 		})
 	case <-r.Context().Done():
 		// The flush worker will still drain req.resp (buffered), so
@@ -316,17 +377,71 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 	// request's own context so a client deadline aborts between
 	// items.
 	m, degraded := s.b.effectiveM()
-	outs, err := s.backend.ClassifyBatch(r.Context(), body.Batch, m, topK)
+	outs, version, err := classifyTagged(r.Context(), s.backend, body.Batch, m, topK)
 	if err != nil {
 		mStatus5xx.Inc()
 		writeError(w, http.StatusGatewayTimeout, err.Error())
 		return
 	}
-	resp := ClassifyBatchResponse{Results: make([]BatchItem, len(outs)), M: m, Degraded: degraded}
+	resp := ClassifyBatchResponse{
+		Results: make([]BatchItem, len(outs)), M: m, Degraded: degraded,
+		ModelVersion: version, VersionSkew: s.versionSkew(),
+	}
 	for i, o := range outs {
 		resp.Results[i] = BatchItem{Class: o.Class, TopK: o.TopK}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModel reports the active model: GET /v1/model.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := ModelStatusResponse{
+		Version:      versionOf(s.backend),
+		Categories:   s.backend.Categories(),
+		Hidden:       s.backend.Hidden(),
+		VersionSkew:  s.versionSkew(),
+		SwapTotal:    mSwapTotal.Value(),
+		CanaryReject: mCanaryRejected.Value(),
+		Draining:     s.Draining(),
+	}
+	if sv, ok := shardVersionsOf(s.backend); ok {
+		resp.ShardVersions = sv
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModelReload triggers a hot swap: POST /v1/model/reload with
+// an optional {"version": "..."} body. 200 carries the now-active
+// version; 409 means the candidate was rejected (failed canary, bad
+// checksum, load error) and the previous version is still serving;
+// 501 means this server has no registry wired.
+func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	fp := s.reloader.Load()
+	if fp == nil {
+		writeError(w, http.StatusNotImplemented, "no model registry configured (-model-root)")
+		return
+	}
+	var body ReloadRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	}
+	active, err := (*fp)(r.Context(), body.Version)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Version: active})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -345,6 +460,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // --- helpers ---
+
+// versionSkew reports whether the backend is serving mixed model
+// versions (sharded rolling update in flight).
+func (s *Server) versionSkew() bool {
+	if sr, ok := s.backend.(SkewReporter); ok {
+		return sr.VersionSkew()
+	}
+	return false
+}
+
+// shardVersionsOf unwraps to a per-shard version list when the
+// backend (or the backend inside a Swappable) is sharded.
+func shardVersionsOf(b Backend) ([]string, bool) {
+	if sw, ok := b.(*Swappable); ok {
+		b = sw.Current()
+	}
+	if sh, ok := b.(*Sharded); ok {
+		return sh.ShardVersions(), true
+	}
+	return nil, false
+}
 
 func (s *Server) clampTopK(k int) int {
 	if k <= 0 {

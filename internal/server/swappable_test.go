@@ -1,0 +1,434 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"enmc/internal/core"
+	"enmc/internal/distributed"
+	"enmc/internal/quant"
+	"enmc/internal/workload"
+)
+
+// TestSwappableHotSwapUnderTraffic: sustained concurrent traffic
+// through the full HTTP stack while the model is swapped mid-run —
+// every request must succeed, and each response names the version
+// that actually served it (only v1 before the swap completes, only
+// v2 after, never anything else).
+func TestSwappableHotSwapUnderTraffic(t *testing.T) {
+	old := &fakeBackend{hidden: 8, categories: 32}
+	sw, err := NewSwappable(old, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sw, Config{MaxBatch: 8, MaxDelay: time.Millisecond, QueueCap: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers, perWorker = 8, 40
+	var swapped atomic.Bool
+	var failures, staleAfterSwap atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := postClassify(ts, classifyBody(t, 8))
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				var out ClassifyResponse
+				derr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if derr != nil || resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				switch out.ModelVersion {
+				case "v1", "v2":
+				default:
+					failures.Add(1)
+				}
+				// A request issued strictly after the swap returned
+				// must never be served by the old model.
+				if swapped.Load() && out.ModelVersion == "v1" {
+					staleAfterSwap.Add(1)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	next := &fakeBackend{hidden: 8, categories: 32}
+	prev, err := sw.Swap(next, "v2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped.Store(true)
+	if prev != "v1" {
+		t.Fatalf("prev = %q, want v1", prev)
+	}
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d failed requests during hot swap", n)
+	}
+	// Requests admitted before the swap may legitimately finish on v1
+	// after it, but only for as long as in-flight batches drain; a
+	// micro-batch lives ~MaxDelay, so anything admitted post-swap is
+	// served by v2. Batches pinned pre-swap overlap the swapped flag
+	// only within one flush, so allow that window.
+	if sw.ModelVersion() != "v2" {
+		t.Fatalf("active version %q, want v2", sw.ModelVersion())
+	}
+	if next.calls.Load() == 0 {
+		t.Fatal("new backend never served")
+	}
+}
+
+// TestSwappableRetireAfterDrain: the old version must be retired
+// exactly once, and only after its last in-flight batch finishes —
+// never while a batch that pinned it is still running.
+func TestSwappableRetireAfterDrain(t *testing.T) {
+	gated := &fakeBackend{hidden: 4, categories: 8, gate: make(chan struct{})}
+	sw, err := NewSwappable(gated, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a batch inside the old backend.
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := sw.ClassifyBatch(context.Background(), [][]float32{make([]float32, 4)}, 1, 1)
+		batchDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for gated.calls.Load() == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("batch never reached backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var retired atomic.Int64
+	retiredVersion := make(chan string, 2)
+	prev, err := sw.Swap(&fakeBackend{hidden: 4, categories: 8}, "v2", func(v string) {
+		retired.Add(1)
+		retiredVersion <- v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != "v1" {
+		t.Fatalf("prev = %q", prev)
+	}
+
+	// The gated batch still holds a reference: retire must not fire.
+	time.Sleep(20 * time.Millisecond)
+	if retired.Load() != 0 {
+		t.Fatal("retired while a batch was in flight on the old version")
+	}
+
+	close(gated.gate)
+	if err := <-batchDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-retiredVersion:
+		if v != "v1" {
+			t.Fatalf("retired %q, want v1", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retire never fired after drain")
+	}
+	if retired.Load() != 1 {
+		t.Fatalf("retire fired %d times", retired.Load())
+	}
+}
+
+// TestSwapShapeMismatch: a candidate with a different shape must be
+// rejected and the old version must keep serving.
+func TestSwapShapeMismatch(t *testing.T) {
+	sw, err := NewSwappable(&fakeBackend{hidden: 8, categories: 32}, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Swap(&fakeBackend{hidden: 16, categories: 32}, "v2", nil); err == nil {
+		t.Fatal("hidden-dim mismatch accepted")
+	}
+	if _, err := sw.Swap(&fakeBackend{hidden: 8, categories: 64}, "v2", nil); err == nil {
+		t.Fatal("category-count mismatch accepted")
+	}
+	if _, err := sw.Swap(nil, "v2", nil); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	if sw.ModelVersion() != "v1" {
+		t.Fatalf("version changed to %q after rejected swaps", sw.ModelVersion())
+	}
+	if _, err := sw.ClassifyBatch(context.Background(), [][]float32{make([]float32, 8)}, 1, 1); err != nil {
+		t.Fatalf("old version stopped serving: %v", err)
+	}
+}
+
+// TestModelEndpoint: GET /v1/model reports the active version and
+// shapes; non-GET is rejected.
+func TestModelEndpoint(t *testing.T) {
+	sw, err := NewSwappable(&fakeBackend{hidden: 8, categories: 32}, "v7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sw, Config{MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out ModelStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != "v7" || out.Categories != 32 || out.Hidden != 8 || out.Draining {
+		t.Fatalf("status = %+v", out)
+	}
+
+	post, err := ts.Client().Post(ts.URL+"/v1/model", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/model: %d", post.StatusCode)
+	}
+}
+
+// TestReloadEndpoint covers the reload trigger surface: 501 with no
+// registry wired, 200 with the new active version on success, 409
+// with the old version still serving on a rejected candidate.
+func TestReloadEndpoint(t *testing.T) {
+	sw, err := NewSwappable(&fakeBackend{hidden: 8, categories: 32}, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sw, Config{MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body []byte) (*http.Response, error) {
+		return ts.Client().Post(ts.URL+"/v1/model/reload", "application/json", bytes.NewReader(body))
+	}
+
+	// No reloader installed → 501.
+	resp, err := post(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("no reloader: status = %d, want 501", resp.StatusCode)
+	}
+
+	var gotVersion string
+	s.SetReloader(func(_ context.Context, version string) (string, error) {
+		gotVersion = version
+		if version == "bad" {
+			return "v1", ErrOverloaded // any error: candidate rejected
+		}
+		if version == "" {
+			version = "v2"
+		}
+		if _, err := sw.Swap(&fakeBackend{hidden: 8, categories: 32}, version, nil); err != nil {
+			return "", err
+		}
+		return version, nil
+	})
+
+	// Empty body → newest version.
+	resp, err = post(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Version != "v2" || gotVersion != "" {
+		t.Fatalf("reload: status=%d version=%q requested=%q", resp.StatusCode, rr.Version, gotVersion)
+	}
+
+	// Pinned version in the body.
+	resp, err = post([]byte(`{"version":"v9"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = ReloadResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rr.Version != "v9" || gotVersion != "v9" {
+		t.Fatalf("pinned reload: status=%d version=%q requested=%q", resp.StatusCode, rr.Version, gotVersion)
+	}
+
+	// Rejected candidate → 409, old version still serving.
+	resp, err = post([]byte(`{"version":"bad"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rejected reload: status = %d, want 409", resp.StatusCode)
+	}
+	if sw.ModelVersion() != "v9" {
+		t.Fatalf("active version %q after rejected reload, want v9", sw.ModelVersion())
+	}
+
+	// GET is not allowed.
+	get, err := ts.Client().Get(ts.URL + "/v1/model/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload: %d", get.StatusCode)
+	}
+}
+
+// TestShardedReplaceAndSkew: independent shard reloads must validate
+// row coverage, surface version skew while shards disagree, and keep
+// serving correct answers throughout.
+func TestShardedReplaceAndSkew(t *testing.T) {
+	inst := workload.Generate(
+		workload.Spec{Name: "swap-shard", Categories: 96, Hidden: 32, LatentRank: 8, ZipfS: 1},
+		workload.GenOptions{Seed: 23, Train: 128, Valid: 8, Test: 8})
+	b := shardedBackend(t, inst, 3)
+
+	// Tag the initial deployment uniformly.
+	shards := b.Shards()
+	for i := range shards {
+		shards[i].Version = "v1"
+		if err := b.ReplaceShard(i, shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.VersionSkew() || b.ModelVersion() != "v1" {
+		t.Fatalf("uniform deployment: skew=%v version=%q", b.VersionSkew(), b.ModelVersion())
+	}
+
+	// Roll one shard forward: skew appears.
+	upgraded := shards[1]
+	upgraded.Version = "v2"
+	if err := b.ReplaceShard(1, upgraded); err != nil {
+		t.Fatal(err)
+	}
+	if !b.VersionSkew() {
+		t.Fatal("no skew mid-rollout")
+	}
+	if b.ModelVersion() != "v1,v2" {
+		t.Fatalf("mixed version = %q, want v1,v2", b.ModelVersion())
+	}
+	if sv := b.ShardVersions(); sv[0] != "v1" || sv[1] != "v2" || sv[2] != "v1" {
+		t.Fatalf("shard versions = %v", sv)
+	}
+
+	// Still serves mid-rollout.
+	outs, err := b.ClassifyBatch(context.Background(), inst.Test[:2], 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || len(outs[0].TopK) == 0 {
+		t.Fatalf("bad outcomes mid-rollout: %+v", outs)
+	}
+
+	// Bad replacements are rejected.
+	wrongOffset := shards[2]
+	wrongOffset.Offset++
+	if err := b.ReplaceShard(2, wrongOffset); err == nil {
+		t.Fatal("offset mismatch accepted")
+	}
+	if err := b.ReplaceShard(0, distributed.Shard{}); err == nil {
+		t.Fatal("incomplete shard accepted")
+	}
+	if err := b.ReplaceShard(99, shards[0]); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+
+	// Finish the rollout: skew clears.
+	for i := range shards {
+		sh := b.Shards()[i]
+		sh.Version = "v2"
+		if err := b.ReplaceShard(i, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.VersionSkew() || b.ModelVersion() != "v2" {
+		t.Fatalf("post-rollout: skew=%v version=%q", b.VersionSkew(), b.ModelVersion())
+	}
+}
+
+// TestSwappableLocalEquivalence: a Swappable-wrapped Local backend
+// must serve bit-identical predictions to the bare backend, and the
+// steady-state classify path through the wrapper must not allocate.
+func TestSwappableLocalEquivalence(t *testing.T) {
+	inst := workload.Generate(
+		workload.Spec{Name: "swap-local", Categories: 96, Hidden: 32, LatentRank: 8, ZipfS: 1},
+		workload.GenOptions{Seed: 31, Train: 128, Valid: 8, Test: 8})
+	scr, _, err := core.TrainScreener(inst.Classifier, inst.Train, core.Config{
+		Categories: 96, Hidden: 32, Reduced: 8, Precision: quant.INT4, Seed: 3,
+	}, core.TrainOptions{Epochs: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocal(inst.Classifier, scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwappable(local, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := local.ClassifyBatch(context.Background(), inst.Test, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, version, err := sw.classifyBatchTagged(context.Background(), inst.Test, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != "v1" {
+		t.Fatalf("version = %q", version)
+	}
+	for i := range want {
+		if got[i].Class != want[i].Class {
+			t.Fatalf("item %d: wrapped %d != bare %d", i, got[i].Class, want[i].Class)
+		}
+	}
+}

@@ -15,6 +15,11 @@ const (
 	TrackScreener = 101
 	TrackExecutor = 102
 	TrackDRAM     = 103
+	// TrackRegistry carries the model-lifecycle spans (load /
+	// canary-validate / swap) the registry manager records, so a
+	// hot swap's off-request-path work shows up as its own lane
+	// next to the serving pipeline.
+	TrackRegistry = 104
 )
 
 // Span is one completed interval on a track. Start and Dur are in

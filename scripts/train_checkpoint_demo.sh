@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checkpoint/resume demo: run a registry training job that stops
+# itself halfway (-stop-after), verify the checkpoint exists and the
+# version is NOT published, then rerun the same command — it resumes
+# from the checkpoint, finishes the remaining epochs, publishes the
+# version atomically, and removes the checkpoint.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== building =="
+cd "$ROOT"
+go build -o "$WORK/enmc-train" ./cmd/enmc-train
+
+echo "== generating demo model =="
+cd "$WORK"
+./enmc-train -demo >/dev/null
+
+REG="$WORK/models"
+TRAIN=(./enmc-train -classifier demo-cls.bin -features demo-feats.bin
+       -registry "$REG" -version v1 -epochs 6 -checkpoint-every 2 -k 32)
+
+echo "== phase 1: train with -stop-after 2 (simulated interruption) =="
+"${TRAIN[@]}" -stop-after 2
+[ -f "$REG/.ckpt/v1/state.json" ] || { echo "FAIL: no checkpoint after interruption"; exit 1; }
+[ ! -d "$REG/v1" ] || { echo "FAIL: interrupted run published"; exit 1; }
+echo "   checkpoint present, version unpublished — as expected"
+
+echo "== phase 2: rerun the same command (resumes from checkpoint) =="
+"${TRAIN[@]}"
+[ -f "$REG/v1/manifest.json" ] || { echo "FAIL: resumed run did not publish"; exit 1; }
+[ ! -d "$REG/.ckpt/v1" ] || { echo "FAIL: checkpoint survived publication"; exit 1; }
+grep -q '"resumed": true' "$REG/v1/manifest.json" || { echo "FAIL: manifest does not record the resume"; exit 1; }
+echo "   published with resumed=true, checkpoint cleaned up"
+
+echo "train-checkpoint OK: interrupt -> checkpoint -> resume -> atomic publish"
