@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke train-checkpoint
+.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke cluster-smoke train-checkpoint
 
 all: build
 
@@ -77,6 +77,16 @@ cover:
 # zero-downtime model lifecycle (internal/registry + Swappable).
 swap-smoke:
 	bash scripts/swap_smoke.sh
+
+# Cluster smoke: 3 enmc-shard workers x 2 replicas behind the
+# enmc-serve scatter-gather router under loadgen. SIGKILLs one
+# replica (traffic must stay clean and non-partial), then both
+# replicas of one shard (responses must degrade to partial:true with
+# that shard listed, never non-200), then restarts them (full merges
+# must resume). The end-to-end proof of the networked serving
+# topology (internal/cluster + cmd/enmc-shard).
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Checkpoint/resume demo: interrupt a registry training run
 # (-stop-after), resume it from the checkpoint, and verify the

@@ -17,6 +17,12 @@
 //	enmc-loadgen -addr localhost:8080 -dim 128 -duration 10s -concurrency 16
 //	enmc-loadgen -addr localhost:8080 -dim 128 -rate 2000 -duration 10s
 //	enmc-loadgen -addr localhost:8080 -dim 128 -batch 64   # /v1/classify_batch
+//	enmc-loadgen -targets "lb1:8080,lb2:8080" -dim 128     # round-robin a router pool
+//
+// With -targets (comma-separated host:port list) each request
+// round-robins across the pool and the report adds a per-target
+// latency/error breakdown — the harness for load-testing a set of
+// cluster routers from one process.
 package main
 
 import (
@@ -29,7 +35,9 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,11 +46,25 @@ type result struct {
 	latency  time.Duration
 	done     time.Time // completion timestamp (success-gap analysis)
 	degraded bool
-	items    int // classifications carried (batch size or 1)
+	partial  bool // response merged without some cluster shards
+	items    int  // classifications carried (batch size or 1)
+	target   int  // index into the target pool
+}
+
+// pool round-robins requests across the target URLs.
+type pool struct {
+	urls []string
+	next atomic.Uint64
+}
+
+func (p *pool) pick() (int, string) {
+	i := int(p.next.Add(1)-1) % len(p.urls)
+	return i, p.urls[i]
 }
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "enmc-serve host:port")
+	targets := flag.String("targets", "", "comma-separated host:port pool round-robined per request (overrides -addr)")
 	dim := flag.Int("dim", 128, "hidden dimension (must match the server)")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
@@ -52,15 +74,34 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 42, "feature generation seed")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any request gets a non-200 answer (hot-swap smoke: below capacity, every request must succeed)")
+	failOnPartial := flag.Bool("fail-on-partial", false, "exit 1 if any 200 was flagged partial (cluster smoke: with a healthy replica left per shard, no response may degrade)")
 	flag.Parse()
+
+	path := "/v1/classify"
+	if *batch > 0 {
+		path = "/v1/classify_batch"
+	}
+	hosts := []string{*addr}
+	if *targets != "" {
+		hosts = hosts[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				hosts = append(hosts, t)
+			}
+		}
+		if len(hosts) == 0 {
+			fmt.Fprintln(os.Stderr, "empty -targets list")
+			os.Exit(2)
+		}
+	}
+	p := &pool{urls: make([]string, len(hosts))}
+	for i, h := range hosts {
+		p.urls[i] = "http://" + h + path
+	}
 
 	client := &http.Client{
 		Timeout:   *timeout,
 		Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency + 64},
-	}
-	url := "http://" + *addr + "/v1/classify"
-	if *batch > 0 {
-		url = "http://" + *addr + "/v1/classify_batch"
 	}
 
 	var (
@@ -77,28 +118,28 @@ func main() {
 	deadline := runStart.Add(*duration)
 	var wg sync.WaitGroup
 	if *rate > 0 {
-		openLoop(&wg, client, url, *dim, *batch, *topK, *seed, *rate, deadline, record)
+		openLoop(&wg, client, p, *dim, *batch, *topK, *seed, *rate, deadline, record)
 	} else {
-		closedLoop(&wg, client, url, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
+		closedLoop(&wg, client, p, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
 	}
 	wg.Wait()
-	report(results, *duration, runStart, time.Now(), *failOnError)
+	report(results, hosts, *duration, runStart, time.Now(), *failOnError, *failOnPartial)
 }
 
-func closedLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
+func closedLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(id)))
 			for time.Now().Before(deadline) {
-				record(issue(client, url, payload(rng, dim, batch, topK)))
+				record(issue(client, p, payload(rng, dim, batch, topK)))
 			}
 		}(w)
 	}
 }
 
-func openLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, topK int, seed int64, rate float64, deadline time.Time, record func(result)) {
+func openLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, rate float64, deadline time.Time, record func(result)) {
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -119,7 +160,7 @@ func openLoop(wg *sync.WaitGroup, client *http.Client, url string, dim, batch, t
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(issue(client, url, body))
+				record(issue(client, p, body))
 				<-sem
 			}()
 		default:
@@ -153,23 +194,26 @@ func payload(rng *rand.Rand, dim, batch, topK int) []byte {
 	return buf
 }
 
-func issue(client *http.Client, url string, body []byte) result {
+func issue(client *http.Client, p *pool, body []byte) result {
+	target, url := p.pick()
 	start := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return result{code: 0, latency: time.Since(start), done: time.Now()}
+		return result{code: 0, latency: time.Since(start), done: time.Now(), target: target}
 	}
 	defer resp.Body.Close()
-	r := result{code: resp.StatusCode, latency: time.Since(start), done: time.Now(), items: 1}
+	r := result{code: resp.StatusCode, latency: time.Since(start), done: time.Now(), items: 1, target: target}
 	if resp.StatusCode == http.StatusOK {
 		var parsed struct {
 			Degraded bool `json:"degraded"`
+			Partial  bool `json:"partial"`
 			Results  []struct {
 				Class int `json:"class"`
 			} `json:"results"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&parsed); err == nil {
 			r.degraded = parsed.Degraded
+			r.partial = parsed.Partial
 			if n := len(parsed.Results); n > 0 {
 				r.items = n
 			}
@@ -180,27 +224,36 @@ func issue(client *http.Client, url string, body []byte) result {
 	return r
 }
 
-func report(results []result, d time.Duration, runStart, runEnd time.Time, failOnError bool) {
-	var ok, degraded, items int
+func report(results []result, hosts []string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial bool) {
+	var ok, degraded, partial, items int
 	var lats []time.Duration
 	var successTimes []time.Time
 	errByStatus := map[int]int{} // status → count; 0 = transport error / generator shed
+	perTarget := make([]targetStats, len(hosts))
 	for _, r := range results {
+		t := &perTarget[r.target]
+		t.total++
 		if r.code == http.StatusOK {
 			ok++
 			items += r.items
 			lats = append(lats, r.latency)
 			successTimes = append(successTimes, r.done)
+			t.ok++
+			t.lats = append(t.lats, r.latency)
 			if r.degraded {
 				degraded++
+			}
+			if r.partial {
+				partial++
+				t.partial++
 			}
 			continue
 		}
 		errByStatus[r.code]++
 	}
 	fmt.Printf("requests: %d over %s\n", len(results), d)
-	fmt.Printf("  ok: %d (%d classifications, %.1f/s)  degraded: %d (%.1f%%)\n",
-		ok, items, float64(items)/d.Seconds(), degraded, pct(degraded, ok))
+	fmt.Printf("  ok: %d (%d classifications, %.1f/s)  degraded: %d (%.1f%%)  partial: %d (%.1f%%)\n",
+		ok, items, float64(items)/d.Seconds(), degraded, pct(degraded, ok), partial, pct(partial, ok))
 
 	// Per-status error breakdown, ascending by status code (0 =
 	// transport error or generator shed).
@@ -245,6 +298,22 @@ func report(results []result, d time.Duration, runStart, runEnd time.Time, failO
 		fmt.Printf("  max gap between successes: %s\n", maxGap.Round(time.Millisecond))
 	}
 
+	// Per-target breakdown: only meaningful (and only printed) when a
+	// -targets pool was given.
+	if len(hosts) > 1 {
+		for i, t := range perTarget {
+			line := fmt.Sprintf("  target %-21s  req %d  ok %d  err %d", hosts[i], t.total, t.ok, t.total-t.ok)
+			if t.partial > 0 {
+				line += fmt.Sprintf("  partial %d", t.partial)
+			}
+			if len(t.lats) > 0 {
+				sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
+				line += fmt.Sprintf("  p50 %s  p99 %s", quantile(t.lats, 0.50), quantile(t.lats, 0.99))
+			}
+			fmt.Println(line)
+		}
+	}
+
 	if ok == 0 {
 		fmt.Fprintln(os.Stderr, "no successful requests")
 		os.Exit(1)
@@ -253,6 +322,16 @@ func report(results []result, d time.Duration, runStart, runEnd time.Time, failO
 		fmt.Fprintf(os.Stderr, "fail-on-error: %d requests did not get 200\n", len(results)-ok)
 		os.Exit(1)
 	}
+	if failOnPartial && partial > 0 {
+		fmt.Fprintf(os.Stderr, "fail-on-partial: %d responses were partial merges\n", partial)
+		os.Exit(1)
+	}
+}
+
+// targetStats accumulates the per-target breakdown of a -targets run.
+type targetStats struct {
+	total, ok, partial int
+	lats               []time.Duration
 }
 
 func pct(n, of int) float64 {

@@ -9,6 +9,11 @@
 //	enmc-serve -classifier cls.bin -screener scr.bin -addr :8080
 //	enmc-serve -shards 4                   # sharded demo backend
 //	enmc-serve -model-root ./models        # versioned registry + hot swap
+//	enmc-serve -cluster "h1:9090,h2:9090;h3:9091,h4:9091"
+//	                                       # scatter-gather router over
+//	                                       # networked enmc-shard workers
+//	                                       # (replicas ','-separated,
+//	                                       # shards ';'-separated)
 //	enmc-serve -debug-addr :6060           # pprof + /metrics sidecar
 //
 // Endpoints: POST /v1/classify, POST /v1/classify_batch, GET
@@ -38,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"enmc/internal/cluster"
 	"enmc/internal/core"
 	"enmc/internal/distributed"
 	"enmc/internal/quant"
@@ -56,6 +62,13 @@ func main() {
 	scrPath := flag.String("screener", "", "serialized screener (SaveScreener format)")
 	featPath := flag.String("features", "", "serialized features for shard screener training (WriteFeatures format)")
 	shards := flag.Int("shards", 1, "row-shard the class space across N local shards (sharded backend)")
+
+	clusterMap := flag.String("cluster", "", "route to networked enmc-shard workers: replica URLs comma-separated, shards semicolon-separated (e.g. 'h1:9090,h2:9090;h3:9091,h4:9091')")
+	clusterTimeout := flag.Duration("cluster-timeout", 2*time.Second, "per-attempt shard RPC timeout")
+	clusterAttempts := flag.Int("cluster-attempts", 0, "attempts per shard per query incl. failover (default: one per replica, min 2)")
+	clusterHedge := flag.Duration("cluster-hedge", 0, "hedge a shard RPC onto another replica after this delay (floor under -cluster-hedge-quantile; 0 disables)")
+	clusterHedgeQ := flag.Float64("cluster-hedge-quantile", 0, "adaptive hedging: hedge after this quantile of observed shard latency (0 disables)")
+	clusterHealthEvery := flag.Duration("cluster-health-interval", 500*time.Millisecond, "per-replica /readyz probe period")
 
 	modelRoot := flag.String("model-root", "", "versioned model registry root (enables hot swap + /v1/model/reload)")
 	modelVersion := flag.String("model-version", "", "registry version to serve at startup (default newest)")
@@ -81,7 +94,26 @@ func main() {
 
 	var backend server.Backend
 	var mgr *registry.Manager
-	if *modelRoot != "" {
+	var router *cluster.Router
+	if *clusterMap != "" {
+		shardMap, err := cluster.ParseShardMap(*clusterMap)
+		fatalIf(err)
+		dialCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		router, err = cluster.Dial(dialCtx, cluster.RouterConfig{
+			ShardMap:       shardMap,
+			Timeout:        *clusterTimeout,
+			MaxAttempts:    *clusterAttempts,
+			HedgeAfter:     *clusterHedge,
+			HedgeQuantile:  *clusterHedgeQ,
+			HealthInterval: *clusterHealthEvery,
+		})
+		cancel()
+		fatalIf(err)
+		defer router.Close()
+		log.Printf("cluster router: %d shards, %d classes (version %q)",
+			router.Shards(), router.Categories(), router.ModelVersion())
+		backend = router
+	} else if *modelRoot != "" {
 		store, err := registry.Open(*modelRoot)
 		fatalIf(err)
 		var probe [][]float32

@@ -1,0 +1,119 @@
+// Package cluster turns the in-process row-sharded decomposition of
+// internal/distributed into a multi-process serving topology: shard
+// workers (cmd/enmc-shard) each own a contiguous row-slice of the
+// class space and expose a compact HTTP/JSON shard API, while a
+// Router scatter-gathers every query across all shards concurrently
+// and merges the global top-k.
+//
+// The wire protocol is the paper's scale-out sketch made concrete:
+// each node keeps an approximate screener, screens its slice
+// locally, recomputes its local candidates exactly, and ships only
+// the (class, logit) candidate pairs — never raw logit vectors — so
+// the gather traffic per shard is O(m) instead of O(l/n), exactly
+// the host/near-memory offload split ENMC argues for (screen where
+// the data lives, move only what survived screening).
+//
+// The Router is production-shaped, not a toy fan-out: a static shard
+// map with R replicas per shard, per-replica health probing with
+// consecutive-failure ejection and re-admission, per-attempt
+// timeouts with bounded retry-then-failover across replicas, hedged
+// requests after an observed latency quantile, and partial-failure
+// degradation — when every replica of a shard is down the merged
+// top-k of the surviving shards is served with the response marked
+// partial instead of failing the query.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"enmc/internal/telemetry"
+)
+
+// Telemetry instruments on the default registry. shard_rpc_total
+// counts attempts (including hedges and failover retries), so
+// shard_rpc_total - hedge_fired - failover_total approximates the
+// first-attempt rate.
+var (
+	mShardRPCTotal    = telemetry.Default().Counter("cluster.shard_rpc_total")
+	mShardRPCErrors   = telemetry.Default().Counter("cluster.shard_rpc_errors")
+	mHedgeFired       = telemetry.Default().Counter("cluster.hedge_fired")
+	mFailoverTotal    = telemetry.Default().Counter("cluster.failover_total")
+	mPartialResponses = telemetry.Default().Counter("cluster.partial_responses")
+	mShardsHealthy    = telemetry.Default().Gauge("cluster.shards_healthy")
+	mReplicaEjected   = telemetry.Default().Counter("cluster.replica_ejected")
+	mReplicaReadmit   = telemetry.Default().Counter("cluster.replica_readmitted")
+	mRPCNs            = telemetry.Default().Histogram("cluster.shard_rpc_ns", telemetry.LatencyBuckets())
+)
+
+// --- wire format (/v1/shard/*) ---
+
+// WireCandidate is one exact (class, logit) pair in GLOBAL class
+// numbering — the only payload that crosses the gather wire. Keys
+// are single letters because a reply carries shards×m of these.
+type WireCandidate struct {
+	Class int     `json:"c"`
+	Logit float32 `json:"l"`
+}
+
+// ScreenRequest is the POST /v1/shard/screen body: a batch of hidden
+// vectors plus the per-shard screening budget m.
+type ScreenRequest struct {
+	Batch [][]float32 `json:"batch"`
+	M     int         `json:"m"`
+}
+
+// ScreenResponse is the shard's reply: for every batch item, its
+// exact top-m local candidates in global numbering, plus the shard's
+// identity so the router can detect a mis-wired shard map and
+// version skew mid-rolling-update.
+type ScreenResponse struct {
+	Offset  int               `json:"offset"`
+	Classes int               `json:"classes"`
+	Version string            `json:"model_version,omitempty"`
+	Items   [][]WireCandidate `json:"items"`
+}
+
+// ShardInfo is the GET /v1/shard/info body: the static identity the
+// router reads once at Dial to learn the shard map geometry.
+type ShardInfo struct {
+	Offset  int    `json:"offset"`
+	Classes int    `json:"classes"`
+	Hidden  int    `json:"hidden"`
+	Version string `json:"model_version,omitempty"`
+}
+
+// ParseShardMap parses a router shard-map spec: shards separated by
+// ';', replicas of one shard separated by ','. Bare host:port
+// entries get an http:// scheme.
+//
+//	"10.0.0.1:9001,10.0.0.2:9001;10.0.0.3:9002,10.0.0.4:9002"
+//	→ 2 shards × 2 replicas
+func ParseShardMap(spec string) ([][]string, error) {
+	var out [][]string
+	for _, group := range strings.Split(spec, ";") {
+		group = strings.TrimSpace(group)
+		if group == "" {
+			continue
+		}
+		var reps []string
+		for _, r := range strings.Split(group, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			if !strings.Contains(r, "://") {
+				r = "http://" + r
+			}
+			reps = append(reps, strings.TrimRight(r, "/"))
+		}
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("cluster: shard group %q has no replicas", group)
+		}
+		out = append(out, reps)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty shard map %q", spec)
+	}
+	return out, nil
+}

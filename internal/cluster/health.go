@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// probeLoop is the per-replica health state machine. The replica
+// starts admitted (optimistic); FailThreshold consecutive failed
+// /readyz probes eject it, ReadmitThreshold consecutive successes
+// re-admit it. Ejection only changes failover ORDER — the data path
+// still falls back to ejected replicas once the healthy ones are
+// exhausted — so a probe-lag window can degrade latency but never
+// availability.
+func (r *Router) probeLoop(s *routerShard, rep *replica) {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.HealthInterval)
+	defer ticker.Stop()
+	fails, succs := 0, 0
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			if r.probeOnce(rep) {
+				fails = 0
+				succs++
+				if !rep.healthy.Load() && succs >= r.cfg.ReadmitThreshold {
+					rep.healthy.Store(true)
+					mReplicaReadmit.Inc()
+					mShardsHealthy.Set(float64(r.HealthyShards()))
+				}
+			} else {
+				succs = 0
+				fails++
+				if rep.healthy.Load() && fails >= r.cfg.FailThreshold {
+					rep.healthy.Store(false)
+					mReplicaEjected.Inc()
+					mShardsHealthy.Set(float64(r.HealthyShards()))
+				}
+			}
+		}
+	}
+}
+
+// probeOnce is a single readiness probe: a 200 from /readyz within
+// HealthTimeout. A draining worker answers 503, so graceful
+// shutdowns eject through the same path as crashes.
+func (r *Router) probeOnce(rep *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// latWindow is a fixed-size sliding window of observed RPC
+// latencies feeding the adaptive hedge delay. Writes are frequent
+// and cheap (mutex + ring slot); quantile reads copy the window.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // filled entries (≤ len(buf))
+	next int // ring cursor
+}
+
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or 0 when empty
+// (callers treat 0 as "no estimate yet").
+func (w *latWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, w.buf[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	idx := int(q * float64(n-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return tmp[idx]
+}

@@ -1,0 +1,540 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enmc/internal/distributed"
+	"enmc/internal/server"
+	"enmc/internal/telemetry"
+)
+
+// RouterConfig tunes the scatter-gather router. Zero values take the
+// documented defaults in Dial.
+type RouterConfig struct {
+	// ShardMap is the static topology: ShardMap[i] lists shard i's
+	// replica base URLs (see ParseShardMap).
+	ShardMap [][]string
+	// Timeout bounds one RPC attempt to one replica (default 2s).
+	Timeout time.Duration
+	// MaxAttempts bounds the attempts per shard per query — the
+	// first try plus retry/failover/hedge relaunches (default: one
+	// per replica, minimum 2). Attempts cycle through the replica
+	// order, so a single-replica shard gets a same-replica retry.
+	MaxAttempts int
+	// HedgeAfter launches a hedge attempt on another replica when
+	// the first has not answered after this long (default 0:
+	// disabled unless HedgeQuantile is set; with HedgeQuantile it is
+	// the floor under the adaptive delay).
+	HedgeAfter time.Duration
+	// HedgeQuantile makes the hedge delay adaptive: hedge after this
+	// quantile of the shard's recently observed RPC latency (e.g.
+	// 0.9). 0 disables adaptation.
+	HedgeQuantile float64
+	// HealthInterval is the per-replica /readyz probe period
+	// (default 500ms; negative disables probing).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default HealthInterval).
+	HealthTimeout time.Duration
+	// FailThreshold ejects a replica after this many consecutive
+	// probe failures (default 3).
+	FailThreshold int
+	// ReadmitThreshold re-admits an ejected replica after this many
+	// consecutive probe successes (default 2).
+	ReadmitThreshold int
+	// Client overrides the HTTP client (default: pooled transport).
+	Client *http.Client
+	// Tracer receives per-shard RPC spans on TrackClusterBase+i;
+	// nil falls back to the global tracer at call time.
+	Tracer *telemetry.Tracer
+}
+
+func (c *RouterConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = c.HealthInterval
+		if c.HealthTimeout <= 0 {
+			c.HealthTimeout = 500 * time.Millisecond
+		}
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ReadmitThreshold <= 0 {
+		c.ReadmitThreshold = 2
+	}
+}
+
+// replica is one worker process serving a shard. healthy is owned by
+// the probe loop (and optimistically true at start); the data path
+// only reads it to order failover candidates — an ejected replica is
+// still tried as a last resort, so recovery never waits on a probe.
+type replica struct {
+	url     string
+	healthy atomic.Bool
+}
+
+// routerShard is the router's view of one row-slice: its replicas,
+// the round-robin cursor, and a sliding latency window that feeds
+// the adaptive hedge delay.
+type routerShard struct {
+	id      int
+	offset  int
+	classes int
+	version atomic.Pointer[string]
+
+	replicas []*replica
+	next     atomic.Uint32
+	lat      latWindow
+}
+
+// replicaOrder returns the failover sequence for one query: healthy
+// replicas first, rotated by the round-robin cursor, then ejected
+// ones as a last resort (so a shard whose probes all fail is still
+// reachable the instant a worker comes back).
+func (s *routerShard) replicaOrder() []*replica {
+	n := len(s.replicas)
+	start := int(s.next.Add(1)-1) % n
+	order := make([]*replica, 0, n)
+	var down []*replica
+	for i := 0; i < n; i++ {
+		rep := s.replicas[(start+i)%n]
+		if rep.healthy.Load() {
+			order = append(order, rep)
+		} else {
+			down = append(down, rep)
+		}
+	}
+	return append(order, down...)
+}
+
+// Router scatter-gathers classification across networked shard
+// workers and merges the global top-k. It implements server.Backend
+// (plus the partial-result and version-skew extensions), so
+// enmc-serve can put the full micro-batching/admission/degradation
+// stack in front of a cluster unchanged.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+	shards []*routerShard
+	hidden int
+
+	categories int
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// Dial learns the shard map geometry from each shard's
+// /v1/shard/info (trying replicas in order), validates that the
+// slices tile the class space exactly, and starts the per-replica
+// health probe loops.
+func Dial(ctx context.Context, cfg RouterConfig) (*Router, error) {
+	cfg.defaults()
+	if len(cfg.ShardMap) == 0 {
+		return nil, fmt.Errorf("cluster: empty shard map")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: 64},
+		}
+	}
+	r := &Router{cfg: cfg, client: client, stop: make(chan struct{})}
+	for i, group := range cfg.ShardMap {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		s := &routerShard{id: i, offset: -1}
+		for _, u := range group {
+			rep := &replica{url: u}
+			rep.healthy.Store(true)
+			s.replicas = append(s.replicas, rep)
+		}
+		var lastErr error
+		for _, rep := range s.replicas {
+			info, err := fetchInfo(ctx, client, rep.url, cfg.Timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			s.offset, s.classes = info.Offset, info.Classes
+			v := info.Version
+			s.version.Store(&v)
+			if r.hidden == 0 {
+				r.hidden = info.Hidden
+			} else if info.Hidden != r.hidden {
+				return nil, fmt.Errorf("cluster: shard %d hidden dim %d disagrees with %d", i, info.Hidden, r.hidden)
+			}
+			break
+		}
+		if s.offset < 0 {
+			return nil, fmt.Errorf("cluster: shard %d: no replica reachable: %v", i, lastErr)
+		}
+		r.shards = append(r.shards, s)
+	}
+
+	// The row slices must tile [0, total) exactly: a gap would
+	// silently drop classes, an overlap would double-count them.
+	byOffset := append([]*routerShard(nil), r.shards...)
+	sort.Slice(byOffset, func(a, b int) bool { return byOffset[a].offset < byOffset[b].offset })
+	want := 0
+	for _, s := range byOffset {
+		if s.offset != want {
+			return nil, fmt.Errorf("cluster: shard map does not tile the class space: shard %d covers [%d,%d), want offset %d",
+				s.id, s.offset, s.offset+s.classes, want)
+		}
+		want += s.classes
+	}
+	r.categories = want
+
+	if tr := r.tracer(); tr.Enabled() {
+		for _, s := range r.shards {
+			tr.SetThreadName(telemetry.TrackClusterBase+s.id, fmt.Sprintf("cluster shard %d rpc", s.id))
+		}
+	}
+	mShardsHealthy.Set(float64(len(r.shards)))
+	if cfg.HealthInterval > 0 {
+		for _, s := range r.shards {
+			for _, rep := range s.replicas {
+				r.wg.Add(1)
+				go r.probeLoop(s, rep)
+			}
+		}
+	}
+	return r, nil
+}
+
+func fetchInfo(ctx context.Context, client *http.Client, base string, timeout time.Duration) (*ShardInfo, error) {
+	ictx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ictx, http.MethodGet, base+"/v1/shard/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("cluster: %s/v1/shard/info: HTTP %d", base, resp.StatusCode)
+	}
+	var info ShardInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	if info.Classes <= 0 || info.Hidden <= 0 || info.Offset < 0 {
+		return nil, fmt.Errorf("cluster: %s reported bad geometry %+v", base, info)
+	}
+	return &info, nil
+}
+
+// Close stops the health probe loops and releases idle connections.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.client.CloseIdleConnections()
+}
+
+// Hidden implements server.Backend.
+func (r *Router) Hidden() int { return r.hidden }
+
+// Categories implements server.Backend.
+func (r *Router) Categories() int { return r.categories }
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// HealthyShards reports how many shards currently have at least one
+// non-ejected replica.
+func (r *Router) HealthyShards() int {
+	n := 0
+	for _, s := range r.shards {
+		for _, rep := range s.replicas {
+			if rep.healthy.Load() {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// ModelVersion implements server.Versioned: the uniform shard
+// version, or the distinct versions joined with "," while a rolling
+// update is in flight.
+func (r *Router) ModelVersion() string {
+	vs := r.distinctVersions()
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}
+
+// VersionSkew implements server.SkewReporter.
+func (r *Router) VersionSkew() bool { return len(r.distinctVersions()) > 1 }
+
+func (r *Router) distinctVersions() []string {
+	seen := map[string]bool{}
+	var vs []string
+	for _, s := range r.shards {
+		v := ""
+		if p := s.version.Load(); p != nil {
+			v = *p
+		}
+		if !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+func (r *Router) tracer() *telemetry.Tracer {
+	if r.cfg.Tracer != nil {
+		return r.cfg.Tracer
+	}
+	return telemetry.Global()
+}
+
+// ClassifyBatch implements server.Backend: the partial flag is
+// dropped — serving layers that can surface it use
+// ClassifyBatchPartial (the server does, via server.PartialBackend).
+func (r *Router) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]server.Outcome, error) {
+	outs, _, err := r.ClassifyBatchPartial(ctx, batch, m, topK)
+	return outs, err
+}
+
+// ClassifyBatchPartial implements server.PartialBackend: scatter the
+// batch across every shard concurrently, gather the per-shard exact
+// candidate pairs, and merge the global top-k. When every replica of
+// a shard fails, the query degrades instead of failing: the merged
+// top-k of the surviving shards is returned with Partial set and the
+// missing shard ids listed. Only all-shards-down (or cancellation)
+// returns an error.
+func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m, topK int) ([]server.Outcome, server.Partial, error) {
+	if len(batch) == 0 {
+		return nil, server.Partial{}, nil
+	}
+	per := (m + len(r.shards) - 1) / len(r.shards)
+	if per < 1 {
+		per = 1
+	}
+	body, err := json.Marshal(ScreenRequest{Batch: batch, M: per})
+	if err != nil {
+		return nil, server.Partial{}, err
+	}
+
+	replies := make([]*ScreenResponse, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *routerShard) {
+			defer wg.Done()
+			replies[i], errs[i] = r.callShard(ctx, s, body, len(batch))
+		}(i, s)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, server.Partial{}, err
+	}
+
+	var missing []int
+	var lastErr error
+	for i, e := range errs {
+		if e != nil {
+			missing = append(missing, i)
+			lastErr = e
+		}
+	}
+	if len(missing) == len(r.shards) {
+		return nil, server.Partial{}, fmt.Errorf("cluster: all %d shards unreachable: %w", len(r.shards), lastErr)
+	}
+
+	outs := make([]server.Outcome, len(batch))
+	pool := make([]distributed.Candidate, 0, len(r.shards)*per)
+	for i := range batch {
+		pool = pool[:0]
+		for _, rep := range replies {
+			if rep == nil {
+				continue
+			}
+			for _, c := range rep.Items[i] {
+				pool = append(pool, distributed.Candidate{Class: c.Class, Logit: c.Logit})
+			}
+		}
+		// MergeDedup, not Merge: wire replies are untrusted, and a
+		// mis-wired shard map can double-cover a class row.
+		merged := distributed.MergeDedup(pool, topK)
+		ck := make([]server.Candidate, len(merged))
+		for j, c := range merged {
+			ck[j] = server.Candidate{Class: c.Class, Logit: c.Logit}
+		}
+		o := server.Outcome{TopK: ck}
+		if len(merged) > 0 {
+			o.Class = merged[0].Class
+		}
+		outs[i] = o
+	}
+	p := server.Partial{Partial: len(missing) > 0, MissingShards: missing}
+	if p.Partial {
+		mPartialResponses.Inc()
+	}
+	return outs, p, nil
+}
+
+// callShard runs one shard's scatter leg: try replicas in failover
+// order with a per-attempt timeout, relaunching on error (bounded by
+// MaxAttempts) and hedging onto the next replica when the attempt in
+// flight is slower than the shard's recent latency suggests it
+// should be. First success wins; losers are cancelled.
+func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nItems int) (*ScreenResponse, error) {
+	order := s.replicaOrder()
+	attempts := r.cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = len(order)
+		if attempts < 2 {
+			attempts = 2
+		}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap any attempt still in flight when we return
+
+	type attemptResult struct {
+		resp *ScreenResponse
+		err  error
+	}
+	ch := make(chan attemptResult, attempts)
+	launched := 0
+	launch := func() {
+		rep := order[launched%len(order)]
+		launched++
+		go func() {
+			resp, err := r.rpcOnce(cctx, s, rep, body, nItems)
+			ch <- attemptResult{resp, err}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	if hd := r.hedgeDelay(s); hd > 0 && attempts > 1 {
+		t := time.NewTimer(hd)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < attempts {
+				mHedgeFired.Inc()
+				launch()
+				inflight++
+			}
+		case ar := <-ch:
+			if ar.err == nil {
+				return ar.resp, nil
+			}
+			lastErr = ar.err
+			inflight--
+			if launched < attempts {
+				mFailoverTotal.Inc()
+				launch()
+				inflight++
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		}
+	}
+}
+
+// hedgeDelay picks the point past which a second attempt launches:
+// the configured quantile of the shard's recent RPC latencies when
+// adaptive hedging is on (floored by HedgeAfter), else the static
+// HedgeAfter, else disabled.
+func (r *Router) hedgeDelay(s *routerShard) time.Duration {
+	d := r.cfg.HedgeAfter
+	if r.cfg.HedgeQuantile > 0 {
+		if q := s.lat.quantile(r.cfg.HedgeQuantile); q > d {
+			d = q
+		}
+	}
+	if d > r.cfg.Timeout {
+		d = r.cfg.Timeout
+	}
+	return d
+}
+
+// rpcOnce is one attempt against one replica under the per-attempt
+// timeout. Successful attempts feed the shard's latency window and
+// record a span on the shard's trace lane.
+func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body []byte, nItems int) (*ScreenResponse, error) {
+	mShardRPCTotal.Inc()
+	tr := r.tracer()
+	spanStart := tr.Now()
+	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	fail := func(err error) (*ScreenResponse, error) {
+		mShardRPCErrors.Inc()
+		if tr.Enabled() {
+			tr.AddSince(fmt.Sprintf("rpc %s FAIL", rep.url), telemetry.TrackClusterBase+s.id, spanStart)
+		}
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+"/v1/shard/screen", bytes.NewReader(body))
+	if err != nil {
+		return fail(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fail(fmt.Errorf("cluster: shard %d replica %s: HTTP %d", s.id, rep.url, resp.StatusCode))
+	}
+	var sr ScreenResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return fail(fmt.Errorf("cluster: shard %d replica %s: bad reply: %w", s.id, rep.url, err))
+	}
+	if len(sr.Items) != nItems {
+		return fail(fmt.Errorf("cluster: shard %d replica %s: %d items in reply, want %d", s.id, rep.url, len(sr.Items), nItems))
+	}
+	elapsed := time.Since(start)
+	s.lat.observe(elapsed)
+	mRPCNs.Observe(float64(elapsed))
+	if tr.Enabled() {
+		tr.AddSince(fmt.Sprintf("rpc %s", rep.url), telemetry.TrackClusterBase+s.id, spanStart)
+	}
+	s.version.Store(&sr.Version)
+	return &sr, nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"enmc/internal/core"
+	"enmc/internal/distributed"
+	"enmc/internal/telemetry"
+)
+
+var (
+	mWorkerRequests = telemetry.Default().Counter("cluster.worker.screen_requests")
+	mWorkerItems    = telemetry.Default().Counter("cluster.worker.screen_items")
+)
+
+// Worker serves one shard's row-slice of the class space over HTTP:
+// it screens locally with its own approximate screener, recomputes
+// its local candidates exactly, and ships only the (class, logit)
+// pairs back — the ENMC offload split at cluster scale.
+//
+// Endpoints:
+//
+//	POST /v1/shard/screen  — ScreenRequest in, ScreenResponse out
+//	GET  /v1/shard/info    — shard geometry + model version
+//	GET  /healthz          — liveness
+//	GET  /readyz           — readiness (503 once Drain has begun;
+//	                         the router's probe loop watches this)
+type Worker struct {
+	shard    distributed.Shard
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewWorker validates the shard and returns its HTTP worker.
+func NewWorker(sh distributed.Shard) (*Worker, error) {
+	if sh.Classifier == nil || sh.Screener == nil {
+		return nil, fmt.Errorf("cluster: incomplete shard")
+	}
+	if sh.Offset < 0 {
+		return nil, fmt.Errorf("cluster: negative shard offset %d", sh.Offset)
+	}
+	w := &Worker{shard: sh}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("/v1/shard/screen", w.handleScreen)
+	w.mux.HandleFunc("/v1/shard/info", w.handleInfo)
+	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write([]byte("ok\n"))
+	})
+	w.mux.HandleFunc("/readyz", w.handleReadyz)
+	return w, nil
+}
+
+// Handler returns the worker's HTTP handler.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Info returns the shard's wire identity.
+func (w *Worker) Info() ShardInfo {
+	return ShardInfo{
+		Offset:  w.shard.Offset,
+		Classes: w.shard.Classifier.Categories(),
+		Hidden:  w.shard.Classifier.Hidden(),
+		Version: w.shard.Version,
+	}
+}
+
+// Drain fails readiness so the router's health probes eject this
+// replica before the process exits; in-flight screens complete.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+func (w *Worker) handleReadyz(rw http.ResponseWriter, _ *http.Request) {
+	if w.draining.Load() {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = rw.Write([]byte("draining\n"))
+		return
+	}
+	rw.WriteHeader(http.StatusOK)
+	_, _ = rw.Write([]byte("ready\n"))
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(rw, http.StatusOK, w.Info())
+}
+
+// handleScreen runs the shard-local screen→select→exact pipeline for
+// every item in the batch on the core worker pool, honoring the
+// request context so a router timeout aborts between items.
+func (w *Worker) handleScreen(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	mWorkerRequests.Inc()
+	var req ScreenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Batch) == 0 {
+		writeError(rw, http.StatusBadRequest, "empty batch")
+		return
+	}
+	d := w.shard.Classifier.Hidden()
+	for i, h := range req.Batch {
+		if len(h) != d {
+			writeError(rw, http.StatusBadRequest,
+				fmt.Sprintf("item %d: feature length %d, want %d", i, len(h), d))
+			return
+		}
+	}
+	m := req.M
+	if m < 1 {
+		m = 1
+	}
+	if l := w.shard.Classifier.Categories(); m > l {
+		m = l
+	}
+
+	resp := ScreenResponse{
+		Offset:  w.shard.Offset,
+		Classes: w.shard.Classifier.Categories(),
+		Version: w.shard.Version,
+		Items:   make([][]WireCandidate, len(req.Batch)),
+	}
+	err := core.ClassifyBatchVisitCtx(r.Context(), w.shard.Classifier, w.shard.Screener,
+		req.Batch, core.TopM(m), telemetry.Global(),
+		func(i int, res *core.Result, _ *core.Scratch) {
+			cands := make([]WireCandidate, len(res.Candidates))
+			for j, c := range res.Candidates {
+				cands[j] = WireCandidate{Class: w.shard.Offset + c, Logit: res.Exact[j]}
+			}
+			resp.Items[i] = cands
+		})
+	if err != nil {
+		// Router gave up (timeout/cancel): the reply will not be read.
+		writeError(rw, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	mWorkerItems.Add(int64(len(req.Batch)))
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(rw http.ResponseWriter, code int, msg string) {
+	writeJSON(rw, code, errorBody{Error: msg})
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v interface{}) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	_ = json.NewEncoder(rw).Encode(v)
+}

@@ -17,7 +17,10 @@ package distributed
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"enmc/internal/compiler"
 	"enmc/internal/core"
@@ -59,33 +62,184 @@ func Classify(shards []Shard, h []float32, perShardM, topK int) ([]Candidate, er
 // once ctx is done no further shard is screened and the call returns
 // ctx.Err() — the abort path a serving frontend uses when the client
 // deadline expires mid-scatter.
+//
+// Shards are screened by a bounded pool of workers (at most
+// GOMAXPROCS, at most one per shard) instead of sequentially; the
+// merged result is bit-identical to the sequential scan because every
+// shard contributes exactly the same candidate list and Merge orders
+// the union deterministically (descending exact logit, ties by
+// ascending class).
 func ClassifyCtx(ctx context.Context, shards []Shard, h []float32, perShardM, topK int) ([]Candidate, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("distributed: no shards")
 	}
-	var merged []Candidate
 	for i, s := range shards {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if s.Classifier == nil || s.Screener == nil {
 			return nil, fmt.Errorf("distributed: shard %d incomplete", i)
 		}
-		res := core.ClassifyApprox(s.Classifier, s.Screener, h, core.TopM(perShardM))
-		for j, c := range res.Candidates {
-			merged = append(merged, Candidate{Class: s.Offset + c, Logit: res.Exact[j]})
-		}
 	}
-	sort.Slice(merged, func(a, b int) bool {
-		if merged[a].Logit != merged[b].Logit {
-			return merged[a].Logit > merged[b].Logit
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		return classifySequential(ctx, shards, h, perShardM, topK)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Indexed slots keep the gather order independent of worker
+	// scheduling; each worker claims the next unscanned shard.
+	perShard := make([][]Candidate, len(shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) || ctx.Err() != nil {
+					return
+				}
+				perShard[i] = shardCandidates(shards[i], h, perShardM)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range perShard {
+		total += len(c)
+	}
+	merged := make([]Candidate, 0, total)
+	for _, c := range perShard {
+		merged = append(merged, c...)
+	}
+	return Merge(merged, topK), nil
+}
+
+// classifySequential is the reference single-goroutine scan the
+// parallel fan-out must stay bit-identical to (pinned by test).
+func classifySequential(ctx context.Context, shards []Shard, h []float32, perShardM, topK int) ([]Candidate, error) {
+	var merged []Candidate
+	for _, s := range shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		return merged[a].Class < merged[b].Class
+		merged = append(merged, shardCandidates(s, h, perShardM)...)
+	}
+	return Merge(merged, topK), nil
+}
+
+// shardCandidates screens one shard and globalizes its exact
+// candidate pairs — the unit of work both scan orders share.
+func shardCandidates(s Shard, h []float32, perShardM int) []Candidate {
+	res := core.ClassifyApprox(s.Classifier, s.Screener, h, core.TopM(perShardM))
+	out := make([]Candidate, len(res.Candidates))
+	for j, c := range res.Candidates {
+		out[j] = Candidate{Class: s.Offset + c, Logit: res.Exact[j]}
+	}
+	return out
+}
+
+// Merge ranks a gathered candidate pool descending by exact logit
+// (ties broken by ascending class) and truncates to topK (topK <= 0
+// keeps everything). It mutates and returns cands. This is the
+// aggregator step shared by the in-process scatter (ClassifyCtx) and
+// the networked cluster router.
+func Merge(cands []Candidate, topK int) []Candidate {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Logit != cands[b].Logit {
+			return cands[a].Logit > cands[b].Logit
+		}
+		return cands[a].Class < cands[b].Class
 	})
-	if topK > 0 && len(merged) > topK {
-		merged = merged[:topK]
+	if topK > 0 && len(cands) > topK {
+		cands = cands[:topK]
 	}
-	return merged, nil
+	return cands
+}
+
+// MergeDedup is Merge over untrusted replies: in-process shards are
+// disjoint by construction, but a networked shard map can overlap (a
+// misconfigured router, a double reply), so duplicate class entries
+// collapse to their highest logit before ranking.
+func MergeDedup(cands []Candidate, topK int) []Candidate {
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Class != cands[b].Class {
+			return cands[a].Class < cands[b].Class
+		}
+		return cands[a].Logit > cands[b].Logit
+	})
+	uniq := cands[:0]
+	for _, c := range cands {
+		if len(uniq) == 0 || c.Class != uniq[len(uniq)-1].Class {
+			uniq = append(uniq, c)
+		}
+	}
+	return Merge(uniq, topK)
+}
+
+// ShardCount reports how many non-empty row shards splitting l
+// classes n ways produces (ceiling-division row slices can leave the
+// tail shards empty when n does not divide l evenly).
+func ShardCount(l, n int) int {
+	per := (l + n - 1) / n
+	return (l + per - 1) / per
+}
+
+// ShardRange returns the class rows [off, end) shard i owns when l
+// classes are split across n shards — the row map every process in a
+// cluster (workers and router alike) must agree on.
+func ShardRange(l, n, i int) (off, end int, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("distributed: non-positive shard count %d", n)
+	}
+	if n > l {
+		return 0, 0, fmt.Errorf("distributed: more shards (%d) than classes (%d)", n, l)
+	}
+	if i < 0 || i >= ShardCount(l, n) {
+		return 0, 0, fmt.Errorf("distributed: shard index %d out of range [0,%d)", i, ShardCount(l, n))
+	}
+	per := (l + n - 1) / n
+	off = i * per
+	end = off + per
+	if end > l {
+		end = l
+	}
+	return off, end, nil
+}
+
+// ShardOne builds shard i of an n-way split: the row-slice
+// sub-classifier plus a screener trained locally on the given
+// samples. The per-shard seed is derived from the row offset, so a
+// worker process building only its own shard produces bit-identical
+// parameters to ShardClassifier building all of them.
+func ShardOne(cls *core.Classifier, n, i int, samples [][]float32, cfg core.Config, opt core.TrainOptions) (Shard, error) {
+	off, end, err := ShardRange(cls.Categories(), n, i)
+	if err != nil {
+		return Shard{}, err
+	}
+	sub := &tensor.Matrix{
+		Rows: end - off,
+		Cols: cls.Hidden(),
+		Data: cls.W.Data[off*cls.Hidden() : end*cls.Hidden()],
+	}
+	subCls, err := core.NewClassifier(sub, cls.B[off:end])
+	if err != nil {
+		return Shard{}, err
+	}
+	shardCfg := cfg
+	shardCfg.Categories = end - off
+	shardCfg.Seed = cfg.Seed + uint64(off)
+	scr, _, err := core.TrainScreener(subCls, samples, shardCfg, opt)
+	if err != nil {
+		return Shard{}, err
+	}
+	return Shard{Offset: off, Classifier: subCls, Screener: scr}, nil
 }
 
 // ShardClassifier splits a global classifier into n row-contiguous
@@ -98,30 +252,14 @@ func ShardClassifier(cls *core.Classifier, n int, samples [][]float32, cfg core.
 	if n > l {
 		return nil, fmt.Errorf("distributed: more shards (%d) than classes (%d)", n, l)
 	}
-	shards := make([]Shard, 0, n)
-	per := (l + n - 1) / n
-	for off := 0; off < l; off += per {
-		end := off + per
-		if end > l {
-			end = l
-		}
-		sub := &tensor.Matrix{
-			Rows: end - off,
-			Cols: cls.Hidden(),
-			Data: cls.W.Data[off*cls.Hidden() : end*cls.Hidden()],
-		}
-		subCls, err := core.NewClassifier(sub, cls.B[off:end])
+	count := ShardCount(l, n)
+	shards := make([]Shard, 0, count)
+	for i := 0; i < count; i++ {
+		sh, err := ShardOne(cls, n, i, samples, cfg, opt)
 		if err != nil {
 			return nil, err
 		}
-		shardCfg := cfg
-		shardCfg.Categories = end - off
-		shardCfg.Seed = cfg.Seed + uint64(off)
-		scr, _, err := core.TrainScreener(subCls, samples, shardCfg, opt)
-		if err != nil {
-			return nil, err
-		}
-		shards = append(shards, Shard{Offset: off, Classifier: subCls, Screener: scr})
+		shards = append(shards, sh)
 	}
 	return shards, nil
 }

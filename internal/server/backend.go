@@ -25,10 +25,32 @@ type Outcome struct {
 	TopK  []Candidate
 }
 
-// Backend computes classifications for the serving layer. The two
+// Partial describes a response computed without some shards: when
+// every replica of a cluster shard is unreachable the router serves
+// the merged top-k of the surviving shards instead of failing, and
+// this records what was missing (PR 2's degrade-don't-fail policy
+// extended across the network boundary).
+type Partial struct {
+	// Partial is true when at least one shard's candidates are
+	// absent from the merge.
+	Partial bool `json:"partial"`
+	// MissingShards lists the unreachable shard ids.
+	MissingShards []int `json:"missing_shards,omitempty"`
+}
+
+// PartialBackend is implemented by backends that can degrade to a
+// partial merge when part of the class space is unreachable (the
+// cluster router). The serving layer surfaces Partial per-response.
+type PartialBackend interface {
+	Backend
+	ClassifyBatchPartial(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, Partial, error)
+}
+
+// Backend computes classifications for the serving layer. The three
 // implementations are Local (single-node classifier + screener over
-// the core worker pool) and Sharded (class space split row-wise
-// across distributed shards, merged top-k). Both honor ctx
+// the core worker pool), Sharded (class space split row-wise across
+// in-process distributed shards, merged top-k) and cluster.Router
+// (networked shard workers behind scatter-gather). All honor ctx
 // cancellation between batch items.
 type Backend interface {
 	// ClassifyBatch classifies each hidden vector under screening
@@ -201,8 +223,10 @@ func (s *Sharded) distinctVersions() []string {
 
 // ClassifyBatch implements Backend: the screening budget m is split
 // evenly across shards (ceiling division, so the merged candidate
-// pool is at least m). The shard set is snapshotted once per batch,
-// so a concurrent ReplaceShard never mixes versions within one item.
+// pool is at least m); per item, the shards are screened by
+// ClassifyCtx's bounded worker pool rather than sequentially. The
+// shard set is snapshotted once per batch, so a concurrent
+// ReplaceShard never mixes versions within one item.
 func (s *Sharded) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK int) ([]Outcome, error) {
 	s.mu.RLock()
 	shards := s.shards

@@ -50,7 +50,8 @@ type reply struct {
 	degraded bool
 	batch    int
 	queuedNs int64
-	version  string // model version that served the batch
+	version  string  // model version that served the batch
+	partial  Partial // cluster degradation state (zero off-cluster)
 	err      error
 }
 
@@ -195,9 +196,9 @@ func (b *batcher) doFlush(batch []*request) {
 			maxK = r.topK
 		}
 	}
-	outs, version, err := classifyTagged(context.Background(), b.backend, hs, m, maxK)
+	outs, version, partial, err := classifyTagged(context.Background(), b.backend, hs, m, maxK)
 	for i, r := range live {
-		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, err: err}
+		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, partial: partial, err: err}
 		if err == nil {
 			rep.out = outs[i]
 			if r.topK < len(rep.out.TopK) {

@@ -228,6 +228,11 @@ type ClassifyResponse struct {
 	// sharded deployment mid-rolling-update.
 	ModelVersion string `json:"model_version,omitempty"`
 	VersionSkew  bool   `json:"version_skew,omitempty"`
+	// Partial is true when part of the class space was unreachable
+	// and the top-k is the merge of the surviving cluster shards;
+	// MissingShards lists what was absent. Always false off-cluster.
+	Partial       bool  `json:"partial"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 }
 
 // ClassifyBatchRequest is the /v1/classify_batch body.
@@ -244,11 +249,13 @@ type BatchItem struct {
 
 // ClassifyBatchResponse is the /v1/classify_batch body.
 type ClassifyBatchResponse struct {
-	Results      []BatchItem `json:"results"`
-	M            int         `json:"m"`
-	Degraded     bool        `json:"degraded"`
-	ModelVersion string      `json:"model_version,omitempty"`
-	VersionSkew  bool        `json:"version_skew,omitempty"`
+	Results       []BatchItem `json:"results"`
+	M             int         `json:"m"`
+	Degraded      bool        `json:"degraded"`
+	ModelVersion  string      `json:"model_version,omitempty"`
+	VersionSkew   bool        `json:"version_skew,omitempty"`
+	Partial       bool        `json:"partial"`
+	MissingShards []int       `json:"missing_shards,omitempty"`
 }
 
 // ModelStatusResponse is the GET /v1/model body: the active model
@@ -320,14 +327,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, ClassifyResponse{
-			Class:        rep.out.Class,
-			TopK:         rep.out.TopK,
-			M:            rep.m,
-			Degraded:     rep.degraded,
-			BatchSize:    rep.batch,
-			QueueUs:      rep.queuedNs / 1e3,
-			ModelVersion: rep.version,
-			VersionSkew:  s.versionSkew(),
+			Class:         rep.out.Class,
+			TopK:          rep.out.TopK,
+			M:             rep.m,
+			Degraded:      rep.degraded,
+			BatchSize:     rep.batch,
+			QueueUs:       rep.queuedNs / 1e3,
+			ModelVersion:  rep.version,
+			VersionSkew:   s.versionSkew(),
+			Partial:       rep.partial.Partial,
+			MissingShards: rep.partial.MissingShards,
 		})
 	case <-r.Context().Done():
 		// The flush worker will still drain req.resp (buffered), so
@@ -377,7 +386,7 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 	// request's own context so a client deadline aborts between
 	// items.
 	m, degraded := s.b.effectiveM()
-	outs, version, err := classifyTagged(r.Context(), s.backend, body.Batch, m, topK)
+	outs, version, partial, err := classifyTagged(r.Context(), s.backend, body.Batch, m, topK)
 	if err != nil {
 		mStatus5xx.Inc()
 		writeError(w, http.StatusGatewayTimeout, err.Error())
@@ -386,6 +395,7 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 	resp := ClassifyBatchResponse{
 		Results: make([]BatchItem, len(outs)), M: m, Degraded: degraded,
 		ModelVersion: version, VersionSkew: s.versionSkew(),
+		Partial: partial.Partial, MissingShards: partial.MissingShards,
 	}
 	for i, o := range outs {
 		resp.Results[i] = BatchItem{Class: o.Class, TopK: o.TopK}

@@ -30,14 +30,21 @@ type taggedBackend interface {
 }
 
 // classifyTagged runs a batch and returns the serving model version
-// alongside the outcomes, exact for tagged backends and best-effort
-// (read after the call) otherwise.
-func classifyTagged(ctx context.Context, b Backend, batch [][]float32, m, topK int) ([]Outcome, string, error) {
+// and partial-degradation state alongside the outcomes. The version
+// is exact for tagged backends and best-effort (read after the call)
+// otherwise; Partial is populated for PartialBackend implementations
+// (the cluster router) and zero for everything else.
+func classifyTagged(ctx context.Context, b Backend, batch [][]float32, m, topK int) ([]Outcome, string, Partial, error) {
 	if tb, ok := b.(taggedBackend); ok {
-		return tb.classifyBatchTagged(ctx, batch, m, topK)
+		outs, version, err := tb.classifyBatchTagged(ctx, batch, m, topK)
+		return outs, version, Partial{}, err
+	}
+	if pb, ok := b.(PartialBackend); ok {
+		outs, partial, err := pb.ClassifyBatchPartial(ctx, batch, m, topK)
+		return outs, versionOf(b), partial, err
 	}
 	outs, err := b.ClassifyBatch(ctx, batch, m, topK)
-	return outs, versionOf(b), err
+	return outs, versionOf(b), Partial{}, err
 }
 
 // versionOf reports b's model version, or "" for unversioned

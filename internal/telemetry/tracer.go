@@ -20,6 +20,11 @@ const (
 	// hot swap's off-request-path work shows up as its own lane
 	// next to the serving pipeline.
 	TrackRegistry = 104
+	// TrackClusterBase is the first cluster-router span lane: shard
+	// i's RPCs (attempts, hedges, failovers) land on lane
+	// TrackClusterBase+i, one swim-lane per shard so a slow or
+	// flapping shard is visible at a glance in the trace viewer.
+	TrackClusterBase = 200
 )
 
 // Span is one completed interval on a track. Start and Dur are in
