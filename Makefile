@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke cluster-smoke train-checkpoint
+.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint
 
 all: build
 
@@ -87,6 +87,16 @@ swap-smoke:
 # topology (internal/cluster + cmd/enmc-shard).
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Observability smoke: the same 3x2 cluster with tracing and JSON
+# request logs on, under loadgen. Scrapes /metrics on the router and
+# every shard replica and lints the exposition with enmc-promlint
+# (the telemetry package's own parser), asserts the shard-RPC counter
+# and request histograms advanced, that every response echoed
+# X-Request-Id, and that /debug/spans holds one propagated trace with
+# spans from >= 2 processes.
+metrics-smoke:
+	bash scripts/metrics_smoke.sh
 
 # Checkpoint/resume demo: interrupt a registry training run
 # (-stop-after), resume it from the checkpoint, and verify the

@@ -23,6 +23,12 @@
 // round-robins across the pool and the report adds a per-target
 // latency/error breakdown — the harness for load-testing a set of
 // cluster routers from one process.
+//
+// The report tracks the serving layer's observability contract too:
+// how many responses echoed X-Request-Id (with per-target samples for
+// cross-referencing server request logs) and whether 429s carried
+// Retry-After. -log-json emits the whole report as one JSON document
+// on stdout for CI assertions.
 package main
 
 import (
@@ -42,13 +48,15 @@ import (
 )
 
 type result struct {
-	code     int // HTTP status; 0 for transport error
-	latency  time.Duration
-	done     time.Time // completion timestamp (success-gap analysis)
-	degraded bool
-	partial  bool // response merged without some cluster shards
-	items    int  // classifications carried (batch size or 1)
-	target   int  // index into the target pool
+	code       int // HTTP status; 0 for transport error
+	latency    time.Duration
+	done       time.Time // completion timestamp (success-gap analysis)
+	degraded   bool
+	partial    bool   // response merged without some cluster shards
+	items      int    // classifications carried (batch size or 1)
+	target     int    // index into the target pool
+	reqID      string // X-Request-Id echoed by the server
+	retryAfter string // Retry-After on 429s (admission control)
 }
 
 // pool round-robins requests across the target URLs.
@@ -75,6 +83,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "feature generation seed")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any request gets a non-200 answer (hot-swap smoke: below capacity, every request must succeed)")
 	failOnPartial := flag.Bool("fail-on-partial", false, "exit 1 if any 200 was flagged partial (cluster smoke: with a healthy replica left per shard, no response may degrade)")
+	logJSON := flag.Bool("log-json", false, "emit the report as one JSON document on stdout instead of text (machine-readable for CI)")
 	flag.Parse()
 
 	path := "/v1/classify"
@@ -123,7 +132,7 @@ func main() {
 		closedLoop(&wg, client, p, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
 	}
 	wg.Wait()
-	report(results, hosts, *duration, runStart, time.Now(), *failOnError, *failOnPartial)
+	report(results, hosts, *duration, runStart, time.Now(), *failOnError, *failOnPartial, *logJSON)
 }
 
 func closedLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
@@ -202,7 +211,12 @@ func issue(client *http.Client, p *pool, body []byte) result {
 		return result{code: 0, latency: time.Since(start), done: time.Now(), target: target}
 	}
 	defer resp.Body.Close()
-	r := result{code: resp.StatusCode, latency: time.Since(start), done: time.Now(), items: 1, target: target}
+	r := result{
+		code: resp.StatusCode, latency: time.Since(start), done: time.Now(),
+		items: 1, target: target,
+		reqID:      resp.Header.Get("X-Request-Id"),
+		retryAfter: resp.Header.Get("Retry-After"),
+	}
 	if resp.StatusCode == http.StatusOK {
 		var parsed struct {
 			Degraded bool `json:"degraded"`
@@ -224,7 +238,7 @@ func issue(client *http.Client, p *pool, body []byte) result {
 	return r
 }
 
-func report(results []result, hosts []string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial bool) {
+func report(results []result, hosts []string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
 	var ok, degraded, partial, items int
 	var lats []time.Duration
 	var successTimes []time.Time
@@ -233,6 +247,22 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 	for _, r := range results {
 		t := &perTarget[r.target]
 		t.total++
+		// Observability satellites: every server response should echo a
+		// request ID; 429s should carry Retry-After. Track both so the
+		// smoke can assert the contract end to end.
+		if r.reqID != "" {
+			t.withReqID++
+			if len(t.sampleIDs) < 3 {
+				t.sampleIDs = append(t.sampleIDs, r.reqID)
+			}
+		}
+		if r.code == http.StatusTooManyRequests && r.retryAfter != "" {
+			t.retry429++
+			if t.retryVals == nil {
+				t.retryVals = map[string]bool{}
+			}
+			t.retryVals[r.retryAfter] = true
+		}
 		if r.code == http.StatusOK {
 			ok++
 			items += r.items
@@ -250,6 +280,12 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 			continue
 		}
 		errByStatus[r.code]++
+	}
+	if logJSON {
+		reportJSON(results, hosts, perTarget, errByStatus, lats, successTimes,
+			ok, degraded, partial, items, d, runStart, runEnd)
+		finish(results, ok, partial, len(errByStatus), failOnError, failOnPartial)
+		return
 	}
 	fmt.Printf("requests: %d over %s\n", len(results), d)
 	fmt.Printf("  ok: %d (%d classifications, %.1f/s)  degraded: %d (%.1f%%)  partial: %d (%.1f%%)\n",
@@ -281,6 +317,15 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 			quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99), lats[len(lats)-1])
 	}
 
+	// Request-ID echo coverage (every server response should carry one)
+	// and Retry-After presence on 429s, summed over the pool.
+	var withID, retry429 int
+	for _, t := range perTarget {
+		withID += t.withReqID
+		retry429 += t.retry429
+	}
+	fmt.Printf("  request-id echoed: %d/%d  429-with-retry-after: %d\n", withID, len(results), retry429)
+
 	// Max gap between successes, anchored at run start and end: a hot
 	// swap (or drain bug) that stalls serving shows up here even when
 	// every request eventually succeeds.
@@ -306,6 +351,10 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 			if t.partial > 0 {
 				line += fmt.Sprintf("  partial %d", t.partial)
 			}
+			line += fmt.Sprintf("  req-id %d/%d", t.withReqID, t.total)
+			if t.retry429 > 0 {
+				line += fmt.Sprintf("  retry-after %d (%s)", t.retry429, strings.Join(sortedKeys(t.retryVals), ","))
+			}
 			if len(t.lats) > 0 {
 				sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
 				line += fmt.Sprintf("  p50 %s  p99 %s", quantile(t.lats, 0.50), quantile(t.lats, 0.99))
@@ -314,11 +363,16 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 		}
 	}
 
+	finish(results, ok, partial, len(codes), failOnError, failOnPartial)
+}
+
+// finish applies the shared exit-code policy of both report formats.
+func finish(results []result, ok, partial, errKinds int, failOnError, failOnPartial bool) {
 	if ok == 0 {
 		fmt.Fprintln(os.Stderr, "no successful requests")
 		os.Exit(1)
 	}
-	if failOnError && len(codes) > 0 {
+	if failOnError && errKinds > 0 {
 		fmt.Fprintf(os.Stderr, "fail-on-error: %d requests did not get 200\n", len(results)-ok)
 		os.Exit(1)
 	}
@@ -328,9 +382,118 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 	}
 }
 
-// targetStats accumulates the per-target breakdown of a -targets run.
+// reportJSON is the -log-json report: one machine-readable document on
+// stdout with the aggregate stats plus the per-target request-ID and
+// Retry-After observations CI smokes assert on.
+func reportJSON(results []result, hosts []string, perTarget []targetStats, errByStatus map[int]int,
+	lats []time.Duration, successTimes []time.Time,
+	ok, degraded, partial, items int, d time.Duration, runStart, runEnd time.Time) {
+	type jsonTarget struct {
+		Target           string   `json:"target"`
+		Requests         int      `json:"requests"`
+		OK               int      `json:"ok"`
+		Errors           int      `json:"errors"`
+		Partial          int      `json:"partial"`
+		WithRequestID    int      `json:"with_request_id"`
+		SampleRequestIDs []string `json:"sample_request_ids,omitempty"`
+		RetryAfter429    int      `json:"retry_after_429"`
+		RetryAfterValues []string `json:"retry_after_values,omitempty"`
+		P50Ms            float64  `json:"p50_ms,omitempty"`
+		P99Ms            float64  `json:"p99_ms,omitempty"`
+	}
+	out := struct {
+		Requests        int            `json:"requests"`
+		DurationSeconds float64        `json:"duration_seconds"`
+		OK              int            `json:"ok"`
+		Classifications int            `json:"classifications"`
+		PerSecond       float64        `json:"classifications_per_sec"`
+		Degraded        int            `json:"degraded"`
+		Partial         int            `json:"partial"`
+		Errors          map[string]int `json:"errors,omitempty"`
+		P50Ms           float64        `json:"p50_ms,omitempty"`
+		P90Ms           float64        `json:"p90_ms,omitempty"`
+		P99Ms           float64        `json:"p99_ms,omitempty"`
+		MaxMs           float64        `json:"max_ms,omitempty"`
+		MaxSuccessGapMs float64        `json:"max_success_gap_ms"`
+		Targets         []jsonTarget   `json:"targets"`
+	}{
+		Requests:        len(results),
+		DurationSeconds: d.Seconds(),
+		OK:              ok,
+		Classifications: items,
+		PerSecond:       float64(items) / d.Seconds(),
+		Degraded:        degraded,
+		Partial:         partial,
+	}
+	if len(errByStatus) > 0 {
+		out.Errors = map[string]int{}
+		for c, n := range errByStatus {
+			label := fmt.Sprintf("%d", c)
+			if c == 0 {
+				label = "transport"
+			}
+			out.Errors[label] = n
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		ms := func(v time.Duration) float64 { return float64(v) / float64(time.Millisecond) }
+		out.P50Ms, out.P90Ms = ms(quantile(lats, 0.50)), ms(quantile(lats, 0.90))
+		out.P99Ms, out.MaxMs = ms(quantile(lats, 0.99)), ms(lats[len(lats)-1])
+	}
+	if len(successTimes) > 0 {
+		sort.Slice(successTimes, func(i, j int) bool { return successTimes[i].Before(successTimes[j]) })
+		maxGap := successTimes[0].Sub(runStart)
+		for i := 1; i < len(successTimes); i++ {
+			if g := successTimes[i].Sub(successTimes[i-1]); g > maxGap {
+				maxGap = g
+			}
+		}
+		if g := runEnd.Sub(successTimes[len(successTimes)-1]); g > maxGap {
+			maxGap = g
+		}
+		out.MaxSuccessGapMs = float64(maxGap) / float64(time.Millisecond)
+	}
+	for i, t := range perTarget {
+		jt := jsonTarget{
+			Target: hosts[i], Requests: t.total, OK: t.ok, Errors: t.total - t.ok,
+			Partial: t.partial, WithRequestID: t.withReqID, SampleRequestIDs: t.sampleIDs,
+			RetryAfter429: t.retry429, RetryAfterValues: sortedKeys(t.retryVals),
+		}
+		if len(t.lats) > 0 {
+			sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
+			jt.P50Ms = float64(quantile(t.lats, 0.50)) / float64(time.Millisecond)
+			jt.P99Ms = float64(quantile(t.lats, 0.99)) / float64(time.Millisecond)
+		}
+		out.Targets = append(out.Targets, jt)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		panic(err)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// targetStats accumulates the per-target breakdown of a -targets run,
+// including the request-ID echo and 429 Retry-After observations.
 type targetStats struct {
 	total, ok, partial int
+	withReqID          int
+	sampleIDs          []string
+	retry429           int
+	retryVals          map[string]bool
 	lats               []time.Duration
 }
 

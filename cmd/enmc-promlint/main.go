@@ -1,0 +1,202 @@
+// Command enmc-promlint is the CI verifier for the observability
+// surface: it scrapes a live /metrics endpoint and lints the
+// exposition with the same parser the telemetry tests use, and it
+// checks a Chrome-trace capture (/debug/spans) for a propagated
+// distributed trace.
+//
+// Usage:
+//
+//	enmc-promlint -metrics http://host:port/metrics
+//	enmc-promlint -metrics URL -require "cluster_shard_rpc_total,server_http_requests"
+//	enmc-promlint -spans http://host:port/debug/spans -min-pids 2
+//	enmc-promlint -spans trace.json -min-pids 2
+//
+// -metrics fetches the URL, parses it as Prometheus text exposition
+// 0.0.4, and validates histogram structure (cumulative buckets, +Inf,
+// _count == +Inf). Each -require name (comma-separated, exposition
+// spelling) must be present with a positive total — the "did the
+// counters actually advance under load" assertion.
+//
+// -spans accepts a URL or a file of Chrome trace-event JSON and
+// asserts that at least one trace ID has spans from -min-pids
+// distinct process lanes — the proof that a trace context crossed
+// process boundaries and the shard spans merged under the router's.
+//
+// Exit status: 0 all checks pass, 1 a check failed, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"enmc/internal/telemetry"
+)
+
+func main() {
+	metricsURL := flag.String("metrics", "", "scrape and lint this Prometheus endpoint")
+	require := flag.String("require", "", "comma-separated metric names that must be present with a positive total (with -metrics)")
+	spansSrc := flag.String("spans", "", "Chrome trace JSON to check: URL or file path")
+	minPIDs := flag.Int("min-pids", 2, "require one trace ID spanning at least this many process lanes (with -spans)")
+	timeout := flag.Duration("timeout", 10*time.Second, "fetch timeout")
+	flag.Parse()
+
+	if *metricsURL == "" && *spansSrc == "" {
+		fmt.Fprintln(os.Stderr, "need -metrics and/or -spans")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := false
+	if *metricsURL != "" {
+		if err := lintMetrics(*metricsURL, *require, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", *metricsURL, err)
+			failed = true
+		} else {
+			fmt.Printf("ok: %s parses, validates%s\n", *metricsURL, requireNote(*require))
+		}
+	}
+	if *spansSrc != "" {
+		if err := lintSpans(*spansSrc, *minPIDs, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", *spansSrc, err)
+			failed = true
+		} else {
+			fmt.Printf("ok: %s has a trace spanning >= %d processes\n", *spansSrc, *minPIDs)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func requireNote(require string) string {
+	if require == "" {
+		return ""
+	}
+	return fmt.Sprintf(", %d required metrics advanced", len(splitList(require)))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func lintMetrics(url, require string, timeout time.Duration) error {
+	body, err := fetch(url, timeout)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	p, err := telemetry.ParsePrometheus(body)
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	var missing []string
+	for _, name := range splitList(require) {
+		// Sum every sample of the metric family (all label sets, and
+		// _count for histograms given by bare name) and demand a
+		// positive total: present-but-zero means it never advanced.
+		total, seen := 0.0, false
+		for _, s := range p.Samples {
+			if s.Name == name || s.Name == name+"_count" {
+				total += s.Value
+				seen = true
+			}
+		}
+		if !seen || total <= 0 {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required metrics absent or zero: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// lintSpans parses Chrome trace-event JSON and requires one trace ID
+// whose spans cover at least minPIDs distinct process lanes.
+func lintSpans(src string, minPIDs int, timeout time.Duration) error {
+	var body io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		b, err := fetch(src, timeout)
+		if err != nil {
+			return err
+		}
+		body = b
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		body = f
+	}
+	defer body.Close()
+
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+			Args struct {
+				Trace string `json:"trace"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(body).Decode(&trace); err != nil {
+		return fmt.Errorf("not Chrome trace JSON: %w", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+
+	pidsByTrace := map[string]map[int]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" || ev.Args.Trace == "" {
+			continue
+		}
+		if pidsByTrace[ev.Args.Trace] == nil {
+			pidsByTrace[ev.Args.Trace] = map[int]bool{}
+		}
+		pidsByTrace[ev.Args.Trace][ev.PID] = true
+	}
+	if len(pidsByTrace) == 0 {
+		return fmt.Errorf("no spans carry a trace ID (tracing off, or no traced requests)")
+	}
+	best := 0
+	for _, pids := range pidsByTrace {
+		if len(pids) > best {
+			best = len(pids)
+		}
+	}
+	if best < minPIDs {
+		return fmt.Errorf("widest trace covers %d process(es), want >= %d (traces seen: %d)",
+			best, minPIDs, len(pidsByTrace))
+	}
+	return nil
+}
+
+func fetch(url string, timeout time.Duration) (io.ReadCloser, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	return resp.Body, nil
+}

@@ -15,9 +15,12 @@
 //	                                       # (replicas ','-separated,
 //	                                       # shards ';'-separated)
 //	enmc-serve -debug-addr :6060           # pprof + /metrics sidecar
+//	enmc-serve -trace -log-json            # distributed tracing +
+//	                                       # JSON request log on stderr
 //
 // Endpoints: POST /v1/classify, POST /v1/classify_batch, GET
-// /v1/model, POST /v1/model/reload, GET /healthz, GET /readyz.
+// /v1/model, POST /v1/model/reload, GET /v1/slo, GET /metrics
+// (Prometheus text), GET /healthz, GET /readyz.
 // SIGINT/SIGTERM triggers the graceful sequence: readiness fails,
 // intake stops (503), the queue drains, then the listener shuts down.
 //
@@ -56,7 +59,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "pprof/expvar/metrics listen address (empty: disabled)")
+	debugPortFile := flag.String("debug-port-file", "", "write the debug listener's bound port here (for scripts with -debug-addr :0)")
 	portFile := flag.String("port-file", "", "write the bound port here once listening (for scripts with -addr :0)")
+
+	traceOn := flag.Bool("trace", false, "install a global tracer: per-request spans, trace-context propagation to cluster shards, /debug/spans export on the debug listener")
+	logRequests := flag.Bool("log-requests", false, "emit one structured request-log record per /v1/* request on stderr")
+	logJSON := flag.Bool("log-json", false, "request log as JSON lines (implies -log-requests; default: text)")
+	slowLog := flag.Duration("slow-log", 250*time.Millisecond, "request-log slow threshold: requests above this log at WARN")
+	sloWindow := flag.Duration("slo-window", 5*time.Minute, "SLO rolling window")
+	sloAvail := flag.Float64("slo-availability", 0.999, "SLO availability objective (fraction of requests that must not 5xx)")
+	sloLatency := flag.Duration("slo-latency", 250*time.Millisecond, "SLO latency objective")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99, "fraction of requests that must beat -slo-latency")
 
 	clsPath := flag.String("classifier", "", "serialized classifier (SaveClassifier format)")
 	scrPath := flag.String("screener", "", "serialized screener (SaveScreener format)")
@@ -91,6 +104,12 @@ func main() {
 	watermark := flag.Float64("watermark", 0.5, "queue-depth fraction where degradation starts")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 	flag.Parse()
+
+	if *traceOn {
+		// Install before Dial so the cluster router names its process
+		// lanes and ships trace contexts on shard RPCs.
+		telemetry.SetGlobal(telemetry.NewTracer())
+	}
 
 	var backend server.Backend
 	var mgr *registry.Manager
@@ -137,6 +156,20 @@ func main() {
 		backend = buildBackend(cls, scr, feats, *shards, *bits, *epochs, *demoSeed)
 	}
 
+	var reqLog *telemetry.RequestLog
+	if *logRequests || *logJSON {
+		reqLog = telemetry.NewRequestLog(os.Stderr, telemetry.RequestLogOptions{
+			JSON: *logJSON,
+			Slow: *slowLog,
+		})
+	}
+	slo := telemetry.NewSLO(telemetry.SLOConfig{
+		Window:           *sloWindow,
+		Availability:     *sloAvail,
+		LatencyObjective: *sloLatency,
+		LatencyTarget:    *sloLatencyTarget,
+	})
+
 	srv, err := server.New(backend, server.Config{
 		MaxBatch:     *maxBatch,
 		MaxDelay:     *maxDelay,
@@ -145,6 +178,8 @@ func main() {
 		TopM:         *topM,
 		MFloor:       *mFloor,
 		Watermark:    *watermark,
+		RequestLog:   reqLog,
+		SLO:          slo,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -154,11 +189,18 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		dbg, err := telemetry.ServeDebug(*debugAddr)
+		dbg, err := telemetry.ServeDebugWith(*debugAddr, func() {
+			slo.Publish(telemetry.Default())
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("debug endpoint on http://%s (pprof, /metrics, /debug/vars)", dbg)
+		log.Printf("debug endpoint on http://%s (pprof, /metrics, /debug/vars, /debug/spans)", dbg)
+		if *debugPortFile != "" {
+			_, dbgPort, err := net.SplitHostPort(dbg)
+			fatalIf(err)
+			fatalIf(os.WriteFile(*debugPortFile, []byte(dbgPort+"\n"), 0o644))
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

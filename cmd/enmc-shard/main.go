@@ -23,8 +23,11 @@
 // advertised in every shard reply so the router can surface version
 // skew during a rolling per-shard update.
 //
-// Endpoints: POST /v1/shard/screen, GET /v1/shard/info, GET
-// /healthz, GET /readyz. SIGINT/SIGTERM fails readiness first (the
+// Endpoints: POST /v1/shard/screen, GET /v1/shard/info, GET /v1/slo,
+// GET /metrics (Prometheus text), GET /healthz, GET /readyz. A screen
+// request carrying X-Enmc-Trace-Id/X-Enmc-Span-Id headers records its
+// pipeline spans into a per-request tracer and returns them inline in
+// the reply for the router to rebase into one distributed capture. SIGINT/SIGTERM fails readiness first (the
 // router's probe loop ejects this replica), then drains in-flight
 // screens and exits.
 package main
@@ -65,6 +68,10 @@ func main() {
 	modelVersion := flag.String("model-version", "", "registry version to serve (default newest)")
 	label := flag.String("label", "", "model version label advertised in shard replies (non-registry mode)")
 
+	logRequests := flag.Bool("log-requests", false, "emit one structured request-log record per shard RPC on stderr")
+	logJSON := flag.Bool("log-json", false, "request log as JSON lines (implies -log-requests; default: text)")
+	slowLog := flag.Duration("slow-log", 250*time.Millisecond, "request-log slow threshold: requests above this log at WARN")
+
 	demoClasses := flag.Int("demo-classes", 4096, "demo model: class count")
 	demoDim := flag.Int("demo-dim", 128, "demo model: hidden dimension")
 	demoSeed := flag.Uint64("demo-seed", 7, "demo model: generation/training seed")
@@ -90,6 +97,12 @@ func main() {
 
 	worker, err := cluster.NewWorker(shard)
 	fatalIf(err)
+	if *logRequests || *logJSON {
+		worker.SetRequestLog(telemetry.NewRequestLog(os.Stderr, telemetry.RequestLogOptions{
+			JSON: *logJSON,
+			Slow: *slowLog,
+		}))
+	}
 
 	if *debugAddr != "" {
 		dbg, err := telemetry.ServeDebug(*debugAddr)

@@ -66,12 +66,30 @@ type ScreenRequest struct {
 // ScreenResponse is the shard's reply: for every batch item, its
 // exact top-m local candidates in global numbering, plus the shard's
 // identity so the router can detect a mis-wired shard map and
-// version skew mid-rolling-update.
+// version skew mid-rolling-update. Spans is only populated when the
+// request carried a trace context (X-Enmc-Trace-Id): the worker's
+// screen/select/exact spans for this request, ticks relative to
+// request receipt, so the router can rebase them under its own RPC
+// span without any cross-host clock agreement.
 type ScreenResponse struct {
 	Offset  int               `json:"offset"`
 	Classes int               `json:"classes"`
 	Version string            `json:"model_version,omitempty"`
 	Items   [][]WireCandidate `json:"items"`
+	Spans   []SpanWire        `json:"spans,omitempty"`
+}
+
+// SpanWire is one worker-side span in a traced ScreenResponse. Start
+// is nanoseconds since the worker received the request — relative by
+// construction, so rebasing onto the router's RPC span start yields a
+// correctly nested timeline with no clock sync. Keys are single
+// letters because a traced reply carries one per pipeline stage.
+type SpanWire struct {
+	Name  string `json:"n"`
+	Cat   string `json:"c,omitempty"`
+	TID   int    `json:"t"`
+	Start int64  `json:"s"`
+	Dur   int64  `json:"d"`
 }
 
 // ShardInfo is the GET /v1/shard/info body: the static identity the

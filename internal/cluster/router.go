@@ -202,8 +202,12 @@ func Dial(ctx context.Context, cfg RouterConfig) (*Router, error) {
 	r.categories = want
 
 	if tr := r.tracer(); tr.Enabled() {
+		// Process lanes for distributed captures: the router is PID 0,
+		// shard i's remote spans land on PID 1+i (see rpcOnce).
+		tr.SetProcessName(0, "enmc-serve router")
 		for _, s := range r.shards {
 			tr.SetThreadName(telemetry.TrackClusterBase+s.id, fmt.Sprintf("cluster shard %d rpc", s.id))
+			tr.SetProcessName(1+s.id, fmt.Sprintf("enmc-shard %d", s.id))
 		}
 	}
 	mShardsHealthy.Set(float64(len(r.shards)))
@@ -493,10 +497,14 @@ func (r *Router) hedgeDelay(s *routerShard) time.Duration {
 
 // rpcOnce is one attempt against one replica under the per-attempt
 // timeout. Successful attempts feed the shard's latency window and
-// record a span on the shard's trace lane.
+// record a span on the shard's trace lane; when the request context
+// carries a trace, the trace ships to the worker on the wire headers
+// and the worker's returned spans are rebased under this attempt's
+// span on the shard's process lane (PID 1+id).
 func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body []byte, nItems int) (*ScreenResponse, error) {
 	mShardRPCTotal.Inc()
 	tr := r.tracer()
+	tc, traced := telemetry.TraceCtxFrom(ctx)
 	spanStart := tr.Now()
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
@@ -504,7 +512,11 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 	fail := func(err error) (*ScreenResponse, error) {
 		mShardRPCErrors.Inc()
 		if tr.Enabled() {
-			tr.AddSince(fmt.Sprintf("rpc %s FAIL", rep.url), telemetry.TrackClusterBase+s.id, spanStart)
+			tr.Add(telemetry.Span{
+				Name: fmt.Sprintf("rpc %s FAIL", rep.url), Cat: "rpc",
+				TID:   telemetry.TrackClusterBase + s.id,
+				Start: spanStart, Dur: tr.Now() - spanStart, Trace: tc.TraceID,
+			})
 		}
 		return nil, err
 	}
@@ -513,6 +525,13 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 		return fail(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traced {
+		// This attempt is the worker's parent span: a fresh span ID
+		// under the request's trace.
+		telemetry.InjectTrace(req.Header, telemetry.TraceCtx{
+			TraceID: tc.TraceID, SpanID: telemetry.NewSpanID(),
+		})
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return fail(err)
@@ -533,7 +552,23 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 	s.lat.observe(elapsed)
 	mRPCNs.Observe(float64(elapsed))
 	if tr.Enabled() {
-		tr.AddSince(fmt.Sprintf("rpc %s", rep.url), telemetry.TrackClusterBase+s.id, spanStart)
+		tr.Add(telemetry.Span{
+			Name: fmt.Sprintf("rpc %s", rep.url), Cat: "rpc",
+			TID:   telemetry.TrackClusterBase + s.id,
+			Start: spanStart, Dur: tr.Now() - spanStart, Trace: tc.TraceID,
+		})
+		// Rebase the worker's spans (ticks since request receipt) onto
+		// this attempt's start: nesting holds positionally, so one
+		// capture shows the shard's screen pipeline under its RPC with
+		// no cross-host clock agreement. The wire time skips request
+		// decode/network, so worker spans sit a hair late inside the
+		// RPC span — conservative, never overlapping outside it.
+		for _, ws := range sr.Spans {
+			tr.Add(telemetry.Span{
+				Name: ws.Name, Cat: ws.Cat, PID: 1 + s.id, TID: ws.TID,
+				Start: spanStart + ws.Start, Dur: ws.Dur, Trace: tc.TraceID,
+			})
+		}
 	}
 	s.version.Store(&sr.Version)
 	return &sr, nil

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"enmc/internal/core"
 	"enmc/internal/distributed"
@@ -14,6 +16,7 @@ import (
 var (
 	mWorkerRequests = telemetry.Default().Counter("cluster.worker.screen_requests")
 	mWorkerItems    = telemetry.Default().Counter("cluster.worker.screen_items")
+	mWorkerTraced   = telemetry.Default().Counter("cluster.worker.traced_requests")
 )
 
 // Worker serves one shard's row-slice of the class space over HTTP:
@@ -32,6 +35,8 @@ type Worker struct {
 	shard    distributed.Shard
 	mux      *http.ServeMux
 	draining atomic.Bool
+	slo      *telemetry.SLO
+	reqLog   atomic.Pointer[telemetry.RequestLog]
 }
 
 // NewWorker validates the shard and returns its HTTP worker.
@@ -42,20 +47,72 @@ func NewWorker(sh distributed.Shard) (*Worker, error) {
 	if sh.Offset < 0 {
 		return nil, fmt.Errorf("cluster: negative shard offset %d", sh.Offset)
 	}
-	w := &Worker{shard: sh}
+	w := &Worker{shard: sh, slo: telemetry.NewSLO(telemetry.SLOConfig{})}
 	w.mux = http.NewServeMux()
 	w.mux.HandleFunc("/v1/shard/screen", w.handleScreen)
 	w.mux.HandleFunc("/v1/shard/info", w.handleInfo)
+	w.mux.HandleFunc("/v1/slo", w.handleSLO)
 	w.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 		_, _ = rw.Write([]byte("ok\n"))
 	})
 	w.mux.HandleFunc("/readyz", w.handleReadyz)
+	w.mux.Handle("/metrics", telemetry.PrometheusHandler(telemetry.Default(),
+		func() { w.slo.Publish(telemetry.Default()) }))
 	return w, nil
 }
 
-// Handler returns the worker's HTTP handler.
-func (w *Worker) Handler() http.Handler { return w.mux }
+// SetRequestLog installs (or, with nil, removes) the worker's
+// structured request logger. Safe to call while serving.
+func (w *Worker) SetRequestLog(l *telemetry.RequestLog) {
+	w.reqLog.Store(l)
+}
+
+// Handler returns the worker's HTTP handler wrapped in the worker's
+// observability middleware (request-ID echo, SLO observation,
+// request logging on /v1/* paths).
+func (w *Worker) Handler() http.Handler { return w.instrument(w.mux) }
+
+// instrument is the worker-side analogue of the server middleware:
+// health probes and scrapes pass through, shard RPCs get a request
+// ID echoed, an SLO observation, and a structured log record.
+func (w *Worker) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(rw, r)
+			return
+		}
+		start := time.Now()
+		reqID := r.Header.Get(telemetry.HeaderRequestID)
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		rw.Header().Set(telemetry.HeaderRequestID, reqID)
+		sr := &telemetry.StatusRecorder{ResponseWriter: rw}
+		next.ServeHTTP(sr, r)
+		latency := time.Since(start)
+		w.slo.Observe(r.URL.Path, sr.Status(), latency)
+		tc, _ := telemetry.ExtractTrace(r.Header)
+		w.reqLog.Load().Log(telemetry.RequestEvent{
+			RequestID:    reqID,
+			TraceID:      tc.TraceID,
+			Method:       r.Method,
+			Path:         r.URL.Path,
+			Status:       sr.Status(),
+			Latency:      latency,
+			ModelVersion: w.shard.Version,
+		})
+	})
+}
+
+// handleSLO reports the worker's rolling-window SLO: GET /v1/slo.
+func (w *Worker) handleSLO(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(rw, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(rw, http.StatusOK, w.slo.Summary())
+}
 
 // Info returns the shard's wire identity.
 func (w *Worker) Info() ShardInfo {
@@ -129,8 +186,22 @@ func (w *Worker) handleScreen(rw http.ResponseWriter, r *http.Request) {
 		Version: w.shard.Version,
 		Items:   make([][]WireCandidate, len(req.Batch)),
 	}
+
+	// Trace propagation: when the router shipped a trace context, the
+	// screen pipeline records into a fresh per-request tracer whose
+	// epoch is request receipt — its span ticks are relative by
+	// construction, so they return on the wire for the router to
+	// rebase under this RPC's span (no clock sync; see SpanWire).
+	// Untraced requests keep the zero-overhead global-tracer path.
+	tc, traced := telemetry.ExtractTrace(r.Header)
+	tr := telemetry.Global()
+	if traced {
+		mWorkerTraced.Inc()
+		tr = telemetry.NewTracer()
+	}
+	reqStart := tr.Now()
 	err := core.ClassifyBatchVisitCtx(r.Context(), w.shard.Classifier, w.shard.Screener,
-		req.Batch, core.TopM(m), telemetry.Global(),
+		req.Batch, core.TopM(m), tr,
 		func(i int, res *core.Result, _ *core.Scratch) {
 			cands := make([]WireCandidate, len(res.Candidates))
 			for j, c := range res.Candidates {
@@ -142,6 +213,18 @@ func (w *Worker) handleScreen(rw http.ResponseWriter, r *http.Request) {
 		// Router gave up (timeout/cancel): the reply will not be read.
 		writeError(rw, http.StatusGatewayTimeout, err.Error())
 		return
+	}
+	if traced {
+		tr.Add(telemetry.Span{
+			Name: fmt.Sprintf("shard screen ×%d", len(req.Batch)), Cat: "shard",
+			TID: telemetry.TrackPipeline, Start: reqStart, Dur: tr.Now() - reqStart,
+			Trace: tc.TraceID,
+		})
+		for _, sp := range tr.Spans() {
+			resp.Spans = append(resp.Spans, SpanWire{
+				Name: sp.Name, Cat: sp.Cat, TID: sp.TID, Start: sp.Start, Dur: sp.Dur,
+			})
+		}
 	}
 	mWorkerItems.Add(int64(len(req.Batch)))
 	writeJSON(rw, http.StatusOK, resp)

@@ -40,6 +40,11 @@ type request struct {
 	topK int
 	enq  time.Time
 	resp chan reply // buffered(1): the flush worker never blocks on it
+	// tc is the request's distributed trace context (zero when
+	// untraced). A flush adopts the first live request's tc — one
+	// micro-batch serves many requests, so the batch-level fan-out is
+	// attributed to the trace that opened it.
+	tc telemetry.TraceCtx
 }
 
 // reply carries a request's outcome plus the serving metadata
@@ -190,13 +195,22 @@ func (b *batcher) doFlush(batch []*request) {
 	}
 	hs := make([][]float32, len(live))
 	maxK := 1
+	fctx := context.Background()
+	adopted := false
 	for i, r := range live {
 		hs[i] = r.h
 		if r.topK > maxK {
 			maxK = r.topK
 		}
+		// Batch-level trace adoption: the flush runs under the first
+		// traced request in the batch, so cluster RPC spans land in a
+		// trace (requests batched behind it share the timeline).
+		if !adopted && r.tc.Valid() {
+			fctx = telemetry.WithTraceCtx(fctx, r.tc)
+			adopted = true
+		}
 	}
-	outs, version, partial, err := classifyTagged(context.Background(), b.backend, hs, m, maxK)
+	outs, version, partial, err := classifyTagged(fctx, b.backend, hs, m, maxK)
 	for i, r := range live {
 		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, partial: partial, err: err}
 		if err == nil {

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"time"
+
+	"enmc/internal/telemetry"
+)
+
+// Observability middleware: every /v1/* request gets a request ID
+// (echoed on X-Request-Id even for 429/5xx), a distributed trace
+// context when tracing is on, an SLO observation, one TrackHTTP span,
+// and one structured request-log record. Handlers report serving
+// metadata (batch size, model version, fan-out outcome) back to the
+// middleware through the reqMeta pointer stashed in the context.
+
+// reqMeta is the per-request metadata channel between handlers and
+// the instrument middleware. Handlers fill what they know; the
+// middleware reads it after the handler returns.
+type reqMeta struct {
+	items    int
+	batch    int
+	queueNs  int64
+	version  string
+	degraded bool
+	partial  bool
+	missing  []int
+	errMsg   string
+}
+
+type reqMetaKey struct{}
+
+// metaFrom returns the request's reqMeta, or nil outside the
+// instrumented path (direct handler tests).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(reqMetaKey{}).(*reqMeta)
+	return m
+}
+
+// instrument wraps the mux with the per-request observability
+// pipeline. Non-/v1/ paths (health probes, /metrics itself) pass
+// through untouched so scrapes and probes never pollute the SLO.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+
+		// Request identity: honor a caller-supplied ID (so a proxy's ID
+		// survives), else mint one; echo it on every response including
+		// rejections, before the handler can write a status.
+		reqID := r.Header.Get(telemetry.HeaderRequestID)
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		w.Header().Set(telemetry.HeaderRequestID, reqID)
+
+		ctx := r.Context()
+		tr := telemetry.Global()
+		var tc telemetry.TraceCtx
+		var spanStart int64
+		if tr.Enabled() {
+			// Adopt a propagated trace when the caller sent one (the
+			// service can itself be a hop), else start a fresh root.
+			var ok bool
+			if tc, ok = telemetry.ExtractTrace(r.Header); !ok {
+				tc = telemetry.NewTraceCtx()
+			}
+			ctx = telemetry.WithTraceCtx(ctx, tc)
+			spanStart = tr.Now()
+		}
+
+		meta := &reqMeta{}
+		ctx = context.WithValue(ctx, reqMetaKey{}, meta)
+		sw := &telemetry.StatusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.Status()
+		latency := time.Since(start)
+		s.slo.Observe(r.URL.Path, status, latency)
+		if tr.Enabled() {
+			tr.Add(telemetry.Span{
+				Name:  "HTTP " + r.URL.Path,
+				Cat:   "http",
+				TID:   telemetry.TrackHTTP,
+				Start: spanStart,
+				Dur:   tr.Now() - spanStart,
+				Trace: tc.TraceID,
+			})
+		}
+		s.reqLog.Log(telemetry.RequestEvent{
+			RequestID:     reqID,
+			TraceID:       tc.TraceID,
+			Tenant:        r.Header.Get("X-Enmc-Tenant"),
+			Method:        r.Method,
+			Path:          r.URL.Path,
+			Status:        status,
+			Latency:       latency,
+			Items:         meta.items,
+			BatchSize:     meta.batch,
+			QueueNs:       meta.queueNs,
+			ModelVersion:  meta.version,
+			Degraded:      meta.degraded,
+			Partial:       meta.partial,
+			MissingShards: meta.missing,
+			Err:           meta.errMsg,
+		})
+	})
+}

@@ -79,6 +79,12 @@ type Config struct {
 	MaxBatchItems int
 	// RetryAfter is the hint sent with 429/503 (default 1s).
 	RetryAfter time.Duration
+	// RequestLog emits one structured record per /v1/* request (nil:
+	// request logging off — the nil receiver records nothing).
+	RequestLog *telemetry.RequestLog
+	// SLO is the rolling-window tracker behind GET /v1/slo and the
+	// slo_* gauges on /metrics (nil: a default 5m/99.9% tracker).
+	SLO *telemetry.SLO
 }
 
 func (c *Config) defaults(categories int) {
@@ -134,7 +140,10 @@ type Server struct {
 	b        *batcher
 	ready    chan struct{} // closed when draining
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the instrument middleware
 	reloader atomic.Pointer[ReloadFunc]
+	reqLog   *telemetry.RequestLog
+	slo      *telemetry.SLO
 }
 
 // New builds a Server over the backend and starts its batching
@@ -147,19 +156,29 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	if cfg.MFloor > cfg.TopM {
 		return nil, fmt.Errorf("server: MFloor %d exceeds TopM %d", cfg.MFloor, cfg.TopM)
 	}
+	slo := cfg.SLO
+	if slo == nil {
+		slo = telemetry.NewSLO(telemetry.SLOConfig{})
+	}
 	s := &Server{
 		cfg:     cfg,
 		backend: backend,
 		b:       newBatcher(cfg, backend),
 		ready:   make(chan struct{}),
 		mux:     http.NewServeMux(),
+		reqLog:  cfg.RequestLog,
+		slo:     slo,
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/classify_batch", s.handleClassifyBatch)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
+	s.mux.HandleFunc("/v1/slo", s.handleSLO)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.Handle("/metrics", telemetry.PrometheusHandler(telemetry.Default(),
+		func() { s.slo.Publish(telemetry.Default()) }))
+	s.handler = s.instrument(s.mux)
 	return s, nil
 }
 
@@ -174,8 +193,13 @@ func (s *Server) SetReloader(f ReloadFunc) {
 	s.reloader.Store(&f)
 }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving all endpoints, wrapped in
+// the observability middleware (request IDs, trace spans, SLO
+// observation, request logging — see middleware.go).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// SLOTracker returns the server's rolling-window SLO tracker.
+func (s *Server) SLOTracker() *telemetry.SLO { return s.slo }
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool {
@@ -315,12 +339,28 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		enq:  time.Now(),
 		resp: make(chan reply, 1),
 	}
+	if tc, ok := telemetry.TraceCtxFrom(r.Context()); ok {
+		req.tc = tc
+	}
 	if err := s.b.enqueue(req); err != nil {
 		s.writeUnavailable(w, err)
 		return
 	}
+	meta := metaFrom(r.Context())
 	select {
 	case rep := <-req.resp:
+		if meta != nil {
+			meta.items = 1
+			meta.batch = rep.batch
+			meta.queueNs = rep.queuedNs
+			meta.version = rep.version
+			meta.degraded = rep.degraded
+			meta.partial = rep.partial.Partial
+			meta.missing = rep.partial.MissingShards
+			if rep.err != nil {
+				meta.errMsg = rep.err.Error()
+			}
+		}
 		if rep.err != nil {
 			mStatus5xx.Inc()
 			writeError(w, http.StatusServiceUnavailable, rep.err.Error())
@@ -342,6 +382,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		// The flush worker will still drain req.resp (buffered), so
 		// nothing leaks; the client has gone or timed out.
 		mStatus5xx.Inc()
+		if meta != nil {
+			meta.errMsg = r.Context().Err().Error()
+		}
 		writeError(w, http.StatusGatewayTimeout, r.Context().Err().Error())
 	}
 }
@@ -387,6 +430,16 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 	// items.
 	m, degraded := s.b.effectiveM()
 	outs, version, partial, err := classifyTagged(r.Context(), s.backend, body.Batch, m, topK)
+	if meta := metaFrom(r.Context()); meta != nil {
+		meta.items = len(body.Batch)
+		meta.version = version
+		meta.degraded = degraded
+		meta.partial = partial.Partial
+		meta.missing = partial.MissingShards
+		if err != nil {
+			meta.errMsg = err.Error()
+		}
+	}
 	if err != nil {
 		mStatus5xx.Inc()
 		writeError(w, http.StatusGatewayTimeout, err.Error())
@@ -452,6 +505,15 @@ func (s *Server) handleModelReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ReloadResponse{Version: active})
+}
+
+// handleSLO reports the rolling-window SLO summary: GET /v1/slo.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Summary())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -32,7 +32,7 @@ type chromeTrace struct {
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	var spans []Span
 	ticksPerUsec := 1000.0
-	var names map[int]string
+	var names, procs map[int]string
 	if t != nil {
 		t.mu.Lock()
 		spans = make([]Span, len(t.spans))
@@ -42,12 +42,29 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		for k, v := range t.threadNames {
 			names[k] = v
 		}
+		procs = make(map[int]string, len(t.procNames))
+		for k, v := range t.procNames {
+			procs[k] = v
+		}
 		t.mu.Unlock()
 	}
 
-	events := make([]chromeEvent, 0, len(spans)+len(names))
+	events := make([]chromeEvent, 0, len(spans)+len(names)+len(procs))
 
-	// Thread-name metadata first, in deterministic order.
+	// Process- and thread-name metadata first, in deterministic order.
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]interface{}{"name": procs[pid]},
+		})
+	}
 	tids := make([]int, 0, len(names))
 	for tid := range names {
 		tids = append(tids, tid)
@@ -71,10 +88,17 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ph:   "X",
 			TS:   float64(s.Start) / ticksPerUsec,
 			Dur:  &dur,
+			PID:  s.PID,
 			TID:  s.TID,
 		}
-		if s.Bytes != 0 {
-			ev.Args = map[string]interface{}{"bytes": s.Bytes}
+		if s.Bytes != 0 || s.Trace != "" {
+			ev.Args = map[string]interface{}{}
+			if s.Bytes != 0 {
+				ev.Args["bytes"] = s.Bytes
+			}
+			if s.Trace != "" {
+				ev.Args["trace"] = s.Trace
+			}
 		}
 		events = append(events, ev)
 	}

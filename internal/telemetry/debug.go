@@ -22,23 +22,65 @@ func PublishExpvar() {
 	})
 }
 
-// ServeDebug starts an HTTP server on addr exposing:
-//
-//	/debug/pprof/*  — net/http/pprof profiles
-//	/debug/vars     — expvar, including the "enmc" registry snapshot
-//	/metrics        — the default registry snapshot as plain JSON
-//
-// It returns the bound address (useful with ":0") after the listener
-// is live; the server itself runs until the process exits.
-func ServeDebug(addr string) (string, error) {
-	PublishExpvar()
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+// MetricsJSONHandler serves the default registry snapshot as indented
+// JSON — the pre-Prometheus dump format, kept for scripts.
+func MetricsJSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(Default().Snapshot()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+}
+
+// SpansHandler serves the global tracer's recorded spans as Chrome
+// trace-event JSON (load in Perfetto / chrome://tracing). With
+// ?drain=1 the exported spans are cleared after the copy, so a
+// long-lived server can be captured repeatedly without unbounded
+// growth. 404 when no global tracer is installed.
+func SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := Global()
+		if !tr.Enabled() {
+			http.Error(w, "tracing disabled (no global tracer)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			return
+		}
+		if r.URL.Query().Get("drain") != "" {
+			tr.Clear()
+		}
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/pprof/*  — net/http/pprof profiles
+//	/debug/vars     — expvar, including the "enmc" registry snapshot
+//	/debug/spans    — global tracer as Chrome trace JSON (?drain=1)
+//	/metrics        — the default registry in Prometheus text format
+//	/metrics.json   — the same snapshot as plain JSON
+//
+// It returns the bound address (useful with ":0") after the listener
+// is live; the server itself runs until the process exits.
+func ServeDebug(addr string) (string, error) {
+	return ServeDebugWith(addr)
+}
+
+var debugOnce sync.Once
+
+// ServeDebugWith is ServeDebug plus scrape-time collector hooks for
+// the Prometheus endpoint (see PrometheusHandler).
+func ServeDebugWith(addr string, collect ...func()) (string, error) {
+	PublishExpvar()
+	debugOnce.Do(func() {
+		http.Handle("/metrics", PrometheusHandler(Default(), collect...))
+		http.Handle("/metrics.json", MetricsJSONHandler())
+		http.Handle("/debug/spans", SpansHandler())
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Structured request logging: one slog record per served request,
+// carrying the correlation identity (request ID, trace ID), the
+// serving outcome (status, latency, model version, shard fan-out
+// result) and tenant-ready fields — the log line that lets a slow or
+// failed request be chased across the fleet by quoting its ID.
+//
+// A nil *RequestLog is a valid receiver that records nothing, so the
+// serving layer threads the pointer unconditionally and the
+// logging-off path costs a nil check.
+
+// RequestEvent is everything one request log record carries. Zero
+// fields are omitted from the output.
+type RequestEvent struct {
+	RequestID string
+	TraceID   string
+	// Tenant is the caller identity (X-Enmc-Tenant) — recorded now so
+	// logs are already per-tenant attributable when multi-tenant QoS
+	// (ROADMAP item 3) lands.
+	Tenant  string
+	Method  string
+	Path    string
+	Status  int
+	Latency time.Duration
+	// Items is the number of classifications carried (batch size for
+	// /v1/classify_batch, shard batch for /v1/shard/screen, else 1).
+	Items int
+	// BatchSize is the micro-batch the request was flushed in.
+	BatchSize    int
+	QueueNs      int64
+	ModelVersion string
+	Degraded     bool
+	// Partial/MissingShards record the shard fan-out outcome: a merge
+	// served without every shard's candidates.
+	Partial       bool
+	MissingShards []int
+	Err           string
+}
+
+// RequestLogOptions tunes NewRequestLog.
+type RequestLogOptions struct {
+	// JSON selects slog's JSON handler (one object per line); false
+	// renders logfmt-style text.
+	JSON bool
+	// Slow is the latency threshold past which a request logs at
+	// Warn with slow=true (0 disables slow marking).
+	Slow time.Duration
+	// Level is the minimum level emitted (default Info).
+	Level slog.Level
+}
+
+// RequestLog emits one structured record per request.
+type RequestLog struct {
+	l    *slog.Logger
+	slow time.Duration
+}
+
+// NewRequestLog builds a request logger writing to w.
+func NewRequestLog(w io.Writer, opts RequestLogOptions) *RequestLog {
+	ho := &slog.HandlerOptions{Level: opts.Level}
+	var h slog.Handler
+	if opts.JSON {
+		h = slog.NewJSONHandler(w, ho)
+	} else {
+		h = slog.NewTextHandler(w, ho)
+	}
+	return &RequestLog{l: slog.New(h), slow: opts.Slow}
+}
+
+// Slow reports the configured slow-request threshold.
+func (l *RequestLog) Slow() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.slow
+}
+
+// Log emits one request record. Severity: 5xx/transport errors log
+// at Error, requests over the slow threshold (and 4xx rejections) at
+// Warn, everything else at Info.
+func (l *RequestLog) Log(e RequestEvent) {
+	if l == nil {
+		return
+	}
+	level := slog.LevelInfo
+	slow := l.slow > 0 && e.Latency >= l.slow
+	switch {
+	case e.Status >= 500 || e.Status == 0:
+		level = slog.LevelError
+	case slow || e.Status >= 400:
+		level = slog.LevelWarn
+	}
+	if !l.l.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 16)
+	attrs = append(attrs,
+		slog.String("req_id", e.RequestID),
+		slog.String("method", e.Method),
+		slog.String("path", e.Path),
+		slog.Int("status", e.Status),
+		slog.Int64("latency_us", e.Latency.Microseconds()),
+	)
+	if e.TraceID != "" {
+		attrs = append(attrs, slog.String("trace_id", e.TraceID))
+	}
+	if e.Tenant != "" {
+		attrs = append(attrs, slog.String("tenant", e.Tenant))
+	}
+	if e.Items > 0 {
+		attrs = append(attrs, slog.Int("items", e.Items))
+	}
+	if e.BatchSize > 0 {
+		attrs = append(attrs, slog.Int("batch", e.BatchSize))
+	}
+	if e.QueueNs > 0 {
+		attrs = append(attrs, slog.Int64("queue_us", e.QueueNs/1e3))
+	}
+	if e.ModelVersion != "" {
+		attrs = append(attrs, slog.String("model_version", e.ModelVersion))
+	}
+	if e.Degraded {
+		attrs = append(attrs, slog.Bool("degraded", true))
+	}
+	if e.Partial {
+		attrs = append(attrs, slog.Bool("partial", true),
+			slog.Any("missing_shards", e.MissingShards))
+	}
+	if slow {
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	if e.Err != "" {
+		attrs = append(attrs, slog.String("error", e.Err))
+	}
+	l.l.LogAttrs(context.Background(), level, "request", attrs...)
+}

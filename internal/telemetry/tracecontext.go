@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Trace-context propagation: the serving layer mints one TraceCtx per
+// inbound request, the cluster router ships it to shard workers on
+// the X-Enmc-Trace-Id / X-Enmc-Span-Id headers, and each worker
+// records its spans under that trace and returns them inline in the
+// shard reply — so a single Chrome-trace/Perfetto export from the
+// router shows the whole fleet's timeline for one request.
+//
+// IDs are W3C-traceparent-shaped (128-bit trace ID, 64-bit span ID,
+// lowercase hex) but travel on ENMC-private headers: the shard wire
+// protocol is internal, and private headers keep a fronting proxy
+// from silently rewriting them.
+
+// Wire header names for cross-process trace propagation.
+const (
+	HeaderTraceID = "X-Enmc-Trace-Id"
+	HeaderSpanID  = "X-Enmc-Span-Id"
+	// HeaderRequestID carries (and echoes) the per-request ID every
+	// /v1/* response is stamped with, so clients can quote it.
+	HeaderRequestID = "X-Request-Id"
+)
+
+// TraceCtx identifies one request's position in a distributed trace:
+// the trace it belongs to and the span that is its parent on the
+// other side of a process boundary. The zero value means "untraced"
+// and costs nothing to copy around.
+type TraceCtx struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether this context names a trace.
+func (tc TraceCtx) Valid() bool { return tc.TraceID != "" }
+
+// idState is the process-local ID generator: a counter mixed into a
+// crypto-seeded 64-bit process nonce, cheap enough to mint per
+// request without draining the kernel entropy pool each time.
+var idState struct {
+	once  sync.Once
+	nonce uint64
+	seq   atomic.Uint64
+}
+
+func idInit() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degenerate fallback: IDs stay unique within the process.
+		b = [8]byte{0xe4, 0x9c}
+	}
+	idState.nonce = binary.LittleEndian.Uint64(b[:])
+}
+
+// splitmix64 finalizer — turns (nonce, seq) into well-mixed ID words.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func nextID(words int) string {
+	idState.once.Do(idInit)
+	n := idState.seq.Add(1)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], mix(idState.nonce+n*0x9e3779b97f4a7c15))
+	if words == 2 {
+		binary.BigEndian.PutUint64(buf[8:], mix(idState.nonce^(n*0xd1b54a32d192ed03)))
+		return hex.EncodeToString(buf[:16])
+	}
+	return hex.EncodeToString(buf[:8])
+}
+
+// NewTraceID mints a 128-bit lowercase-hex trace ID.
+func NewTraceID() string { return nextID(2) }
+
+// NewSpanID mints a 64-bit lowercase-hex span ID.
+func NewSpanID() string { return nextID(1) }
+
+// NewRequestID mints the per-request ID echoed on X-Request-Id.
+func NewRequestID() string { return nextID(1) }
+
+// NewTraceCtx mints a fresh root context: new trace, new root span.
+func NewTraceCtx() TraceCtx {
+	return TraceCtx{TraceID: NewTraceID(), SpanID: NewSpanID()}
+}
+
+type traceCtxKey struct{}
+
+// WithTraceCtx attaches tc to ctx (no-op for an invalid tc, so the
+// untraced path never allocates a context value).
+func WithTraceCtx(ctx context.Context, tc TraceCtx) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceCtxFrom extracts the trace context attached by WithTraceCtx.
+func TraceCtxFrom(ctx context.Context) (TraceCtx, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceCtx)
+	return tc, ok && tc.Valid()
+}
+
+// InjectTrace writes tc onto an outbound request's headers.
+func InjectTrace(h http.Header, tc TraceCtx) {
+	if !tc.Valid() {
+		return
+	}
+	h.Set(HeaderTraceID, tc.TraceID)
+	if tc.SpanID != "" {
+		h.Set(HeaderSpanID, tc.SpanID)
+	}
+}
+
+// ExtractTrace reads a propagated trace context off inbound headers.
+func ExtractTrace(h http.Header) (TraceCtx, bool) {
+	tc := TraceCtx{TraceID: h.Get(HeaderTraceID), SpanID: h.Get(HeaderSpanID)}
+	return tc, tc.Valid()
+}

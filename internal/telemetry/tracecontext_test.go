@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"testing"
+)
+
+func TestTraceIDShapes(t *testing.T) {
+	hex32 := regexp.MustCompile(`^[0-9a-f]{32}$`)
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		tid, sid, rid := NewTraceID(), NewSpanID(), NewRequestID()
+		if !hex32.MatchString(tid) {
+			t.Fatalf("trace ID %q is not 128-bit lowercase hex", tid)
+		}
+		if !hex16.MatchString(sid) || !hex16.MatchString(rid) {
+			t.Fatalf("span/request ID not 64-bit lowercase hex: %q %q", sid, rid)
+		}
+		for _, id := range []string{tid, sid, rid} {
+			if seen[id] {
+				t.Fatalf("duplicate ID %q", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTraceCtxContextRoundTrip(t *testing.T) {
+	base := context.Background()
+	if _, ok := TraceCtxFrom(base); ok {
+		t.Fatal("empty context claims a trace")
+	}
+	// Invalid ctx is a no-op attach.
+	if got := WithTraceCtx(base, TraceCtx{}); got != base {
+		t.Fatal("WithTraceCtx allocated for an invalid TraceCtx")
+	}
+	tc := NewTraceCtx()
+	ctx := WithTraceCtx(base, tc)
+	got, ok := TraceCtxFrom(ctx)
+	if !ok || got != tc {
+		t.Fatalf("round-trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	h := http.Header{}
+	if _, ok := ExtractTrace(h); ok {
+		t.Fatal("extract from empty headers claims a trace")
+	}
+	tc := NewTraceCtx()
+	InjectTrace(h, tc)
+	if h.Get(HeaderTraceID) != tc.TraceID || h.Get(HeaderSpanID) != tc.SpanID {
+		t.Fatalf("inject wrote %q/%q", h.Get(HeaderTraceID), h.Get(HeaderSpanID))
+	}
+	got, ok := ExtractTrace(h)
+	if !ok || got != tc {
+		t.Fatalf("extract: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+	// Invalid inject leaves headers untouched.
+	h2 := http.Header{}
+	InjectTrace(h2, TraceCtx{SpanID: "deadbeef"})
+	if len(h2) != 0 {
+		t.Fatalf("invalid TraceCtx wrote headers: %v", h2)
+	}
+}
+
+// TestChromeTraceProcessLanes checks the distributed-capture shape:
+// spans carry their PID lane and trace ID into the export, and
+// SetProcessName emits process_name metadata.
+func TestChromeTraceProcessLanes(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName(0, "enmc-serve")
+	tr.SetProcessName(3, "enmc-shard 2")
+	tc := NewTraceCtx()
+	tr.Add(Span{Name: "HTTP /v1/classify", Cat: "http", TID: TrackHTTP, Dur: 100, Trace: tc.TraceID})
+	tr.Add(Span{Name: "screen", Cat: "shard", TID: 1, PID: 3, Start: 10, Dur: 50, Trace: tc.TraceID})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Events []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Pid  int                    `json:"pid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, buf.String())
+	}
+	procNames := map[int]string{}
+	pidsWithSpans := map[int]bool{}
+	for _, ev := range doc.Events {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.Pid], _ = ev.Args["name"].(string)
+		case ev.Ph == "X":
+			pidsWithSpans[ev.Pid] = true
+			if tr, _ := ev.Args["trace"].(string); tr != tc.TraceID {
+				t.Errorf("span %q: trace arg %q, want %q", ev.Name, tr, tc.TraceID)
+			}
+		}
+	}
+	if procNames[0] != "enmc-serve" || procNames[3] != "enmc-shard 2" {
+		t.Errorf("process names = %v", procNames)
+	}
+	if !pidsWithSpans[0] || !pidsWithSpans[3] {
+		t.Errorf("span PID lanes = %v, want both 0 and 3", pidsWithSpans)
+	}
+}
+
+func TestTracerClear(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName(1, "worker")
+	tr.Add(Span{Name: "a", Dur: 1})
+	tr.Clear()
+	if spans := tr.Spans(); len(spans) != 0 {
+		t.Fatalf("Clear left %d spans", len(spans))
+	}
+	// Names survive a drain so repeated captures stay labeled.
+	tr.Add(Span{Name: "b", PID: 1, Dur: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"worker"`)) {
+		t.Fatalf("process name lost after Clear:\n%s", buf.String())
+	}
+	// Nil tracer: all of it is a no-op.
+	var nilTr *Tracer
+	nilTr.Clear()
+	nilTr.SetProcessName(0, "x")
+}

@@ -20,6 +20,11 @@ const (
 	// hot swap's off-request-path work shows up as its own lane
 	// next to the serving pipeline.
 	TrackRegistry = 104
+	// TrackHTTP carries the serving layer's per-request spans (one
+	// span per /v1/* request, from admission to response write) —
+	// the root every cluster RPC and remote shard span nests under
+	// in a distributed capture.
+	TrackHTTP = 150
 	// TrackClusterBase is the first cluster-router span lane: shard
 	// i's RPCs (attempts, hedges, failovers) land on lane
 	// TrackClusterBase+i, one swim-lane per shard so a slow or
@@ -38,6 +43,15 @@ type Span struct {
 	Dur   int64
 	// Bytes annotates data-movement spans (0 = omitted).
 	Bytes int64
+	// PID is the process lane in a distributed capture: 0 is the
+	// recording process itself; spans merged from a remote process
+	// (a cluster shard worker's reply) carry that process's lane so
+	// the trace viewer groups them under their own process header.
+	PID int
+	// Trace is the distributed trace ID this span belongs to (empty
+	// = untraced). Exported as an arg so one Perfetto capture can be
+	// filtered down to a single propagated request.
+	Trace string
 }
 
 // Tracer collects spans. The zero value is NOT ready; use NewTracer.
@@ -48,6 +62,7 @@ type Tracer struct {
 	mu           sync.Mutex
 	spans        []Span
 	threadNames  map[int]string
+	procNames    map[int]string
 	ticksPerUsec float64
 	epoch        time.Time
 }
@@ -57,6 +72,7 @@ type Tracer struct {
 func NewTracer() *Tracer {
 	return &Tracer{
 		threadNames:  map[int]string{},
+		procNames:    map[int]string{},
 		ticksPerUsec: 1000, // ns → µs
 		epoch:        time.Now(),
 	}
@@ -84,6 +100,21 @@ func (t *Tracer) SetThreadName(tid int, name string) {
 	}
 	t.mu.Lock()
 	t.threadNames[tid] = name
+	t.mu.Unlock()
+}
+
+// SetProcessName labels a process lane in the exported trace — the
+// cluster router names lane 0 after itself and lane 1+i after shard
+// i's worker, so a merged distributed capture reads as a process tree.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.procNames == nil {
+		t.procNames = map[int]string{}
+	}
+	t.procNames[pid] = name
 	t.mu.Unlock()
 }
 
@@ -139,6 +170,18 @@ func (t *Tracer) Spans() []Span {
 	out := make([]Span, len(t.spans))
 	copy(out, t.spans)
 	return out
+}
+
+// Clear drops every recorded span (thread/process names stay) — the
+// drain half of a /debug/spans?drain=1 capture, so a long-lived
+// server's tracer does not grow without bound between captures.
+func (t *Tracer) Clear() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
 }
 
 // Global tracer: a process-wide fallback consulted by instrumented
