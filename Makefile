@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint
+.PHONY: all build test race bench bench-smoke bench-perf vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint report report-check
 
 all: build
 
@@ -35,9 +35,9 @@ check: vet fmt race
 	@echo "check OK"
 
 # What CI runs on every push/PR — the same gate as `make check` plus
-# an explicit build and plain test pass, kept here so the CI workflow
-# can't drift from the Makefile.
-ci: vet fmt build test race
+# an explicit build and plain test pass and the stale-report gate,
+# kept here so the CI workflow can't drift from the Makefile.
+ci: vet fmt build test race report-check
 	@echo "ci OK"
 
 # One-iteration benchmark pass: compiles and runs every benchmark
@@ -47,18 +47,34 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee bench-smoke.txt
 
 # Hot-path perf harness at the paper's serving shapes. Appends a
-# PerfRecord to BENCH_FILE and fails on a >MAXREG slowdown of
-# screen/classify vs the last committed record — a generous
+# dated, labeled PerfRecord to BENCH_FILE — by default the committed
+# trajectory itself, so every run extends the number series the
+# report is built from — and fails on a >MAXREG slowdown of
+# screen/classify vs the last committed record: a generous
 # cross-machine tripwire for lost fast paths, not a microbenchmark
-# gate. PERF_SHAPES narrows the run (CI uses the small shape only).
-BENCH_FILE ?= BENCH_$(shell date -u +%Y-%m-%d).json
+# gate. PERF_SHAPES narrows the run (CI uses the small shape only);
+# CI overrides BENCH_FILE so runner records never enter the committed
+# trajectory. After a local run: `make report` and commit both files.
 BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
+BENCH_FILE ?= $(if $(BENCH_BASELINE),$(BENCH_BASELINE),BENCH_$(shell date -u +%Y-%m-%d).json)
 MAXREG ?= 1.75
 PERF_SHAPES ?=
 bench-perf:
 	$(GO) run ./cmd/enmc-bench -perf -shapes '$(PERF_SHAPES)' \
 		-label "bench-perf $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)" \
 		-json $(BENCH_FILE) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE) -maxreg $(MAXREG))
+
+# Benchmark governance (see BENCHMARKING.md): regenerate the committed
+# BENCHMARK.md from the measurement corpus — the BENCH_*.json
+# trajectory plus the loadgen JSON reports under benchdata/loadgen —
+# after the validity gate admits it. report-check is the CI stale gate:
+# it fails when the committed report differs from a fresh rendering or
+# when the gate rejects the corpus.
+report:
+	$(GO) run ./cmd/enmc-report -out BENCHMARK.md
+
+report-check:
+	$(GO) run ./cmd/enmc-report -out BENCHMARK.md -check
 
 # Coverage gate over the tier-1 packages. CI passes COVER_FLOOR so
 # the recorded baseline lives in .github/workflows/ci.yml; locally

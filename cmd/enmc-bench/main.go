@@ -41,10 +41,11 @@ func main() {
 	perfShapesFlag := flag.String("shapes", "", "with -perf: comma-separated substrings selecting shapes (empty = all)")
 	baseline := flag.String("baseline", "", "with -perf: trajectory file whose last record is the regression baseline")
 	maxReg := flag.Float64("maxreg", 1.5, "with -perf -baseline: fail when screen/classify ns/op exceed baseline by this factor")
+	perfPasses := flag.Int("passes", 5, "with -perf: interleaved timing passes per shape (governance requires >= 5 for committed records)")
 	flag.Parse()
 
 	if *perf {
-		rec := runPerf(*perfLabel, *perfShapesFlag)
+		rec := runPerf(*perfLabel, *perfShapesFlag, *perfPasses)
 		out := json.NewEncoder(os.Stdout)
 		out.SetIndent("", "  ")
 		if err := out.Encode(rec); err != nil {

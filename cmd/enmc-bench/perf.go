@@ -2,17 +2,27 @@ package main
 
 // Hot-path performance harness: -perf times the software classify
 // pipeline at the paper's Table 2 serving shapes and appends a
-// PerfRecord to a JSON trajectory file (BENCH_<date>.json), so kernel
-// regressions show up as a diffable number series rather than
+// report.PerfRecord to a JSON trajectory file (BENCH_<date>.json), so
+// kernel regressions show up as a diffable number series rather than
 // anecdotes. -baseline compares the fresh run against the last record
 // of a committed file and fails the process on a >maxreg slowdown —
 // the CI tripwire. The same shapes are benchmarked by
 // BenchmarkScreen/BenchmarkClassifyApprox in the repo root.
+//
+// Records are schema 1 (benchmark governance): each shape is timed
+// over -passes interleaved passes and the record stores, per metric,
+// both the minimum across passes (the reported ns/op) and the
+// coefficient of variation of the per-pass minima — the run's own
+// noise disclosure, which the enmc-report validity gate inspects
+// before admitting the record to the committed trend tables. The
+// record also carries the host CPU model so the report can refuse
+// cross-machine trend ratios.
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -22,6 +32,7 @@ import (
 	"enmc/internal/core"
 	"enmc/internal/projection"
 	"enmc/internal/quant"
+	"enmc/internal/report"
 	"enmc/internal/tensor"
 	"enmc/internal/xrand"
 )
@@ -38,30 +49,6 @@ type perfShape struct {
 var perfShapes = []perfShape{
 	{Name: "wiki-lstm-33k", L: 33278, D: 1500, K: 375, M: 666},
 	{Name: "amazon-670k", L: 670091, D: 512, K: 128, M: 13401},
-}
-
-// PerfResult is the measured hot-path profile of one shape.
-type PerfResult struct {
-	Shape            string  `json:"shape"`
-	L                int     `json:"l"`
-	D                int     `json:"d"`
-	K                int     `json:"k"`
-	M                int     `json:"m"`
-	ScreenNsOp       float64 `json:"screen_ns_op"`
-	ClassifyNsOp     float64 `json:"classify_ns_op"`
-	ClassifyIntoNsOp float64 `json:"classify_into_ns_op"`
-	AllocsOp         float64 `json:"allocs_op"` // steady-state ClassifyApproxInto
-	BatchQPS         float64 `json:"batch_qps"` // ClassifyBatchVisitCtx, batch 8
-}
-
-// PerfRecord is one harness invocation; a trajectory file holds a
-// JSON array of them, oldest first.
-type PerfRecord struct {
-	Date       string       `json:"date"`
-	Label      string       `json:"label"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Results    []PerfResult `json:"results"`
 }
 
 // buildPerfModel constructs a random frozen screener and classifier at
@@ -127,12 +114,40 @@ func timeIt(minTime time.Duration, maxIters int, f func()) float64 {
 	return float64(best.Nanoseconds())
 }
 
-// minNonZero treats zero as "not yet measured".
-func minNonZero(cur, v float64) float64 {
-	if cur == 0 || v < cur {
-		return v
+// series accumulates one sample per interleaved pass for a metric and
+// reports the governance pair: min across passes (the trend value)
+// and the coefficient of variation of the per-pass samples (the noise
+// disclosure).
+type series []float64
+
+func (s series) min() float64 {
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
 	}
-	return cur
+	return m
+}
+
+func (s series) cv() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(s))) / mean
 }
 
 func perfShapeSet(filter string) []perfShape {
@@ -151,23 +166,45 @@ func perfShapeSet(filter string) []perfShape {
 	return out
 }
 
-// runPerf measures every selected shape and returns the record.
-func runPerf(label, filter string) PerfRecord {
-	rec := PerfRecord{
+// cpuModel identifies the recording machine's processor so the report
+// pipeline can refuse cross-machine trend comparisons. Linux exposes
+// it in /proc/cpuinfo; elsewhere fall back to the architecture, which
+// at least distinguishes an arm64 laptop from an amd64 runner.
+func cpuModel() string {
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					return strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	return "unknown-" + runtime.GOOS + "-" + runtime.GOARCH
+}
+
+// runPerf measures every selected shape over `passes` interleaved
+// passes and returns the schema-1 record.
+func runPerf(label, filter string, passes int) report.PerfRecord {
+	if passes < 1 {
+		passes = 1
+	}
+	rec := report.PerfRecord{
+		Schema:     report.PerfSchemaVersion,
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Label:      label,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
 	}
 	const minTime = 700 * time.Millisecond
 	const maxIters = 25
-	const passes = 3
 	for _, s := range perfShapeSet(filter) {
 		fmt.Fprintf(os.Stderr, "perf: building %s (l=%d d=%d k=%d m=%d)...\n", s.Name, s.L, s.D, s.K, s.M)
 		cls, scr, h := buildPerfModel(s)
 		sel := core.TopM(s.M)
 
-		res := PerfResult{Shape: s.Name, L: s.L, D: s.D, K: s.K, M: s.M}
+		res := report.PerfResult{Shape: s.Name, L: s.L, D: s.D, K: s.K, M: s.M, Passes: passes}
 
 		dst := make([]float32, s.L)
 		sc := core.GetScratch()
@@ -178,39 +215,64 @@ func runPerf(label, filter string) PerfRecord {
 			batch[i] = h
 		}
 		var sink int
-		// Several short passes over the metric set, keeping the best of
-		// each: contention storms on shared hosts outlast any single
-		// timing window, so interleaving is what keeps one storm from
-		// poisoning one metric while its neighbors measure clean.
-		var batchNs float64
+		// Several short passes over the metric set, keeping one sample
+		// per pass per metric: contention storms on shared hosts outlast
+		// any single timing window, so interleaving is what keeps one
+		// storm from poisoning one metric while its neighbors measure
+		// clean — and the spread across passes is the noise estimate the
+		// validity gate audits.
+		screen := make(series, 0, passes)
+		classify := make(series, 0, passes)
+		into := make(series, 0, passes)
+		batchNs := make(series, 0, passes)
 		for p := 0; p < passes; p++ {
-			res.ScreenNsOp = minNonZero(res.ScreenNsOp, timeIt(minTime, maxIters, func() { scr.ScreenInto(dst, h, sc) }))
-			res.ClassifyNsOp = minNonZero(res.ClassifyNsOp, timeIt(minTime, maxIters, func() { core.ClassifyApprox(cls, scr, h, sel) }))
-			res.ClassifyIntoNsOp = minNonZero(res.ClassifyIntoNsOp, timeIt(minTime, maxIters, func() { core.ClassifyApproxInto(cls, scr, h, sel, sc) }))
-			batchNs = minNonZero(batchNs, timeIt(minTime, 5, func() {
+			screen = append(screen, timeIt(minTime, maxIters, func() { scr.ScreenInto(dst, h, sc) }))
+			classify = append(classify, timeIt(minTime, maxIters, func() { core.ClassifyApprox(cls, scr, h, sel) }))
+			into = append(into, timeIt(minTime, maxIters, func() { core.ClassifyApproxInto(cls, scr, h, sel, sc) }))
+			batchNs = append(batchNs, timeIt(minTime, 5, func() {
 				_ = core.ClassifyBatchVisitCtx(context.Background(), cls, scr, batch, sel, nil,
 					func(i int, r *core.Result, _ *core.Scratch) { sink += r.Predict() })
 			}))
 		}
 		_ = sink
+		res.ScreenNsOp = screen.min()
+		res.ClassifyNsOp = classify.min()
+		res.ClassifyIntoNsOp = into.min()
 		res.AllocsOp = testing.AllocsPerRun(5, func() { core.ClassifyApproxInto(cls, scr, h, sel, sc) })
 		sc.Release()
-		res.BatchQPS = float64(batchSize) / (batchNs / 1e9)
+		res.BatchQPS = float64(batchSize) / (batchNs.min() / 1e9)
+		res.CV = map[string]float64{
+			report.MetricScreen:       screen.cv(),
+			report.MetricClassify:     classify.cv(),
+			report.MetricClassifyInto: into.cv(),
+			report.MetricBatch:        batchNs.cv(),
+		}
 
-		fmt.Fprintf(os.Stderr, "perf: %-14s screen %8.2f ms  classify %8.2f ms  into %8.2f ms  allocs %g  batch %7.1f qps\n",
-			s.Name, res.ScreenNsOp/1e6, res.ClassifyNsOp/1e6, res.ClassifyIntoNsOp/1e6, res.AllocsOp, res.BatchQPS)
+		fmt.Fprintf(os.Stderr, "perf: %-14s screen %8.2f ms  classify %8.2f ms  into %8.2f ms  allocs %g  batch %7.1f qps  (passes %d, max cv %.1f%%)\n",
+			s.Name, res.ScreenNsOp/1e6, res.ClassifyNsOp/1e6, res.ClassifyIntoNsOp/1e6, res.AllocsOp, res.BatchQPS,
+			passes, 100*maxCV(res.CV))
 		rec.Results = append(rec.Results, res)
 	}
 	return rec
 }
 
+func maxCV(cv map[string]float64) float64 {
+	var m float64
+	for _, v := range cv {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
 // loadPerfFile reads a trajectory file (JSON array of PerfRecord).
-func loadPerfFile(path string) ([]PerfRecord, error) {
+func loadPerfFile(path string) ([]report.PerfRecord, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var recs []PerfRecord
+	var recs []report.PerfRecord
 	if err := json.Unmarshal(data, &recs); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -218,8 +280,10 @@ func loadPerfFile(path string) ([]PerfRecord, error) {
 }
 
 // appendPerfFile appends rec to the trajectory at path, creating the
-// file if needed.
-func appendPerfFile(path string, rec PerfRecord) error {
+// file if needed — every harness run becomes one more dated, labeled
+// entry in the committed number series rather than a replaced
+// snapshot.
+func appendPerfFile(path string, rec report.PerfRecord) error {
 	recs, err := loadPerfFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return err
@@ -237,8 +301,9 @@ func appendPerfFile(path string, rec PerfRecord) error {
 // screen_ns_op grew by more than maxReg fails. The bound is generous
 // on purpose — it is a cross-machine tripwire for order-of-magnitude
 // regressions (an accidental O(n log n) → O(n²), a lost fast path),
-// not a microbenchmark gate.
-func comparePerf(rec PerfRecord, baselinePath string, maxReg float64) error {
+// not a microbenchmark gate; same-machine trend discipline lives in
+// enmc-report, which refuses cross-machine ratios outright.
+func comparePerf(rec report.PerfRecord, baselinePath string, maxReg float64) error {
 	base, err := loadPerfFile(baselinePath)
 	if err != nil {
 		return err
@@ -247,7 +312,7 @@ func comparePerf(rec PerfRecord, baselinePath string, maxReg float64) error {
 		return fmt.Errorf("%s: empty baseline", baselinePath)
 	}
 	last := base[len(base)-1]
-	byShape := map[string]PerfResult{}
+	byShape := map[string]report.PerfResult{}
 	for _, r := range last.Results {
 		byShape[r.Shape] = r
 	}

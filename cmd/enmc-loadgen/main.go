@@ -45,6 +45,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"enmc/internal/report"
 )
 
 type result struct {
@@ -83,7 +85,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "feature generation seed")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any request gets a non-200 answer (hot-swap smoke: below capacity, every request must succeed)")
 	failOnPartial := flag.Bool("fail-on-partial", false, "exit 1 if any 200 was flagged partial (cluster smoke: with a healthy replica left per shard, no response may degrade)")
-	logJSON := flag.Bool("log-json", false, "emit the report as one JSON document on stdout instead of text (machine-readable for CI)")
+	logJSON := flag.Bool("log-json", false, "emit the report as one JSON document on stdout instead of text (machine-readable for CI and enmc-report ingestion)")
+	scenario := flag.String("scenario", "", "scenario name stamped into the -log-json report (how enmc-report groups and titles load-test rows)")
 	flag.Parse()
 
 	path := "/v1/classify"
@@ -132,7 +135,7 @@ func main() {
 		closedLoop(&wg, client, p, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
 	}
 	wg.Wait()
-	report(results, hosts, *duration, runStart, time.Now(), *failOnError, *failOnPartial, *logJSON)
+	summarize(results, hosts, *scenario, *duration, runStart, time.Now(), *failOnError, *failOnPartial, *logJSON)
 }
 
 func closedLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
@@ -238,7 +241,7 @@ func issue(client *http.Client, p *pool, body []byte) result {
 	return r
 }
 
-func report(results []result, hosts []string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
+func summarize(results []result, hosts []string, scenario string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
 	var ok, degraded, partial, items int
 	var lats []time.Duration
 	var successTimes []time.Time
@@ -282,7 +285,7 @@ func report(results []result, hosts []string, d time.Duration, runStart, runEnd 
 		errByStatus[r.code]++
 	}
 	if logJSON {
-		reportJSON(results, hosts, perTarget, errByStatus, lats, successTimes,
+		reportJSON(results, hosts, scenario, perTarget, errByStatus, lats, successTimes,
 			ok, degraded, partial, items, d, runStart, runEnd)
 		finish(results, ok, partial, len(errByStatus), failOnError, failOnPartial)
 		return
@@ -384,39 +387,17 @@ func finish(results []result, ok, partial, errKinds int, failOnError, failOnPart
 
 // reportJSON is the -log-json report: one machine-readable document on
 // stdout with the aggregate stats plus the per-target request-ID and
-// Retry-After observations CI smokes assert on.
-func reportJSON(results []result, hosts []string, perTarget []targetStats, errByStatus map[int]int,
+// Retry-After observations CI smokes assert on. The document is a
+// report.LoadReport — the type the enmc-report parser decodes — and
+// carries the schema tag that parser checks, so a format change here
+// without a matching bump there is caught instead of misread.
+func reportJSON(results []result, hosts []string, scenario string, perTarget []targetStats, errByStatus map[int]int,
 	lats []time.Duration, successTimes []time.Time,
 	ok, degraded, partial, items int, d time.Duration, runStart, runEnd time.Time) {
-	type jsonTarget struct {
-		Target           string   `json:"target"`
-		Requests         int      `json:"requests"`
-		OK               int      `json:"ok"`
-		Errors           int      `json:"errors"`
-		Partial          int      `json:"partial"`
-		WithRequestID    int      `json:"with_request_id"`
-		SampleRequestIDs []string `json:"sample_request_ids,omitempty"`
-		RetryAfter429    int      `json:"retry_after_429"`
-		RetryAfterValues []string `json:"retry_after_values,omitempty"`
-		P50Ms            float64  `json:"p50_ms,omitempty"`
-		P99Ms            float64  `json:"p99_ms,omitempty"`
-	}
-	out := struct {
-		Requests        int            `json:"requests"`
-		DurationSeconds float64        `json:"duration_seconds"`
-		OK              int            `json:"ok"`
-		Classifications int            `json:"classifications"`
-		PerSecond       float64        `json:"classifications_per_sec"`
-		Degraded        int            `json:"degraded"`
-		Partial         int            `json:"partial"`
-		Errors          map[string]int `json:"errors,omitempty"`
-		P50Ms           float64        `json:"p50_ms,omitempty"`
-		P90Ms           float64        `json:"p90_ms,omitempty"`
-		P99Ms           float64        `json:"p99_ms,omitempty"`
-		MaxMs           float64        `json:"max_ms,omitempty"`
-		MaxSuccessGapMs float64        `json:"max_success_gap_ms"`
-		Targets         []jsonTarget   `json:"targets"`
-	}{
+	out := report.LoadReport{
+		Schema:          report.LoadSchemaV1,
+		Scenario:        scenario,
+		Date:            runStart.UTC().Format("2006-01-02"),
 		Requests:        len(results),
 		DurationSeconds: d.Seconds(),
 		OK:              ok,
@@ -455,7 +436,7 @@ func reportJSON(results []result, hosts []string, perTarget []targetStats, errBy
 		out.MaxSuccessGapMs = float64(maxGap) / float64(time.Millisecond)
 	}
 	for i, t := range perTarget {
-		jt := jsonTarget{
+		jt := report.LoadTarget{
 			Target: hosts[i], Requests: t.total, OK: t.ok, Errors: t.total - t.ok,
 			Partial: t.partial, WithRequestID: t.withReqID, SampleRequestIDs: t.sampleIDs,
 			RetryAfter429: t.retry429, RetryAfterValues: sortedKeys(t.retryVals),

@@ -1,0 +1,45 @@
+package report
+
+// The stale-report gate: byte-compare a fresh rendering against the
+// committed document and say *where* they diverge, so a CI failure is
+// actionable without downloading artifacts.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Check compares rendered against the file at path. nil means the
+// committed report is current. Any divergence (including a missing
+// file) returns an error naming the first differing line.
+func Check(rendered, path string) error {
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("stale report: cannot read %s: %v (run `make report`)", path, err)
+	}
+	if string(committed) == rendered {
+		return nil
+	}
+	gotLines := strings.Split(string(committed), "\n")
+	wantLines := strings.Split(rendered, "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			return fmt.Errorf("stale report: %s line %d differs from regenerated output\n  committed:   %q\n  regenerated: %q\nrun `make report` and commit the result",
+				path, i+1, truncLine(gotLines[i]), truncLine(wantLines[i]))
+		}
+	}
+	return fmt.Errorf("stale report: %s has %d lines, regenerated output has %d; run `make report` and commit the result",
+		path, len(gotLines), len(wantLines))
+}
+
+func truncLine(s string) string {
+	if len(s) > 160 {
+		return s[:160] + "..."
+	}
+	return s
+}

@@ -1,0 +1,195 @@
+package report
+
+// The validity gate: decides which ingested records are trustworthy
+// enough to appear as trend points and which corpora are rejected
+// outright. Policy (documented for humans in BENCHMARKING.md):
+//
+//   - schema >= 1 records MUST carry >= MinPasses interleaved passes
+//     and a CV disclosure per shape; violating either rejects the
+//     corpus (these are produced by our own harness — a short run is
+//     an operator error, not a data point).
+//   - a record whose worst per-metric CV exceeds DiscardCV is dropped
+//     from the trend tables (the host was too noisy for the minima to
+//     mean anything); between NoisyCV and DiscardCV it stays but is
+//     flagged.
+//   - legacy records (schema 0, pre-governance) are admitted but
+//     labeled: they carry no noise statistics to judge.
+//   - unknown future schemas reject the corpus (same reasoning as the
+//     loadgen schema tag).
+//
+// Cross-machine refusal is not a gate class — it is applied at render
+// time per record pair (see Comparable) because a record can be valid
+// on its own yet incomparable to its neighbor.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateConfig are the governance thresholds. Zero values select the
+// defaults so callers can construct it partially.
+type GateConfig struct {
+	MinPasses int     // required interleaved passes for schema>=1 (default 5)
+	NoisyCV   float64 // flag threshold on max per-metric CV (default 0.10)
+	DiscardCV float64 // discard threshold on max per-metric CV (default 0.35)
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MinPasses == 0 {
+		c.MinPasses = 5
+	}
+	if c.NoisyCV == 0 {
+		c.NoisyCV = 0.10
+	}
+	if c.DiscardCV == 0 {
+		c.DiscardCV = 0.35
+	}
+	return c
+}
+
+// Class is the gate's verdict on one record.
+type Class int
+
+const (
+	ClassOK        Class = iota // schema>=1, CV under the noisy threshold
+	ClassLegacy                 // schema 0: admitted, no noise statistics
+	ClassFlagged                // admitted, but max CV in (NoisyCV, DiscardCV]
+	ClassDiscarded              // max CV > DiscardCV: excluded from trends
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassLegacy:
+		return "legacy"
+	case ClassFlagged:
+		return "flagged"
+	case ClassDiscarded:
+		return "discarded"
+	}
+	return "unknown"
+}
+
+// Admitted reports whether the record may appear in trend tables.
+func (c Class) Admitted() bool { return c != ClassDiscarded }
+
+// ShapeAssessment is the gate's verdict on one shape's result within
+// a record. Noise is judged per shape, not per record: a run can be
+// clean on the small shape while the large shape's working set
+// suffers a bandwidth storm, and discarding the clean measurement
+// along with the noisy one would throw away valid data.
+type ShapeAssessment struct {
+	Shape   string
+	Class   Class
+	MaxCV   float64 // worst per-metric CV; -1 when unrecorded
+	Reasons []string
+}
+
+// Assessment is the gate's full output for one record.
+type Assessment struct {
+	Src     SourceRecord
+	Class   Class   // worst class across shapes (summary/disclosure row)
+	MaxCV   float64 // worst per-metric CV across shapes; -1 when unrecorded
+	Reasons []string
+	Shapes  []ShapeAssessment // in record result order
+}
+
+// ShapeClass returns the verdict for one shape (ClassDiscarded with
+// no entry never happens: every result gets a ShapeAssessment).
+func (a Assessment) ShapeClass(shape string) ShapeAssessment {
+	for _, s := range a.Shapes {
+		if s.Shape == shape {
+			return s
+		}
+	}
+	return ShapeAssessment{Shape: shape, Class: a.Class, MaxCV: a.MaxCV}
+}
+
+// severity orders classes for the worst-of reduction.
+func severity(c Class) int {
+	switch c {
+	case ClassOK:
+		return 0
+	case ClassLegacy:
+		return 1
+	case ClassFlagged:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// ApplyGate classifies every record. A returned error means the
+// corpus as a whole is invalid and no report should be produced from
+// it (CI check mode fails).
+func ApplyGate(cfg GateConfig, recs []SourceRecord) ([]Assessment, error) {
+	cfg = cfg.withDefaults()
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("empty benchmark corpus: no trajectory records matched")
+	}
+	out := make([]Assessment, 0, len(recs))
+	for _, sr := range recs {
+		a := Assessment{Src: sr, MaxCV: -1}
+		switch {
+		case sr.Rec.Schema == 0:
+			a.Class = ClassLegacy
+			a.Reasons = append(a.Reasons, "pre-governance record: passes and CV unrecorded")
+			for _, res := range sr.Rec.Results {
+				a.Shapes = append(a.Shapes, ShapeAssessment{Shape: res.Shape, Class: ClassLegacy, MaxCV: -1})
+			}
+		case sr.Rec.Schema > PerfSchemaVersion:
+			return nil, fmt.Errorf("%s: unknown record schema %d (this tool understands <= %d)",
+				sr.Ref(), sr.Rec.Schema, PerfSchemaVersion)
+		default: // schema 1
+			for _, res := range sr.Rec.Results {
+				if res.Passes < cfg.MinPasses {
+					return nil, fmt.Errorf("%s: shape %s ran %d interleaved passes, governance requires >= %d",
+						sr.Ref(), res.Shape, res.Passes, cfg.MinPasses)
+				}
+				if len(res.CV) == 0 {
+					return nil, fmt.Errorf("%s: shape %s carries no CV disclosure (schema %d requires it)",
+						sr.Ref(), res.Shape, sr.Rec.Schema)
+				}
+				sa := ShapeAssessment{Shape: res.Shape, MaxCV: -1}
+				for _, m := range sortedCVKeys(res.CV) {
+					if cv := res.CV[m]; cv > sa.MaxCV {
+						sa.MaxCV = cv
+					}
+				}
+				switch {
+				case sa.MaxCV > cfg.DiscardCV:
+					sa.Class = ClassDiscarded
+					sa.Reasons = append(sa.Reasons,
+						fmt.Sprintf("%s: max CV %.1f%% exceeds discard threshold %.1f%%: host too noisy, excluded from trends",
+							res.Shape, 100*sa.MaxCV, 100*cfg.DiscardCV))
+				case sa.MaxCV > cfg.NoisyCV:
+					sa.Class = ClassFlagged
+					sa.Reasons = append(sa.Reasons,
+						fmt.Sprintf("%s: max CV %.1f%% exceeds noise threshold %.1f%%", res.Shape, 100*sa.MaxCV, 100*cfg.NoisyCV))
+				default:
+					sa.Class = ClassOK
+				}
+				if sa.MaxCV > a.MaxCV {
+					a.MaxCV = sa.MaxCV
+				}
+				if severity(sa.Class) > severity(a.Class) {
+					a.Class = sa.Class
+				}
+				a.Reasons = append(a.Reasons, sa.Reasons...)
+				a.Shapes = append(a.Shapes, sa)
+			}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func sortedCVKeys(cv map[string]float64) []string {
+	ks := make([]string, 0, len(cv))
+	for k := range cv {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

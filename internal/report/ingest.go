@@ -1,0 +1,159 @@
+package report
+
+// Corpus ingestion: glob the trajectory and load-test files, parse
+// them strictly, and pin a deterministic ordering so the rendered
+// report is byte-stable across regenerations. File names sort
+// lexically and both corpora use dated names (BENCH_YYYY-MM-DD.json,
+// <scenario>_YYYY-MM-DD.json), so lexical order is chronological
+// order.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SourceRecord is one PerfRecord tagged with where it came from, so
+// gate findings and disclosure rows can name their source.
+type SourceRecord struct {
+	File  string // path as globbed
+	Index int    // position within the file's array, 0-based
+	Rec   PerfRecord
+}
+
+// Ref is the record's stable human-readable identity in the report.
+func (s SourceRecord) Ref() string {
+	return fmt.Sprintf("%s#%d", filepath.Base(s.File), s.Index)
+}
+
+// SourceLoad is one loadgen report tagged with its file.
+type SourceLoad struct {
+	File string
+	Rep  LoadReport
+}
+
+// expandGlobs resolves comma-separated glob patterns to a sorted,
+// deduplicated file list. A pattern that matches nothing is not an
+// error — callers decide whether an empty corpus is acceptable — but
+// a malformed pattern is.
+func expandGlobs(patterns string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		matches, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad glob %q: %w", pat, err)
+		}
+		for _, m := range matches {
+			if !seen[m] {
+				seen[m] = true
+				files = append(files, m)
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// LoadBench reads every trajectory file matched by the comma-separated
+// glob patterns. Parsing is strict: a file that is not a well-formed
+// JSON array of records (truncated writes included) rejects the whole
+// corpus — a report silently built on half an input is worse than no
+// report.
+func LoadBench(patterns string) ([]SourceRecord, error) {
+	files, err := expandGlobs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []SourceRecord
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var recs []PerfRecord
+		dec := json.NewDecoder(bytes.NewReader(data))
+		if err := dec.Decode(&recs); err != nil {
+			return nil, fmt.Errorf("%s: malformed trajectory: %v", f, err)
+		}
+		if err := rejectTrailing(dec, f); err != nil {
+			return nil, err
+		}
+		for i, r := range recs {
+			if r.Date == "" {
+				return nil, fmt.Errorf("%s#%d: record has no date", filepath.Base(f), i)
+			}
+			if len(r.Results) == 0 {
+				return nil, fmt.Errorf("%s#%d: record has no results", filepath.Base(f), i)
+			}
+			out = append(out, SourceRecord{File: f, Index: i, Rec: r})
+		}
+	}
+	return out, nil
+}
+
+// LoadLoadgen reads every loadgen report matched by the patterns and
+// enforces the schema version: a missing or unrecognized schema tag
+// rejects the corpus so a future loadgen format change can never be
+// silently misread as today's fields.
+func LoadLoadgen(patterns string) ([]SourceLoad, error) {
+	files, err := expandGlobs(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []SourceLoad
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var rep LoadReport
+		dec := json.NewDecoder(bytes.NewReader(data))
+		if err := dec.Decode(&rep); err != nil {
+			return nil, fmt.Errorf("%s: malformed loadgen report: %v", f, err)
+		}
+		if err := rejectTrailing(dec, f); err != nil {
+			return nil, err
+		}
+		if rep.Schema != LoadSchemaV1 {
+			return nil, fmt.Errorf("%s: unsupported loadgen schema %q (want %q)",
+				filepath.Base(f), rep.Schema, LoadSchemaV1)
+		}
+		if rep.Requests <= 0 {
+			return nil, fmt.Errorf("%s: loadgen report carries no requests", filepath.Base(f))
+		}
+		out = append(out, SourceLoad{File: f, Rep: rep})
+	}
+	// Deterministic table order: scenario, then date, then file name as
+	// the final tiebreak (file list is already sorted, so this sort is
+	// stable across regenerations regardless of glob grouping).
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rep.Scenario != b.Rep.Scenario {
+			return a.Rep.Scenario < b.Rep.Scenario
+		}
+		if a.Rep.Date != b.Rep.Date {
+			return a.Rep.Date < b.Rep.Date
+		}
+		return a.File < b.File
+	})
+	return out, nil
+}
+
+// rejectTrailing fails when a decoded document is followed by more
+// content — the concatenated-document corruption a truncated rewrite
+// plus append can produce.
+func rejectTrailing(dec *json.Decoder, file string) error {
+	if dec.More() {
+		return fmt.Errorf("%s: trailing data after JSON document", file)
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package report
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops contents into dir under name and returns the path.
+func writeFile(t *testing.T, dir, name, contents string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// goodRecord returns a schema-1 record that passes the gate.
+func goodRecord(date, label, goVer, cpu string, passes int, cv float64) PerfRecord {
+	return PerfRecord{
+		Schema: 1, Date: date, Label: label, GoVersion: goVer, GOMAXPROCS: 1, CPUModel: cpu,
+		Results: []PerfResult{{
+			Shape: "wiki-lstm-33k", L: 33278, D: 1500, K: 375, M: 666,
+			ScreenNsOp: 4e6, ClassifyNsOp: 5e6, ClassifyIntoNsOp: 5e6,
+			AllocsOp: 0, BatchQPS: 170, Passes: passes,
+			CV: map[string]float64{
+				MetricScreen:       cv,
+				MetricClassify:     cv / 2,
+				MetricClassifyInto: cv / 2,
+				MetricBatch:        cv / 2,
+			},
+		}},
+	}
+}
+
+func marshalRecs(t *testing.T, recs ...PerfRecord) string {
+	t.Helper()
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data) + "\n"
+}
+
+func TestLoadBenchMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"garbage":      "not json at all",
+		"truncated":    `[{"date":"2026-08-06","label":"x","go_version":"go1.24.0","gomaxprocs":1,"results":[{"shape":"a"`,
+		"wrong-shape":  `{"date":"2026-08-06"}`, // object, not array
+		"trailing":     `[] []`,
+		"no-date":      `[{"label":"x","go_version":"go1.24.0","gomaxprocs":1,"results":[{"shape":"a"}]}]`,
+		"empty-record": `[{"date":"2026-08-06","label":"x","go_version":"go1.24.0","gomaxprocs":1,"results":[]}]`,
+	}
+	for name, contents := range cases {
+		t.Run(name, func(t *testing.T) {
+			sub := filepath.Join(dir, name)
+			if err := os.Mkdir(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			writeFile(t, sub, "BENCH_bad.json", contents)
+			if _, err := LoadBench(filepath.Join(sub, "*.json")); err == nil {
+				t.Fatalf("%s: corrupt corpus was accepted", name)
+			}
+		})
+	}
+}
+
+func TestGateRejectsTooFewPasses(t *testing.T) {
+	rec := goodRecord("2026-08-07", "short run", "go1.24.0", "cpu-a", 3, 0.01)
+	_, err := ApplyGate(GateConfig{}, []SourceRecord{{File: "BENCH_x.json", Rec: rec}})
+	if err == nil {
+		t.Fatal("schema-1 record with 3 passes passed the N>=5 gate")
+	}
+	if !strings.Contains(err.Error(), "passes") {
+		t.Fatalf("rejection does not explain the pass count: %v", err)
+	}
+}
+
+func TestGateRejectsMissingCV(t *testing.T) {
+	rec := goodRecord("2026-08-07", "no cv", "go1.24.0", "cpu-a", 5, 0.01)
+	rec.Results[0].CV = nil
+	_, err := ApplyGate(GateConfig{}, []SourceRecord{{Rec: rec}})
+	if err == nil {
+		t.Fatal("schema-1 record without CV disclosure passed the gate")
+	}
+}
+
+func TestGateRejectsUnknownSchema(t *testing.T) {
+	rec := goodRecord("2026-08-07", "future", "go1.24.0", "cpu-a", 5, 0.01)
+	rec.Schema = PerfSchemaVersion + 1
+	_, err := ApplyGate(GateConfig{}, []SourceRecord{{Rec: rec}})
+	if err == nil {
+		t.Fatal("record from a future schema passed the gate")
+	}
+}
+
+func TestGateClassesByCV(t *testing.T) {
+	mk := func(cv float64) SourceRecord {
+		return SourceRecord{Rec: goodRecord("2026-08-07", "x", "go1.24.0", "cpu-a", 5, cv)}
+	}
+	legacy := SourceRecord{Rec: PerfRecord{
+		Date: "2026-08-06", Label: "old", GoVersion: "go1.24.0", GOMAXPROCS: 1,
+		Results: []PerfResult{{Shape: "wiki-lstm-33k", ScreenNsOp: 1, ClassifyIntoNsOp: 1}},
+	}}
+	asmts, err := ApplyGate(GateConfig{}, []SourceRecord{legacy, mk(0.02), mk(0.2), mk(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Class{ClassLegacy, ClassOK, ClassFlagged, ClassDiscarded}
+	for i, a := range asmts {
+		if a.Class != want[i] {
+			t.Errorf("record %d: class %v, want %v (maxCV %.2f)", i, a.Class, want[i], a.MaxCV)
+		}
+	}
+	if asmts[3].Class.Admitted() {
+		t.Error("discarded record still admitted to trends")
+	}
+	if !asmts[2].Class.Admitted() || !asmts[0].Class.Admitted() {
+		t.Error("flagged/legacy records must stay admitted")
+	}
+}
+
+// A record clean on one shape and stormy on another keeps the clean
+// measurement in trends: the gate judges noise per shape, and the
+// record-level verdict is the worst shape.
+func TestGatePerShapeAdmission(t *testing.T) {
+	rec := goodRecord("2026-08-07", "mixed", "go1.24.0", "cpu-a", 5, 0.02)
+	rec.Results = append(rec.Results, PerfResult{
+		Shape: "amazon-670k", L: 670091, D: 512, K: 128, M: 13401,
+		ScreenNsOp: 36e6, ClassifyNsOp: 68e6, ClassifyIntoNsOp: 56e6,
+		BatchQPS: 15, Passes: 5,
+		CV: map[string]float64{MetricScreen: 0.52, MetricClassify: 0.41},
+	})
+	asmts, err := ApplyGate(GateConfig{}, []SourceRecord{{Rec: rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := asmts[0]
+	if a.Class != ClassDiscarded {
+		t.Fatalf("record verdict %v, want worst-shape discarded", a.Class)
+	}
+	if got := a.ShapeClass("wiki-lstm-33k").Class; got != ClassOK {
+		t.Errorf("clean shape classed %v, want ok", got)
+	}
+	if got := a.ShapeClass("amazon-670k").Class; got != ClassDiscarded {
+		t.Errorf("stormy shape classed %v, want discarded", got)
+	}
+
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_mixed.json", marshalRecs(t, rec))
+	rep, err := Build(GateConfig{}, filepath.Join(dir, "*.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "### wiki-lstm-33k") {
+		t.Error("clean shape missing from trend tables")
+	}
+	if strings.Contains(out, "### amazon-670k") {
+		t.Error("discarded shape still rendered a trend table")
+	}
+	if !strings.Contains(out, "amazon-670k: max CV 52.0%") {
+		t.Error("disclosure missing the per-shape discard reason")
+	}
+}
+
+func TestMixedGoVersionRefusedInTrend(t *testing.T) {
+	dir := t.TempDir()
+	a := goodRecord("2026-08-06", "first", "go1.22.0", "cpu-a", 5, 0.01)
+	b := goodRecord("2026-08-07", "second", "go1.24.0", "cpu-a", 5, 0.01)
+	writeFile(t, dir, "BENCH_2026-08-06.json", marshalRecs(t, a, b))
+	rep, err := Build(GateConfig{}, filepath.Join(dir, "BENCH_*.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "n/c") {
+		t.Fatal("trend table compared records across go versions; want n/c refusal")
+	}
+	if strings.Contains(out, "1.00×") {
+		t.Fatal("a cross-machine ratio was rendered")
+	}
+
+	// Same fingerprint → the ratio must appear.
+	c := goodRecord("2026-08-08", "third", "go1.24.0", "cpu-a", 5, 0.01)
+	writeFile(t, dir, "BENCH_2026-08-06.json", marshalRecs(t, a, b, c))
+	rep, err = Build(GateConfig{}, filepath.Join(dir, "BENCH_*.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := rep.Render(); !strings.Contains(out, "1.00×") {
+		t.Fatal("same-fingerprint adjacent records did not get a trend ratio")
+	}
+}
+
+func TestCPUModelMismatchRefused(t *testing.T) {
+	a := goodRecord("2026-08-06", "first", "go1.24.0", "cpu-a", 5, 0.01)
+	b := goodRecord("2026-08-07", "second", "go1.24.0", "cpu-b", 5, 0.01)
+	if Comparable(a, b) {
+		t.Fatal("records on different CPUs reported comparable")
+	}
+	// Legacy records (no CPU recorded) never match a recorded one.
+	b.CPUModel = ""
+	if Comparable(a, b) {
+		t.Fatal("record without CPU model compared against one with it")
+	}
+}
+
+func TestDeterministicRendering(t *testing.T) {
+	dir := t.TempDir()
+	// Shapes intentionally in non-alphabetical order inside the record.
+	rec := goodRecord("2026-08-06", "multi-shape", "go1.24.0", "cpu-a", 5, 0.01)
+	rec.Results = append(rec.Results, PerfResult{
+		Shape: "amazon-670k", L: 670091, D: 512, K: 128, M: 13401,
+		ScreenNsOp: 3e7, ClassifyNsOp: 5e7, ClassifyIntoNsOp: 5e7, BatchQPS: 19,
+		Passes: 5, CV: map[string]float64{MetricScreen: 0.01},
+	})
+	writeFile(t, dir, "BENCH_2026-08-06.json", marshalRecs(t, rec))
+	loads := filepath.Join(dir, "loadgen")
+	if err := os.Mkdir(loads, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	mkLoad := func(name, scenario, date string) {
+		writeFile(t, loads, name, `{"schema":"enmc-loadgen/v1","scenario":"`+scenario+`","date":"`+date+
+			`","requests":100,"duration_seconds":5,"ok":100,"classifications":100,"classifications_per_sec":20,`+
+			`"degraded":0,"partial":0,"p50_ms":1,"p90_ms":2,"p99_ms":3,"max_ms":4,"max_success_gap_ms":50,"targets":[]}`)
+	}
+	// File names chosen so lexical file order differs from scenario order.
+	mkLoad("z-first.json", "alpha-scenario", "2026-08-06")
+	mkLoad("a-second.json", "zeta-scenario", "2026-08-06")
+
+	build := func() string {
+		rep, err := Build(GateConfig{}, filepath.Join(dir, "BENCH_*.json"), filepath.Join(loads, "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render()
+	}
+	first, second := build(), build()
+	if first != second {
+		t.Fatal("two renderings of the same corpus differ")
+	}
+	// Shape sections alphabetical.
+	if strings.Index(first, "### amazon-670k") > strings.Index(first, "### wiki-lstm-33k") {
+		t.Fatal("shape sections not in sorted order")
+	}
+	// Load scenarios sorted by scenario name, not file name.
+	if strings.Index(first, "alpha-scenario") > strings.Index(first, "zeta-scenario") {
+		t.Fatal("load-test rows not sorted by scenario")
+	}
+}
+
+func TestLoadgenSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"unknown-version": `{"schema":"enmc-loadgen/v99","requests":10,"ok":10,"targets":[]}`,
+		"missing-schema":  `{"requests":10,"ok":10,"targets":[]}`,
+		"malformed":       `{"schema":"enmc-loadgen/v1","requests":`,
+		"no-requests":     `{"schema":"enmc-loadgen/v1","requests":0,"ok":0,"targets":[]}`,
+	}
+	for name, contents := range cases {
+		t.Run(name, func(t *testing.T) {
+			sub := filepath.Join(dir, name)
+			if err := os.Mkdir(sub, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			writeFile(t, sub, "run.json", contents)
+			if _, err := LoadLoadgen(filepath.Join(sub, "*.json")); err == nil {
+				t.Fatalf("%s: invalid loadgen report was accepted", name)
+			}
+		})
+	}
+}
+
+func TestLoadgenValidAccepted(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "run.json",
+		`{"schema":"enmc-loadgen/v1","scenario":"s","date":"2026-08-08","requests":10,"ok":10,"targets":[{"target":"h:1","requests":10,"ok":10,"errors":0,"partial":0,"with_request_id":10,"retry_after_429":0}]}`)
+	loads, err := LoadLoadgen(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 1 || loads[0].Rep.Scenario != "s" || len(loads[0].Rep.Targets) != 1 {
+		t.Fatalf("parsed report wrong: %+v", loads)
+	}
+}
+
+func TestEmptyBenchCorpusRejected(t *testing.T) {
+	if _, err := ApplyGate(GateConfig{}, nil); err == nil {
+		t.Fatal("empty corpus passed the gate")
+	}
+	dir := t.TempDir()
+	if _, err := Build(GateConfig{}, filepath.Join(dir, "BENCH_*.json"), ""); err == nil {
+		t.Fatal("Build with zero matched trajectory files succeeded")
+	}
+}
+
+func TestCheckStaleReport(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "BENCHMARK.md", "line one\nline two\n")
+	if err := Check("line one\nline two\n", path); err != nil {
+		t.Fatalf("current report reported stale: %v", err)
+	}
+	err := Check("line one\nline CHANGED\n", path)
+	if err == nil {
+		t.Fatal("stale report not detected")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("stale error does not locate the divergence: %v", err)
+	}
+	if err := Check("x", filepath.Join(dir, "missing.md")); err == nil {
+		t.Fatal("missing committed report not treated as stale")
+	}
+	// Pure length difference (common prefix identical).
+	if err := Check("line one\nline two\nline three\n", path); err == nil {
+		t.Fatal("longer regeneration not detected as stale")
+	}
+}
+
+// TestRenderDisclosure pins the disclosure table's key behaviors: the
+// machine fingerprint, the gate verdicts, and the flagged marker in
+// the trend table.
+func TestRenderDisclosure(t *testing.T) {
+	dir := t.TempDir()
+	legacy := PerfRecord{
+		Date: "2026-08-05", Label: "hand-written snapshot", GoVersion: "go1.24.0", GOMAXPROCS: 1,
+		Results: []PerfResult{{Shape: "wiki-lstm-33k", ScreenNsOp: 8e6, ClassifyNsOp: 9e6, ClassifyIntoNsOp: 9e6}},
+	}
+	noisy := goodRecord("2026-08-07", "noisy host", "go1.24.0", "Example CPU @ 2.10GHz", 5, 0.2)
+	writeFile(t, dir, "BENCH_2026-08-05.json", marshalRecs(t, legacy, noisy))
+	rep, err := Build(GateConfig{}, filepath.Join(dir, "BENCH_*.json"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{
+		"legacy", "flagged", "unrecorded", "Example CPU @ 2.10GHz", "20.0%", "†",
+		"## Validity and machine-noise disclosure",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}

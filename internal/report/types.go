@@ -1,0 +1,128 @@
+// Package report is the benchmark-governance pipeline: it ingests the
+// repo's perf-trajectory files (BENCH_*.json, appended by
+// `enmc-bench -perf`) and load-test reports (`enmc-loadgen -log-json`),
+// applies a validity gate (interleaved-pass counts, per-metric
+// coefficient of variation, machine-fingerprint matching), and renders
+// the committed BENCHMARK.md — a deterministic, regenerable document
+// whose staleness CI can detect with a byte diff.
+//
+// The package owns the canonical schema of both input corpora so the
+// producers (cmd/enmc-bench, the report parser) cannot drift apart.
+package report
+
+import "strconv"
+
+// Metric name keys used in PerfResult.CV. Kept as constants so the
+// gate, the renderer, and the bench harness agree on spelling.
+const (
+	MetricScreen       = "screen_ns_op"
+	MetricClassify     = "classify_ns_op"
+	MetricClassifyInto = "classify_into_ns_op"
+	MetricBatch        = "batch_ns"
+)
+
+// PerfSchemaVersion is the current BENCH_*.json record schema.
+// Version history:
+//
+//	0 (field absent) — pre-governance records: min-over-passes timing
+//	    only, no pass count, no noise statistics, no CPU model.
+//	1 — adds passes, per-metric coefficient of variation across the
+//	    interleaved passes, and the recording machine's CPU model.
+const PerfSchemaVersion = 1
+
+// PerfResult is the measured hot-path profile of one serving shape,
+// one array element of a PerfRecord. ns/op values are the minimum
+// over Passes interleaved timing passes (see cmd/enmc-bench/perf.go
+// for why minimum, not mean).
+type PerfResult struct {
+	Shape            string  `json:"shape"`
+	L                int     `json:"l"`
+	D                int     `json:"d"`
+	K                int     `json:"k"`
+	M                int     `json:"m"`
+	ScreenNsOp       float64 `json:"screen_ns_op"`
+	ClassifyNsOp     float64 `json:"classify_ns_op"`
+	ClassifyIntoNsOp float64 `json:"classify_into_ns_op"`
+	AllocsOp         float64 `json:"allocs_op"` // steady-state ClassifyApproxInto
+	BatchQPS         float64 `json:"batch_qps"` // ClassifyBatchVisitCtx, batch 8
+
+	// Governance fields (schema >= 1).
+	Passes int `json:"passes,omitempty"` // interleaved timing passes behind the minima
+	// CV maps metric name (Metric* constants) to the coefficient of
+	// variation (stddev/mean) of that metric's per-pass minima — the
+	// run's own noise disclosure. A high CV means the pass minima
+	// disagreed, i.e. the host was too noisy for the numbers to be
+	// trusted as a trend point.
+	CV map[string]float64 `json:"cv,omitempty"`
+}
+
+// PerfRecord is one `enmc-bench -perf` invocation. A trajectory file
+// (BENCH_*.json) holds a JSON array of them, oldest first; the trend
+// tables in BENCHMARK.md are these records in file order.
+type PerfRecord struct {
+	Schema     int          `json:"schema,omitempty"` // 0 = legacy pre-governance
+	Date       string       `json:"date"`
+	Label      string       `json:"label"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	CPUModel   string       `json:"cpu_model,omitempty"` // schema >= 1
+	Results    []PerfResult `json:"results"`
+}
+
+// Fingerprint summarizes the machine/toolchain identity of a record.
+// Two records are trend-comparable only when their fingerprints are
+// equal: cross-machine ns/op ratios measure the machines, not the
+// code. Legacy records (no CPU model recorded) compare only among
+// themselves — an empty CPUModel never matches a recorded one.
+func (r PerfRecord) Fingerprint() string {
+	return r.GoVersion + "|" + strconv.Itoa(r.GOMAXPROCS) + "|" + r.CPUModel
+}
+
+// Comparable reports whether a trend ratio between two records is
+// valid under the cross-machine rule.
+func Comparable(a, b PerfRecord) bool {
+	return a.Fingerprint() == b.Fingerprint()
+}
+
+// LoadSchemaV1 is the accepted `enmc-loadgen -log-json` schema tag.
+// The parser rejects any other value (including absence): a report
+// whose schema we do not recognize could be silently misread, which
+// is exactly what the version field exists to prevent.
+const LoadSchemaV1 = "enmc-loadgen/v1"
+
+// LoadTarget is the per-target breakdown inside a loadgen report.
+type LoadTarget struct {
+	Target           string   `json:"target"`
+	Requests         int      `json:"requests"`
+	OK               int      `json:"ok"`
+	Errors           int      `json:"errors"`
+	Partial          int      `json:"partial"`
+	WithRequestID    int      `json:"with_request_id"`
+	SampleRequestIDs []string `json:"sample_request_ids,omitempty"`
+	RetryAfter429    int      `json:"retry_after_429"`
+	RetryAfterValues []string `json:"retry_after_values,omitempty"`
+	P50Ms            float64  `json:"p50_ms,omitempty"`
+	P99Ms            float64  `json:"p99_ms,omitempty"`
+}
+
+// LoadReport is one `enmc-loadgen -log-json` document — the canonical
+// schema shared with cmd/enmc-loadgen's encoder.
+type LoadReport struct {
+	Schema          string         `json:"schema"`
+	Scenario        string         `json:"scenario,omitempty"`
+	Date            string         `json:"date,omitempty"`
+	Requests        int            `json:"requests"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	OK              int            `json:"ok"`
+	Classifications int            `json:"classifications"`
+	PerSecond       float64        `json:"classifications_per_sec"`
+	Degraded        int            `json:"degraded"`
+	Partial         int            `json:"partial"`
+	Errors          map[string]int `json:"errors,omitempty"`
+	P50Ms           float64        `json:"p50_ms,omitempty"`
+	P90Ms           float64        `json:"p90_ms,omitempty"`
+	P99Ms           float64        `json:"p99_ms,omitempty"`
+	MaxMs           float64        `json:"max_ms,omitempty"`
+	MaxSuccessGapMs float64        `json:"max_success_gap_ms"`
+	Targets         []LoadTarget   `json:"targets"`
+}

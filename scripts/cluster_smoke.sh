@@ -21,6 +21,17 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 WORK="$(mktemp -d)"
 PIDS=()
+# Benchmark governance: when SMOKE_ARTIFACTS names a directory, the
+# loadgen JSON report lands there (where enmc-report ingests it, and
+# where CI uploads it as an artifact). SMOKE_DURATION stretches the
+# loadgen runs for nightly full-length passes.
+ART="${SMOKE_ARTIFACTS:-}"
+if [ -n "$ART" ]; then
+    mkdir -p "$ART"
+    ART="$(cd "$ART" && pwd)" # scripts cd around; artifact dir must stay absolute
+fi
+DUR_MAIN="${SMOKE_DURATION:-6s}"
+DUR_POST="${SMOKE_DURATION:-3s}"
 cleanup() {
     for pid in ${PIDS[@]+"${PIDS[@]}"}; do
         kill "$pid" 2>/dev/null || true
@@ -104,7 +115,7 @@ code="$(classify)"
 grep -q '"partial":false' "$WORK/resp.json" || { echo "FAIL: warm response not full: $(cat "$WORK/resp.json")"; exit 1; }
 
 echo "== phase 1: SIGKILL one replica under traffic (must stay clean) =="
-./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration 6s -concurrency 4 \
+./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration "$DUR_MAIN" -concurrency 4 \
     -fail-on-error -fail-on-partial >"$WORK/loadgen1.log" 2>&1 &
 LOADGEN_PID=$!
 sleep 2
@@ -142,13 +153,18 @@ for _ in $(seq 1 100); do
 done
 [ -n "$recovered" ] || { echo "FAIL: cluster never recovered after restart: $(cat "$WORK/resp.json")"; exit 1; }
 
-echo "-- post-recovery loadgen (must stay clean)"
-if ! ./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration 3s -concurrency 4 \
-    -fail-on-error -fail-on-partial >"$WORK/loadgen2.log" 2>&1; then
-    cat "$WORK/loadgen2.log"
+echo "-- post-recovery loadgen (must stay clean; JSON report for enmc-report)"
+if ! ./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration "$DUR_POST" -concurrency 4 \
+    -fail-on-error -fail-on-partial -log-json -scenario cluster-3x2 \
+    >"$WORK/loadgen-cluster.json" 2>"$WORK/loadgen2.err"; then
+    cat "$WORK/loadgen-cluster.json" "$WORK/loadgen2.err"
     echo "FAIL: recovered cluster still failing or partial"
     exit 1
 fi
-grep -E "ok:|errors:" "$WORK/loadgen2.log" || true
+grep -o '"ok": [0-9]*' "$WORK/loadgen-cluster.json" | head -1 || true
+if [ -n "$ART" ]; then
+    cp "$WORK/loadgen-cluster.json" "$ART/cluster-3x2_$(date -u +%Y-%m-%d).json"
+    echo "   loadgen report -> $ART/cluster-3x2_$(date -u +%Y-%m-%d).json"
+fi
 
 echo "cluster-smoke OK: replica failover clean, dead shard degraded to partial:true [1], restart recovered full merges"

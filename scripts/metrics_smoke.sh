@@ -23,6 +23,16 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 WORK="$(mktemp -d)"
 PIDS=()
+# Benchmark governance: with SMOKE_ARTIFACTS set, the loadgen JSON
+# report and the captured Perfetto trace are copied there (enmc-report
+# ingestion / CI artifact upload). SMOKE_DURATION stretches the load
+# for nightly full-length passes.
+ART="${SMOKE_ARTIFACTS:-}"
+if [ -n "$ART" ]; then
+    mkdir -p "$ART"
+    ART="$(cd "$ART" && pwd)" # scripts cd around; artifact dir must stay absolute
+fi
+DUR="${SMOKE_DURATION:-5s}"
 cleanup() {
     for pid in ${PIDS[@]+"${PIDS[@]}"}; do
         kill "$pid" 2>/dev/null || true
@@ -91,9 +101,12 @@ BASE="http://127.0.0.1:$PORT"
 echo "   routing on $BASE (debug on :$DEBUG_PORT)"
 
 echo "== loadgen with JSON report =="
-./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration 5s -concurrency 4 \
-    -fail-on-error -log-json >"$WORK/loadgen.json" 2>&1 || {
+./enmc-loadgen -addr "127.0.0.1:$PORT" -dim "$DIM" -duration "$DUR" -concurrency 4 \
+    -fail-on-error -log-json -scenario cluster-3x2-observability \
+    >"$WORK/loadgen.json" 2>&1 || {
     cat "$WORK/loadgen.json"; echo "FAIL: loadgen reported errors"; exit 1; }
+grep -q '"schema": "enmc-loadgen/v1"' "$WORK/loadgen.json" || {
+    echo "FAIL: loadgen report carries no schema tag"; exit 1; }
 
 OK=$(grep -o '"ok": [0-9]*' "$WORK/loadgen.json" | head -1 | awk '{print $2}')
 REQS=$(grep -o '"requests": [0-9]*' "$WORK/loadgen.json" | head -1 | awk '{print $2}')
@@ -120,6 +133,15 @@ done
 echo "== capturing a propagated distributed trace =="
 curl -sf "http://127.0.0.1:$DEBUG_PORT/debug/spans" >"$WORK/trace.json"
 ./enmc-promlint -spans "$WORK/trace.json" -min-pids 2
+
+if [ -n "$ART" ]; then
+    # Traces live in a subdirectory so the report tool's
+    # <artifacts>/*.json loadgen glob never tries to parse one.
+    mkdir -p "$ART/traces"
+    cp "$WORK/loadgen.json" "$ART/cluster-3x2-observability_$(date -u +%Y-%m-%d).json"
+    cp "$WORK/trace.json" "$ART/traces/cluster-3x2_$(date -u +%Y-%m-%d).perfetto.json"
+    echo "   artifacts -> $ART (loadgen report + Perfetto trace)"
+fi
 
 echo "== structured request logs flowed on router and shards =="
 grep -q '"req_id"' "$WORK/serve.reqlog" || {

@@ -16,6 +16,15 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 WORK="$(mktemp -d)"
 SERVE_PID=""
+# Benchmark governance: with SMOKE_ARTIFACTS set, the loadgen JSON
+# report is copied there for enmc-report ingestion / CI upload;
+# SMOKE_DURATION stretches the run for nightly full-length passes.
+ART="${SMOKE_ARTIFACTS:-}"
+if [ -n "$ART" ]; then
+    mkdir -p "$ART"
+    ART="$(cd "$ART" && pwd)" # scripts cd around; artifact dir must stay absolute
+fi
+DUR="${SMOKE_DURATION:-9s}"
 cleanup() {
     [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
     [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
@@ -70,8 +79,8 @@ reload() { # reload <json-body> -> echoes HTTP status
 }
 
 echo "== driving loadgen while swapping =="
-./enmc-loadgen -addr "127.0.0.1:$PORT" -dim 128 -duration 9s -concurrency 4 \
-    -fail-on-error >"$WORK/loadgen.log" 2>&1 &
+./enmc-loadgen -addr "127.0.0.1:$PORT" -dim 128 -duration "$DUR" -concurrency 4 \
+    -fail-on-error -log-json -scenario serve-hotswap >"$WORK/loadgen.json" 2>&1 &
 LOADGEN_PID=$!
 sleep 2
 
@@ -99,9 +108,13 @@ grep -q '"canary_rejected":1' "$WORK/model.json" || { echo "FAIL: canary_rejecte
 
 echo "== waiting for loadgen (zero non-200s required) =="
 if ! wait "$LOADGEN_PID"; then
-    cat "$WORK/loadgen.log"
+    cat "$WORK/loadgen.json"
     echo "FAIL: loadgen observed failed requests during the swaps"
     exit 1
 fi
-cat "$WORK/loadgen.log"
+grep -o '"ok": [0-9]*' "$WORK/loadgen.json" | head -1 || true
+if [ -n "$ART" ]; then
+    cp "$WORK/loadgen.json" "$ART/serve-hotswap_$(date -u +%Y-%m-%d).json"
+    echo "   loadgen report -> $ART/serve-hotswap_$(date -u +%Y-%m-%d).json"
+fi
 echo "swap-smoke OK: hot swap under traffic with zero failed requests; bad candidates rejected with rollback"
