@@ -25,6 +25,7 @@ import (
 
 	"enmc"
 	"enmc/internal/experiments"
+	"enmc/internal/report"
 )
 
 func main() {
@@ -36,16 +37,22 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the telemetry registry as JSON to stderr after the run")
 	pprofAddr := flag.String("pprof", "", "serve pprof/expvar/metrics HTTP on this address (e.g. localhost:6060)")
 	perf := flag.Bool("perf", false, "run the hot-path perf harness (Table 2 serving shapes) instead of the experiments")
-	perfJSON := flag.String("json", "", "with -perf: append the PerfRecord to this JSON trajectory file (e.g. BENCH_2026-08-06.json)")
-	perfLabel := flag.String("label", "dev", "with -perf: label stored in the PerfRecord")
+	wire := flag.Bool("wire", false, "run the cluster wire-codec harness (binary frame vs JSON screen RPC) instead of the experiments")
+	perfJSON := flag.String("json", "", "with -perf/-wire: append the PerfRecord to this JSON trajectory file (e.g. BENCH_2026-08-06.json)")
+	perfLabel := flag.String("label", "dev", "with -perf/-wire: label stored in the PerfRecord")
 	perfShapesFlag := flag.String("shapes", "", "with -perf: comma-separated substrings selecting shapes (empty = all)")
-	baseline := flag.String("baseline", "", "with -perf: trajectory file whose last record is the regression baseline")
-	maxReg := flag.Float64("maxreg", 1.5, "with -perf -baseline: fail when screen/classify ns/op exceed baseline by this factor")
-	perfPasses := flag.Int("passes", 5, "with -perf: interleaved timing passes per shape (governance requires >= 5 for committed records)")
+	baseline := flag.String("baseline", "", "with -perf/-wire: trajectory file whose latest per-shape results are the regression baseline")
+	maxReg := flag.Float64("maxreg", 1.5, "with -baseline: fail when screen/classify/wire ns/op exceed baseline by this factor")
+	perfPasses := flag.Int("passes", 5, "with -perf/-wire: interleaved timing passes per shape (governance requires >= 5 for committed records)")
 	flag.Parse()
 
-	if *perf {
-		rec := runPerf(*perfLabel, *perfShapesFlag, *perfPasses)
+	if *perf || *wire {
+		var rec report.PerfRecord
+		if *wire {
+			rec = runWire(*perfLabel, *perfPasses)
+		} else {
+			rec = runPerf(*perfLabel, *perfShapesFlag, *perfPasses)
+		}
 		out := json.NewEncoder(os.Stdout)
 		out.SetIndent("", "  ")
 		if err := out.Encode(rec); err != nil {

@@ -296,13 +296,17 @@ func appendPerfFile(path string, rec report.PerfRecord) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// comparePerf checks rec against the last record in the baseline
-// trajectory: any matching shape whose classify_into_ns_op or
-// screen_ns_op grew by more than maxReg fails. The bound is generous
-// on purpose — it is a cross-machine tripwire for order-of-magnitude
-// regressions (an accidental O(n log n) → O(n²), a lost fast path),
-// not a microbenchmark gate; same-machine trend discipline lives in
-// enmc-report, which refuses cross-machine ratios outright.
+// comparePerf checks rec against the baseline trajectory: any
+// matching shape whose hot metrics grew by more than maxReg fails.
+// The per-shape baseline is the LAST record carrying that shape, not
+// the file's last record — the trajectory interleaves kernel shapes
+// (-perf) and wire shapes (-wire), and a wire-only append must not
+// silently disable the kernel tripwire (or vice versa). The bound is
+// generous on purpose — it is a cross-machine tripwire for
+// order-of-magnitude regressions (an accidental O(n log n) → O(n²), a
+// lost fast path), not a microbenchmark gate; same-machine trend
+// discipline lives in enmc-report, which refuses cross-machine ratios
+// outright.
 func comparePerf(rec report.PerfRecord, baselinePath string, maxReg float64) error {
 	base, err := loadPerfFile(baselinePath)
 	if err != nil {
@@ -311,10 +315,13 @@ func comparePerf(rec report.PerfRecord, baselinePath string, maxReg float64) err
 	if len(base) == 0 {
 		return fmt.Errorf("%s: empty baseline", baselinePath)
 	}
-	last := base[len(base)-1]
 	byShape := map[string]report.PerfResult{}
-	for _, r := range last.Results {
-		byShape[r.Shape] = r
+	labelByShape := map[string]string{}
+	for _, brec := range base { // file order is oldest first: last wins
+		for _, r := range brec.Results {
+			byShape[r.Shape] = r
+			labelByShape[r.Shape] = brec.Label
+		}
 	}
 	var failures []string
 	for _, cur := range rec.Results {
@@ -333,10 +340,12 @@ func comparePerf(rec report.PerfRecord, baselinePath string, maxReg float64) err
 				failures = append(failures, fmt.Sprintf("%s %s %.2fx (limit %.2fx)", cur.Shape, metric, ratio, maxReg))
 			}
 			fmt.Fprintf(os.Stderr, "perf: %-14s %-20s %8.2f ms vs baseline(%s) %8.2f ms  = %.2fx  %s\n",
-				cur.Shape, metric, got/1e6, last.Label, want/1e6, ratio, status)
+				cur.Shape, metric, got/1e6, labelByShape[cur.Shape], want/1e6, ratio, status)
 		}
 		check("screen_ns_op", cur.ScreenNsOp, b.ScreenNsOp)
 		check("classify_into_ns_op", cur.ClassifyIntoNsOp, b.ClassifyIntoNsOp)
+		check("wire_encode_ns_op", cur.WireEncodeNsOp, b.WireEncodeNsOp)
+		check("wire_decode_ns_op", cur.WireDecodeNsOp, b.WireDecodeNsOp)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("perf regression vs %s: %s", baselinePath, strings.Join(failures, "; "))

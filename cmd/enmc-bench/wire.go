@@ -1,0 +1,182 @@
+package main
+
+// Wire-codec benchmark harness: -wire measures the cluster screen RPC
+// round trip in both codecs — binary frame (internal/cluster codec v2)
+// and the JSON bodies the pre-v2 fallback path still speaks — and
+// appends the result to the same governed trajectory as -perf. The
+// acceptance comparison (binary vs JSON speedup and byte ratio) is
+// WITHIN one record, so it stays valid across machines; the per-codec
+// ns series over records is the usual same-fingerprint trend.
+//
+// The measured geometry is the amazon-670k serving shape as seen by
+// one shard of a 3-way cluster split: the router encodes a request of
+// 8 hidden vectors (d=512) and decodes a response carrying each
+// item's per-shard top-m candidates (m = 13401/3) — the exact payload
+// pair that crosses the wire once per shard per micro-batch.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"enmc/internal/cluster"
+	"enmc/internal/report"
+	"enmc/internal/xrand"
+)
+
+// wireShape is one RPC payload geometry: batch items of hidden floats
+// out, perItem candidates per item back.
+type wireShape struct {
+	Name       string
+	L, D, K, M int // reported like a perf shape; M is the per-shard budget
+	Batch      int
+	PerItem    int // candidates returned per item (worker top-m)
+}
+
+var wireShapes = []wireShape{
+	{Name: "screen-rpc-670k-shard3", L: 670091, D: 512, K: 128, M: 13401 / 3, Batch: 8, PerItem: 13401 / 3},
+}
+
+// buildWirePayloads constructs a deterministic request batch and
+// response at the shape — values are noise (the codec cost does not
+// depend on them) but construction is seeded so runs are comparable.
+func buildWirePayloads(s wireShape) ([][]float32, *cluster.ScreenResponse) {
+	r := xrand.New(99)
+	batch := make([][]float32, s.Batch)
+	for i := range batch {
+		h := make([]float32, s.D)
+		for j := range h {
+			h[j] = r.Float32()*2 - 1
+		}
+		batch[i] = h
+	}
+	resp := &cluster.ScreenResponse{
+		Offset:  s.L / 3,
+		Classes: s.L,
+		Version: "sha256:wirebench",
+		Items:   make([][]cluster.WireCandidate, s.Batch),
+	}
+	for i := range resp.Items {
+		cands := make([]cluster.WireCandidate, s.PerItem)
+		for j := range cands {
+			cands[j] = cluster.WireCandidate{Class: s.L/3 + j, Logit: r.Float32()*20 - 10}
+		}
+		resp.Items[i] = cands
+	}
+	return batch, resp
+}
+
+// runWire measures every wire shape over `passes` interleaved passes
+// and returns a schema-1 record for the governed trajectory.
+func runWire(label string, passes int) report.PerfRecord {
+	if passes < 1 {
+		passes = 1
+	}
+	rec := report.PerfRecord{
+		Schema:     report.PerfSchemaVersion,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+	}
+	const minTime = 300 * time.Millisecond
+	const maxIters = 200
+	for _, s := range wireShapes {
+		fmt.Fprintf(os.Stderr, "wire: building %s (batch=%d d=%d cands/item=%d)...\n", s.Name, s.Batch, s.D, s.PerItem)
+		batch, resp := buildWirePayloads(s)
+		req := cluster.ScreenRequest{Batch: batch, M: s.M}
+
+		// Reference encodings, reused as decode inputs and measured for
+		// the byte comparison. One RPC = one request + one response.
+		binReq, err := cluster.AppendScreenRequest(nil, s.M, batch)
+		if err != nil {
+			panic(err)
+		}
+		binResp, err := cluster.AppendScreenResponse(nil, resp)
+		if err != nil {
+			panic(err)
+		}
+		jsonReq, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		jsonResp, err := json.Marshal(resp)
+		if err != nil {
+			panic(err)
+		}
+
+		res := report.PerfResult{
+			Shape: s.Name, L: s.L, D: s.D, K: s.K, M: s.M, Passes: passes,
+			WireBinaryBytes: len(binReq) + len(binResp),
+			WireJSONBytes:   len(jsonReq) + len(jsonResp),
+		}
+
+		sc := cluster.GetWireScratch()
+		buf := make([]byte, 0, len(binResp))
+		enc := make(series, 0, passes)
+		dec := make(series, 0, passes)
+		jenc := make(series, 0, passes)
+		jdec := make(series, 0, passes)
+		for p := 0; p < passes; p++ {
+			enc = append(enc, timeIt(minTime, maxIters, func() {
+				buf, err = cluster.AppendScreenRequest(buf[:0], s.M, batch)
+				if err != nil {
+					panic(err)
+				}
+				buf, err = cluster.AppendScreenResponse(buf[:0], resp)
+				if err != nil {
+					panic(err)
+				}
+			}))
+			dec = append(dec, timeIt(minTime, maxIters, func() {
+				if _, _, err := cluster.DecodeScreenRequest(binReq, sc); err != nil {
+					panic(err)
+				}
+				if _, err := cluster.DecodeScreenResponse(binResp, sc); err != nil {
+					panic(err)
+				}
+			}))
+			jenc = append(jenc, timeIt(minTime, maxIters, func() {
+				if _, err := json.Marshal(req); err != nil {
+					panic(err)
+				}
+				if _, err := json.Marshal(resp); err != nil {
+					panic(err)
+				}
+			}))
+			jdec = append(jdec, timeIt(minTime, maxIters, func() {
+				var dr cluster.ScreenRequest
+				if err := json.Unmarshal(jsonReq, &dr); err != nil {
+					panic(err)
+				}
+				var dresp cluster.ScreenResponse
+				if err := json.Unmarshal(jsonResp, &dresp); err != nil {
+					panic(err)
+				}
+			}))
+		}
+		sc.Release()
+		res.WireEncodeNsOp = enc.min()
+		res.WireDecodeNsOp = dec.min()
+		res.WireJSONEncodeNsOp = jenc.min()
+		res.WireJSONDecodeNsOp = jdec.min()
+		res.CV = map[string]float64{
+			report.MetricWireEncode:     enc.cv(),
+			report.MetricWireDecode:     dec.cv(),
+			report.MetricWireJSONEncode: jenc.cv(),
+			report.MetricWireJSONDecode: jdec.cv(),
+		}
+
+		speedup := (res.WireJSONEncodeNsOp + res.WireJSONDecodeNsOp) / (res.WireEncodeNsOp + res.WireDecodeNsOp)
+		fmt.Fprintf(os.Stderr, "wire: %-22s bin enc %7.1f µs dec %7.1f µs  json enc %8.1f µs dec %8.1f µs  speedup %.1fx  bytes %d vs %d (%.1fx)  (passes %d, max cv %.1f%%)\n",
+			s.Name, res.WireEncodeNsOp/1e3, res.WireDecodeNsOp/1e3,
+			res.WireJSONEncodeNsOp/1e3, res.WireJSONDecodeNsOp/1e3, speedup,
+			res.WireBinaryBytes, res.WireJSONBytes, float64(res.WireJSONBytes)/float64(res.WireBinaryBytes),
+			passes, 100*maxCV(res.CV))
+		rec.Results = append(rec.Results, res)
+	}
+	return rec
+}

@@ -27,8 +27,10 @@
 // The report tracks the serving layer's observability contract too:
 // how many responses echoed X-Request-Id (with per-target samples for
 // cross-referencing server request logs) and whether 429s carried
-// Retry-After. -log-json emits the whole report as one JSON document
-// on stdout for CI assertions.
+// Retry-After. Bytes on the wire are accounted per request (body out;
+// Content-Length in, counting the stream when the server chunks) and
+// reported as B/req and MB/s, total and per target. -log-json emits
+// the whole report as one JSON document on stdout for CI assertions.
 package main
 
 import (
@@ -59,6 +61,21 @@ type result struct {
 	target     int    // index into the target pool
 	reqID      string // X-Request-Id echoed by the server
 	retryAfter string // Retry-After on 429s (admission control)
+	bytesOut   int64  // request body bytes sent
+	bytesIn    int64  // response body bytes received
+}
+
+// countReader counts the bytes read through it — the fallback for
+// responses the server streams without a Content-Length.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // pool round-robins requests across the target URLs.
@@ -211,7 +228,7 @@ func issue(client *http.Client, p *pool, body []byte) result {
 	start := time.Now()
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return result{code: 0, latency: time.Since(start), done: time.Now(), target: target}
+		return result{code: 0, latency: time.Since(start), done: time.Now(), target: target, bytesOut: int64(len(body))}
 	}
 	defer resp.Body.Close()
 	r := result{
@@ -219,7 +236,13 @@ func issue(client *http.Client, p *pool, body []byte) result {
 		items: 1, target: target,
 		reqID:      resp.Header.Get("X-Request-Id"),
 		retryAfter: resp.Header.Get("Retry-After"),
+		bytesOut:   int64(len(body)),
 	}
+	// Bytes-on-wire accounting: trust Content-Length when the server
+	// declared one, count the stream otherwise (chunked responses).
+	// Either way the body is drained to EOF — also what lets the
+	// transport return the connection to the keep-alive pool.
+	counted := &countReader{r: resp.Body}
 	if resp.StatusCode == http.StatusOK {
 		var parsed struct {
 			Degraded bool `json:"degraded"`
@@ -228,21 +251,26 @@ func issue(client *http.Client, p *pool, body []byte) result {
 				Class int `json:"class"`
 			} `json:"results"`
 		}
-		if err := json.NewDecoder(resp.Body).Decode(&parsed); err == nil {
+		if err := json.NewDecoder(counted).Decode(&parsed); err == nil {
 			r.degraded = parsed.Degraded
 			r.partial = parsed.Partial
 			if n := len(parsed.Results); n > 0 {
 				r.items = n
 			}
 		}
+	}
+	_, _ = io.Copy(io.Discard, counted)
+	if resp.ContentLength >= 0 {
+		r.bytesIn = resp.ContentLength
 	} else {
-		_, _ = io.Copy(io.Discard, resp.Body)
+		r.bytesIn = counted.n
 	}
 	return r
 }
 
 func summarize(results []result, hosts []string, scenario string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
 	var ok, degraded, partial, items int
+	var bytesOut, bytesIn int64
 	var lats []time.Duration
 	var successTimes []time.Time
 	errByStatus := map[int]int{} // status → count; 0 = transport error / generator shed
@@ -250,6 +278,10 @@ func summarize(results []result, hosts []string, scenario string, d time.Duratio
 	for _, r := range results {
 		t := &perTarget[r.target]
 		t.total++
+		t.bytesOut += r.bytesOut
+		t.bytesIn += r.bytesIn
+		bytesOut += r.bytesOut
+		bytesIn += r.bytesIn
 		// Observability satellites: every server response should echo a
 		// request ID; 429s should carry Retry-After. Track both so the
 		// smoke can assert the contract end to end.
@@ -319,6 +351,10 @@ func summarize(results []result, hosts []string, scenario string, d time.Duratio
 		fmt.Printf("  latency p50 %s  p90 %s  p99 %s  max %s\n",
 			quantile(lats, 0.50), quantile(lats, 0.90), quantile(lats, 0.99), lats[len(lats)-1])
 	}
+	if n := len(results); n > 0 {
+		fmt.Printf("  wire: %.0f B/req out  %.0f B/req in  %.2f MB/s\n",
+			float64(bytesOut)/float64(n), float64(bytesIn)/float64(n), mbPerSec(bytesOut+bytesIn, d))
+	}
 
 	// Request-ID echo coverage (every server response should carry one)
 	// and Retry-After presence on 429s, summed over the pool.
@@ -362,6 +398,7 @@ func summarize(results []result, hosts []string, scenario string, d time.Duratio
 				sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
 				line += fmt.Sprintf("  p50 %s  p99 %s", quantile(t.lats, 0.50), quantile(t.lats, 0.99))
 			}
+			line += fmt.Sprintf("  %.2f MB/s", mbPerSec(t.bytesOut+t.bytesIn, d))
 			fmt.Println(line)
 		}
 	}
@@ -394,8 +431,13 @@ func finish(results []result, ok, partial, errKinds int, failOnError, failOnPart
 func reportJSON(results []result, hosts []string, scenario string, perTarget []targetStats, errByStatus map[int]int,
 	lats []time.Duration, successTimes []time.Time,
 	ok, degraded, partial, items int, d time.Duration, runStart, runEnd time.Time) {
+	var bytesOut, bytesIn int64
+	for _, t := range perTarget {
+		bytesOut += t.bytesOut
+		bytesIn += t.bytesIn
+	}
 	out := report.LoadReport{
-		Schema:          report.LoadSchemaV1,
+		Schema:          report.LoadSchemaV2,
 		Scenario:        scenario,
 		Date:            runStart.UTC().Format("2006-01-02"),
 		Requests:        len(results),
@@ -405,6 +447,9 @@ func reportJSON(results []result, hosts []string, scenario string, perTarget []t
 		PerSecond:       float64(items) / d.Seconds(),
 		Degraded:        degraded,
 		Partial:         partial,
+		BytesOut:        bytesOut,
+		BytesIn:         bytesIn,
+		WireMBPerSec:    mbPerSec(bytesOut+bytesIn, d),
 	}
 	if len(errByStatus) > 0 {
 		out.Errors = map[string]int{}
@@ -440,6 +485,8 @@ func reportJSON(results []result, hosts []string, scenario string, perTarget []t
 			Target: hosts[i], Requests: t.total, OK: t.ok, Errors: t.total - t.ok,
 			Partial: t.partial, WithRequestID: t.withReqID, SampleRequestIDs: t.sampleIDs,
 			RetryAfter429: t.retry429, RetryAfterValues: sortedKeys(t.retryVals),
+			BytesOut: t.bytesOut, BytesIn: t.bytesIn,
+			WireMBPerSec: mbPerSec(t.bytesOut+t.bytesIn, d),
 		}
 		if len(t.lats) > 0 {
 			sort.Slice(t.lats, func(a, b int) bool { return t.lats[a] < t.lats[b] })
@@ -476,6 +523,14 @@ type targetStats struct {
 	retry429           int
 	retryVals          map[string]bool
 	lats               []time.Duration
+	bytesOut, bytesIn  int64
+}
+
+func mbPerSec(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
 }
 
 func pct(n, of int) float64 {

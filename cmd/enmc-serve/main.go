@@ -82,6 +82,7 @@ func main() {
 	clusterHedge := flag.Duration("cluster-hedge", 0, "hedge a shard RPC onto another replica after this delay (floor under -cluster-hedge-quantile; 0 disables)")
 	clusterHedgeQ := flag.Float64("cluster-hedge-quantile", 0, "adaptive hedging: hedge after this quantile of observed shard latency (0 disables)")
 	clusterHealthEvery := flag.Duration("cluster-health-interval", 500*time.Millisecond, "per-replica /readyz probe period")
+	clusterWire := flag.String("wire", "binary", "shard RPC codec: binary (negotiated, falls back per replica) or json (force JSON)")
 
 	modelRoot := flag.String("model-root", "", "versioned model registry root (enables hot swap + /v1/model/reload)")
 	modelVersion := flag.String("model-version", "", "registry version to serve at startup (default newest)")
@@ -115,6 +116,9 @@ func main() {
 	var mgr *registry.Manager
 	var router *cluster.Router
 	if *clusterMap != "" {
+		if *clusterWire != "binary" && *clusterWire != "json" {
+			fatalIf(fmt.Errorf("-wire must be binary or json, got %q", *clusterWire))
+		}
 		shardMap, err := cluster.ParseShardMap(*clusterMap)
 		fatalIf(err)
 		dialCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -125,6 +129,7 @@ func main() {
 			HedgeAfter:     *clusterHedge,
 			HedgeQuantile:  *clusterHedgeQ,
 			HealthInterval: *clusterHealthEvery,
+			WireJSON:       *clusterWire == "json",
 		})
 		cancel()
 		fatalIf(err)

@@ -44,6 +44,13 @@ var (
 	mReplicaEjected   = telemetry.Default().Counter("cluster.replica_ejected")
 	mReplicaReadmit   = telemetry.Default().Counter("cluster.replica_readmitted")
 	mRPCNs            = telemetry.Default().Histogram("cluster.shard_rpc_ns", telemetry.LatencyBuckets())
+
+	// Wire codec negotiation (see codec.go): RPCs by reply codec, and
+	// how often a binary attempt had to renegotiate down to JSON
+	// (pre-v2 worker, or a worker pinned by -wire json).
+	mWireBinaryRPCs = telemetry.Default().Counter("cluster.wire_binary_rpcs")
+	mWireJSONRPCs   = telemetry.Default().Counter("cluster.wire_json_rpcs")
+	mWireFallbacks  = telemetry.Default().Counter("cluster.wire_fallback_total")
 )
 
 // --- wire format (/v1/shard/*) ---
@@ -93,12 +100,16 @@ type SpanWire struct {
 }
 
 // ShardInfo is the GET /v1/shard/info body: the static identity the
-// router reads once at Dial to learn the shard map geometry.
+// router reads once at Dial to learn the shard map geometry. Codecs
+// advertises the screen codecs the worker accepts ("v2", "json"); a
+// pre-v2 worker's info simply lacks the field, and the router treats
+// any absence the same way it treats a 415 — fall back to JSON.
 type ShardInfo struct {
-	Offset  int    `json:"offset"`
-	Classes int    `json:"classes"`
-	Hidden  int    `json:"hidden"`
-	Version string `json:"model_version,omitempty"`
+	Offset  int      `json:"offset"`
+	Classes int      `json:"classes"`
+	Hidden  int      `json:"hidden"`
+	Version string   `json:"model_version,omitempty"`
+	Codecs  []string `json:"codecs,omitempty"`
 }
 
 // ParseShardMap parses a router shard-map spec: shards separated by

@@ -35,7 +35,7 @@ var (
 	}
 )
 
-func fixture(t *testing.T) (*workload.Instance, []distributed.Shard, *core.Screener) {
+func fixture(t testing.TB) (*workload.Instance, []distributed.Shard, *core.Screener) {
 	t.Helper()
 	fixOnce.Do(func() {
 		spec := workload.Spec{Name: "cluster", Categories: fixClasses, Hidden: fixHidden, LatentRank: 8, ZipfS: 1}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,11 @@ type RouterConfig struct {
 	// ReadmitThreshold re-admits an ejected replica after this many
 	// consecutive probe successes (default 2).
 	ReadmitThreshold int
+	// WireJSON forces the scatter leg onto the JSON codec, never
+	// offering the binary frame (the -wire json escape hatch). Off,
+	// the router encodes binary and renegotiates per replica on 415
+	// or 400 — see rpcOnce.
+	WireJSON bool
 	// Client overrides the HTTP client (default: pooled transport).
 	Client *http.Client
 	// Tracer receives per-shard RPC spans on TrackClusterBase+i;
@@ -82,9 +88,14 @@ func (c *RouterConfig) defaults() {
 // the probe loop (and optimistically true at start); the data path
 // only reads it to order failover candidates — an ejected replica is
 // still tried as a last resort, so recovery never waits on a probe.
+// jsonOnly pins the replica to the JSON codec after a failed binary
+// negotiation (pre-v2 worker, or -wire json on the worker); it resets
+// when the probe loop readmits the replica, so a restarted — possibly
+// upgraded — worker gets re-offered the binary frame.
 type replica struct {
-	url     string
-	healthy atomic.Bool
+	url      string
+	healthy  atomic.Bool
+	jsonOnly atomic.Bool
 }
 
 // routerShard is the router's view of one row-slice: its replicas,
@@ -101,24 +112,83 @@ type routerShard struct {
 	lat      latWindow
 }
 
-// replicaOrder returns the failover sequence for one query: healthy
-// replicas first, rotated by the round-robin cursor, then ejected
-// ones as a last resort (so a shard whose probes all fail is still
-// reachable the instant a worker comes back).
-func (s *routerShard) replicaOrder() []*replica {
+// orderPool recycles the failover-order backing arrays so the router
+// fast path does not allocate one per shard per query.
+var orderPool = sync.Pool{New: func() any {
+	s := make([]*replica, 0, 8)
+	return &s
+}}
+
+// replicaOrderInto appends the failover sequence for one query into
+// order (reusing its backing array): healthy replicas first, rotated
+// by the round-robin cursor, then ejected ones as a last resort (so a
+// shard whose probes all fail is still reachable the instant a worker
+// comes back). Two passes over a handful of replicas beat a second
+// scratch slice.
+func (s *routerShard) replicaOrderInto(order []*replica) []*replica {
 	n := len(s.replicas)
 	start := int(s.next.Add(1)-1) % n
-	order := make([]*replica, 0, n)
-	var down []*replica
+	order = order[:0]
 	for i := 0; i < n; i++ {
-		rep := s.replicas[(start+i)%n]
-		if rep.healthy.Load() {
+		if rep := s.replicas[(start+i)%n]; rep.healthy.Load() {
 			order = append(order, rep)
-		} else {
-			down = append(down, rep)
 		}
 	}
-	return append(order, down...)
+	for i := 0; i < n; i++ {
+		if rep := s.replicas[(start+i)%n]; !rep.healthy.Load() {
+			order = append(order, rep)
+		}
+	}
+	return order
+}
+
+// wireBody is the scatter payload shared by every shard, hedge, and
+// failover retry of one micro-batch: the binary frame is encoded once
+// into a pooled buffer, and the JSON rendering is produced lazily —
+// only when some replica actually needs the fallback codec. The
+// refcount returns the pooled buffer when the last reader is done;
+// readers are counted per HTTP request body (see reqBody), because
+// Body.Close is the only point the transport guarantees it has
+// stopped reading.
+type wireBody struct {
+	bin  []byte
+	refs atomic.Int32
+
+	req      ScreenRequest
+	jsonOnce sync.Once
+	jsonBuf  []byte
+	jsonErr  error
+}
+
+func (b *wireBody) acquire() { b.refs.Add(1) }
+
+func (b *wireBody) release() {
+	if b.refs.Add(-1) == 0 && b.bin != nil {
+		PutEncodeBuf(b.bin)
+		b.bin = nil
+	}
+}
+
+// json renders the JSON fallback body at most once. The buffer is
+// GC-owned (not pooled): fallbacks are the rare path.
+func (b *wireBody) json() ([]byte, error) {
+	b.jsonOnce.Do(func() { b.jsonBuf, b.jsonErr = json.Marshal(b.req) })
+	return b.jsonBuf, b.jsonErr
+}
+
+// reqBody hands a view of the shared scatter payload to the HTTP
+// client. The transport closes every request body, even on errors,
+// and may still be reading it after Do returns — so the wireBody ref
+// is released on Close, never earlier.
+type reqBody struct {
+	*bytes.Reader
+	wb   *wireBody
+	once sync.Once
+}
+
+func (b *reqBody) Close() error {
+	b.once.Do(b.wb.release)
+	return nil
 }
 
 // Router scatter-gathers classification across networked shard
@@ -171,6 +241,12 @@ func Dial(ctx context.Context, cfg RouterConfig) (*Router, error) {
 				lastErr = err
 				continue
 			}
+			// A worker that advertises codecs but not "v2" never gets
+			// offered the binary frame; one that advertises nothing
+			// (pre-v2) is probed optimistically and falls back on 400.
+			if len(info.Codecs) > 0 && !codecListed(info.Codecs, "v2") {
+				rep.jsonOnly.Store(true)
+			}
 			s.offset, s.classes = info.Offset, info.Classes
 			v := info.Version
 			s.version.Store(&v)
@@ -222,6 +298,15 @@ func Dial(ctx context.Context, cfg RouterConfig) (*Router, error) {
 	return r, nil
 }
 
+func codecListed(codecs []string, want string) bool {
+	for _, c := range codecs {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
 func fetchInfo(ctx context.Context, client *http.Client, base string, timeout time.Duration) (*ShardInfo, error) {
 	ictx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
@@ -242,6 +327,10 @@ func fetchInfo(ctx context.Context, client *http.Client, base string, timeout ti
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		return nil, err
 	}
+	// Drain the trailing newline json.Encoder wrote: the decoder stops
+	// at the closing brace, and a connection handed back with unread
+	// bytes is torn down instead of reused.
+	_, _ = io.Copy(io.Discard, resp.Body)
 	if info.Classes <= 0 || info.Hidden <= 0 || info.Offset < 0 {
 		return nil, fmt.Errorf("cluster: %s reported bad geometry %+v", base, info)
 	}
@@ -344,22 +433,42 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 	if per < 1 {
 		per = 1
 	}
-	body, err := json.Marshal(ScreenRequest{Batch: batch, M: per})
-	if err != nil {
-		return nil, server.Partial{}, err
+	// One encode per micro-batch, shared by every shard, hedge, and
+	// retry. Binary is skipped entirely under -wire json; the JSON
+	// rendering is lazy either way (wireBody.json).
+	wb := &wireBody{req: ScreenRequest{Batch: batch, M: per}}
+	wb.refs.Store(1)
+	if !r.cfg.WireJSON {
+		bin, err := AppendScreenRequest(GetEncodeBuf(), per, batch)
+		if err != nil {
+			return nil, server.Partial{}, err
+		}
+		wb.bin = bin
 	}
+	defer wb.release()
 
 	replies := make([]*ScreenResponse, len(r.shards))
+	scratches := make([]*WireScratch, len(r.shards))
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for i, s := range r.shards {
 		wg.Add(1)
 		go func(i int, s *routerShard) {
 			defer wg.Done()
-			replies[i], errs[i] = r.callShard(ctx, s, body, len(batch))
+			replies[i], scratches[i], errs[i] = r.callShard(ctx, s, wb, len(batch))
 		}(i, s)
 	}
 	wg.Wait()
+	// The winning replies may live in pooled decode scratch; the merge
+	// loop below copies everything it keeps, so the scratch goes back
+	// to the pool on every exit past this point.
+	defer func() {
+		for _, sc := range scratches {
+			if sc != nil {
+				sc.Release()
+			}
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, server.Partial{}, err
 	}
@@ -378,6 +487,11 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 
 	outs := make([]server.Outcome, len(batch))
 	pool := make([]distributed.Candidate, 0, len(r.shards)*per)
+	// One top-k backing array for the whole batch instead of one
+	// allocation per item: MergeDedup returns at most topK, so the
+	// arena never regrows and the three-index subslices stay stable.
+	// The caller owns the returned Outcomes, so this cannot be pooled.
+	ckAll := make([]server.Candidate, 0, len(batch)*topK)
 	for i := range batch {
 		pool = pool[:0]
 		for _, rep := range replies {
@@ -391,11 +505,11 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 		// MergeDedup, not Merge: wire replies are untrusted, and a
 		// mis-wired shard map can double-cover a class row.
 		merged := distributed.MergeDedup(pool, topK)
-		ck := make([]server.Candidate, len(merged))
-		for j, c := range merged {
-			ck[j] = server.Candidate{Class: c.Class, Logit: c.Logit}
+		start := len(ckAll)
+		for _, c := range merged {
+			ckAll = append(ckAll, server.Candidate{Class: c.Class, Logit: c.Logit})
 		}
-		o := server.Outcome{TopK: ck}
+		o := server.Outcome{TopK: ckAll[start:len(ckAll):len(ckAll)]}
 		if len(merged) > 0 {
 			o.Class = merged[0].Class
 		}
@@ -412,9 +526,15 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 // order with a per-attempt timeout, relaunching on error (bounded by
 // MaxAttempts) and hedging onto the next replica when the attempt in
 // flight is slower than the shard's recent latency suggests it
-// should be. First success wins; losers are cancelled.
-func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nItems int) (*ScreenResponse, error) {
-	order := s.replicaOrder()
+// should be. First success wins; losers are cancelled, and any
+// pooled decode scratch they produce is reaped back to the pool.
+func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nItems int) (*ScreenResponse, *WireScratch, error) {
+	op := orderPool.Get().(*[]*replica)
+	order := s.replicaOrderInto(*op)
+	defer func() {
+		*op = order[:0]
+		orderPool.Put(op)
+	}()
 	attempts := r.cfg.MaxAttempts
 	if attempts <= 0 {
 		attempts = len(order)
@@ -427,19 +547,34 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nIt
 
 	type attemptResult struct {
 		resp *ScreenResponse
+		sc   *WireScratch
 		err  error
 	}
 	ch := make(chan attemptResult, attempts)
-	launched := 0
+	launched, done := 0, 0
 	launch := func() {
 		rep := order[launched%len(order)]
 		launched++
 		go func() {
-			resp, err := r.rpcOnce(cctx, s, rep, body, nItems)
-			ch <- attemptResult{resp, err}
+			resp, sc, err := r.rpcOnce(cctx, s, rep, wb, nItems)
+			ch <- attemptResult{resp, sc, err}
 		}()
 	}
 	launch()
+	// Late finishers (cancelled hedges, loser attempts) may still
+	// deliver a decoded response after we return; their scratch has to
+	// go back to the pool or the pool churns under hedging load.
+	reap := func() {
+		if extra := launched - done; extra > 0 {
+			go func() {
+				for i := 0; i < extra; i++ {
+					if ar := <-ch; ar.sc != nil {
+						ar.sc.Release()
+					}
+				}
+			}()
+		}
+	}
 
 	var hedgeC <-chan time.Time
 	if hd := r.hedgeDelay(s); hd > 0 && attempts > 1 {
@@ -453,7 +588,8 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nIt
 	for {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			reap()
+			return nil, nil, ctx.Err()
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < attempts {
@@ -462,8 +598,10 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nIt
 				inflight++
 			}
 		case ar := <-ch:
+			done++
 			if ar.err == nil {
-				return ar.resp, nil
+				reap()
+				return ar.resp, ar.sc, nil
 			}
 			lastErr = ar.err
 			inflight--
@@ -472,7 +610,7 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, body []byte, nIt
 				launch()
 				inflight++
 			} else if inflight == 0 {
-				return nil, lastErr
+				return nil, nil, lastErr
 			}
 		}
 	}
@@ -501,7 +639,11 @@ func (r *Router) hedgeDelay(s *routerShard) time.Duration {
 // carries a trace, the trace ships to the worker on the wire headers
 // and the worker's returned spans are rebased under this attempt's
 // span on the shard's process lane (PID 1+id).
-func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body []byte, nItems int) (*ScreenResponse, error) {
+//
+// The returned WireScratch (nil for JSON replies) owns the decoded
+// response's backing memory; the caller releases it once done with
+// the response.
+func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, wb *wireBody, nItems int) (*ScreenResponse, *WireScratch, error) {
 	mShardRPCTotal.Inc()
 	tr := r.tracer()
 	tc, traced := telemetry.TraceCtxFrom(ctx)
@@ -509,7 +651,7 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 	actx, cancel := context.WithTimeout(ctx, r.cfg.Timeout)
 	defer cancel()
 	start := time.Now()
-	fail := func(err error) (*ScreenResponse, error) {
+	fail := func(err error) (*ScreenResponse, *WireScratch, error) {
 		mShardRPCErrors.Inc()
 		if tr.Enabled() {
 			tr.Add(telemetry.Span{
@@ -518,34 +660,30 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 				Start: spanStart, Dur: tr.Now() - spanStart, Trace: tc.TraceID,
 			})
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, rep.url+"/v1/shard/screen", bytes.NewReader(body))
+	binary := wb.bin != nil && !rep.jsonOnly.Load()
+	sr, sc, status, err := r.screenRPC(actx, s, rep, wb, nItems, binary, tc, traced)
+	if err != nil && binary &&
+		(status == http.StatusUnsupportedMediaType || status == http.StatusBadRequest) {
+		// A pre-v2 worker answers 400 (its JSON decoder chokes on the
+		// binary frame); a worker pinned by -wire json answers 415.
+		// Renegotiate down inline — this consumes no failover attempt,
+		// so negotiation is invisible to retry accounting — and pin
+		// the replica so later queries skip the wasted round trip. The
+		// pin clears on health-probe readmission (see probeLoop), so a
+		// worker that restarts upgraded gets re-offered the frame.
+		mWireFallbacks.Inc()
+		rep.jsonOnly.Store(true)
+		sr, sc, _, err = r.screenRPC(actx, s, rep, wb, nItems, false, tc, traced)
+	}
 	if err != nil {
 		return fail(err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if traced {
-		// This attempt is the worker's parent span: a fresh span ID
-		// under the request's trace.
-		telemetry.InjectTrace(req.Header, telemetry.TraceCtx{
-			TraceID: tc.TraceID, SpanID: telemetry.NewSpanID(),
-		})
-	}
-	resp, err := r.client.Do(req)
-	if err != nil {
-		return fail(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return fail(fmt.Errorf("cluster: shard %d replica %s: HTTP %d", s.id, rep.url, resp.StatusCode))
-	}
-	var sr ScreenResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return fail(fmt.Errorf("cluster: shard %d replica %s: bad reply: %w", s.id, rep.url, err))
 	}
 	if len(sr.Items) != nItems {
+		if sc != nil {
+			sc.Release()
+		}
 		return fail(fmt.Errorf("cluster: shard %d replica %s: %d items in reply, want %d", s.id, rep.url, len(sr.Items), nItems))
 	}
 	elapsed := time.Since(start)
@@ -571,5 +709,84 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, body
 		}
 	}
 	s.version.Store(&sr.Version)
-	return &sr, nil
+	return sr, sc, nil
+}
+
+// screenRPC is one HTTP round trip to one replica in one codec. The
+// non-zero status return lets rpcOnce tell a negotiation refusal
+// (415/400) from a transport error. Bodies are read to EOF on every
+// path so the connection goes back to the keep-alive pool.
+func (r *Router) screenRPC(ctx context.Context, s *routerShard, rep *replica, wb *wireBody, nItems int, binary bool, tc telemetry.TraceCtx, traced bool) (*ScreenResponse, *WireScratch, int, error) {
+	var payload []byte
+	if binary {
+		payload = wb.bin
+	} else {
+		var err error
+		if payload, err = wb.json(); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	wb.acquire()
+	rb := &reqBody{Reader: bytes.NewReader(payload), wb: wb}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/shard/screen", rb)
+	if err != nil {
+		_ = rb.Close()
+		return nil, nil, 0, err
+	}
+	req.ContentLength = int64(len(payload))
+	// GetBody keeps the transport's silent replay on a stale
+	// keep-alive connection working with our custom ReadCloser.
+	req.GetBody = func() (io.ReadCloser, error) {
+		wb.acquire()
+		return &reqBody{Reader: bytes.NewReader(payload), wb: wb}, nil
+	}
+	if binary {
+		req.Header.Set("Content-Type", ContentTypeScreenV2)
+		req.Header.Set("Accept", AcceptScreenV2)
+	} else {
+		req.Header.Set("Content-Type", ContentTypeJSON)
+		req.Header.Set("Accept", ContentTypeJSON)
+	}
+	if traced {
+		// This attempt is the worker's parent span: a fresh span ID
+		// under the request's trace.
+		telemetry.InjectTrace(req.Header, telemetry.TraceCtx{
+			TraceID: tc.TraceID, SpanID: telemetry.NewSpanID(),
+		})
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, nil, resp.StatusCode, fmt.Errorf("cluster: shard %d replica %s: HTTP %d", s.id, rep.url, resp.StatusCode)
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeScreenV2) {
+		sc := GetWireScratch()
+		frame, err := sc.ReadFrame(resp.Body)
+		if err != nil {
+			sc.Release()
+			return nil, nil, 0, fmt.Errorf("cluster: shard %d replica %s: bad reply: %w", s.id, rep.url, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		sr, err := DecodeScreenResponse(frame, sc)
+		if err != nil {
+			sc.Release()
+			return nil, nil, 0, fmt.Errorf("cluster: shard %d replica %s: bad reply: %w", s.id, rep.url, err)
+		}
+		mWireBinaryRPCs.Inc()
+		return sr, sc, http.StatusOK, nil
+	}
+	var sr ScreenResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, MaxFrameBytes)).Decode(&sr); err != nil {
+		return nil, nil, 0, fmt.Errorf("cluster: shard %d replica %s: bad reply: %w", s.id, rep.url, err)
+	}
+	// The decoder stops at the closing brace; drain the trailing
+	// newline (and anything else) so the transport sees EOF and the
+	// connection is reused instead of torn down.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	mWireJSONRPCs.Inc()
+	return &sr, nil, http.StatusOK, nil
 }

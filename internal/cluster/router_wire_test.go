@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"enmc/internal/distributed"
+)
+
+func mustJSON(t testing.TB, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func decodeJSONBody(t testing.TB, r io.Reader, v interface{}) {
+	t.Helper()
+	if err := json.NewDecoder(r).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- codec negotiation at the worker surface ---
+
+// TestWorkerBinaryScreen drives the worker's binary path directly:
+// a v2 request frame with a v2-listing Accept must come back as a v2
+// response frame whose decoded content is identical — bit-for-bit in
+// the logits — to the JSON answer for the same batch.
+func TestWorkerBinaryScreen(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	w, err := NewWorker(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	batch := inst.Test[:3]
+	const m = 8
+	frame, err := AppendScreenRequest(nil, m, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/shard/screen", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", ContentTypeScreenV2)
+	req.Header.Set("Accept", AcceptScreenV2)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("binary screen = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeScreenV2 {
+		t.Fatalf("reply Content-Type = %q, want %q", ct, ContentTypeScreenV2)
+	}
+	sc := GetWireScratch()
+	defer sc.Release()
+	raw, err := sc.ReadFrame(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := DecodeScreenResponse(raw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same batch over JSON: decoded answers must match exactly.
+	jreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/shard/screen",
+		bytes.NewReader(mustJSON(t, ScreenRequest{Batch: batch, M: m})))
+	jreq.Header.Set("Content-Type", ContentTypeJSON)
+	jreq.Header.Set("Accept", ContentTypeJSON)
+	jresp, err := http.DefaultClient.Do(jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json screen = %d", jresp.StatusCode)
+	}
+	if ct := jresp.Header.Get("Content-Type"); ct != ContentTypeJSON {
+		t.Fatalf("json reply Content-Type = %q", ct)
+	}
+	var js ScreenResponse
+	decodeJSONBody(t, jresp.Body, &js)
+
+	if bin.Offset != js.Offset || bin.Classes != js.Classes || bin.Version != js.Version {
+		t.Fatalf("identity differs across codecs: %d/%d/%q vs %d/%d/%q",
+			bin.Offset, bin.Classes, bin.Version, js.Offset, js.Classes, js.Version)
+	}
+	if len(bin.Items) != len(js.Items) {
+		t.Fatalf("item count differs: %d vs %d", len(bin.Items), len(js.Items))
+	}
+	for i := range js.Items {
+		if len(bin.Items[i]) != len(js.Items[i]) {
+			t.Fatalf("item %d: %d vs %d candidates", i, len(bin.Items[i]), len(js.Items[i]))
+		}
+		for j := range js.Items[i] {
+			if bin.Items[i][j] != js.Items[i][j] {
+				t.Fatalf("item %d[%d]: binary %+v, json %+v", i, j, bin.Items[i][j], js.Items[i][j])
+			}
+		}
+	}
+}
+
+// TestWorkerForceJSONWire: a worker pinned by -wire json refuses the
+// binary frame with 415 (the router's signal to renegotiate) but
+// keeps answering JSON, and stops advertising the v2 codec in info.
+func TestWorkerForceJSONWire(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	w, err := NewWorker(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Info().Codecs; len(got) != 2 || got[0] != "v2" {
+		t.Fatalf("default codecs = %v, want [v2 json]", got)
+	}
+	w.ForceJSONWire()
+	if got := w.Info().Codecs; len(got) != 1 || got[0] != "json" {
+		t.Fatalf("forced codecs = %v, want [json]", got)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	frame, err := AppendScreenRequest(nil, 4, inst.Test[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/shard/screen", bytes.NewReader(frame))
+	req.Header.Set("Content-Type", ContentTypeScreenV2)
+	req.Header.Set("Accept", AcceptScreenV2)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("binary frame to -wire json worker = %d, want 415", resp.StatusCode)
+	}
+
+	// JSON still answers JSON — even when the Accept offers v2.
+	jreq, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/shard/screen",
+		bytes.NewReader(mustJSON(t, ScreenRequest{Batch: inst.Test[:1], M: 4})))
+	jreq.Header.Set("Content-Type", ContentTypeJSON)
+	jreq.Header.Set("Accept", AcceptScreenV2)
+	jresp, err := http.DefaultClient.Do(jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json screen = %d", jresp.StatusCode)
+	}
+	if ct := jresp.Header.Get("Content-Type"); ct != ContentTypeJSON {
+		t.Fatalf("pinned worker answered Content-Type %q", ct)
+	}
+}
+
+// --- mixed-codec cluster bit-identity (the correctness bar) ---
+
+// TestMixedCodecCluster runs a binary-preferring router against a
+// cluster where one shard is pinned to JSON: the router must fall
+// back on that shard alone (one renegotiation round trip, then
+// sticky), every query must succeed, and the merged top-k must be
+// bit-identical to an all-JSON router AND to the in-process scatter —
+// the rolling-upgrade invariant.
+func TestMixedCodecCluster(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	urls := make([][]string, len(shards))
+	workers := make([]*Worker, len(shards))
+	for i, sh := range shards {
+		w, err := NewWorker(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = []string{srv.URL}
+	}
+
+	binRPCsBefore := mWireBinaryRPCs.Value()
+	jsonRPCsBefore := mWireJSONRPCs.Value()
+	fallbacksBefore := mWireFallbacks.Value()
+
+	rBin := dialT(t, RouterConfig{ShardMap: urls})
+	rJSON := dialT(t, RouterConfig{ShardMap: urls, WireJSON: true})
+
+	// Pin shard 1 to JSON AFTER Dial — the router already believes it
+	// speaks v2, so the first query must renegotiate via 415 at run
+	// time, exactly like a worker rolled back mid-flight. (A pin
+	// visible at Dial is pre-applied from info.Codecs instead; that
+	// path is TestDialPrePinsJSONOnlyReplica.)
+	workers[1].ForceJSONWire()
+
+	ctx := context.Background()
+	batch := inst.Test[:5]
+	const m, topK = 24, 5
+	per := (m + fixShards - 1) / fixShards
+	for round := 0; round < 3; round++ {
+		outsBin, p, err := rBin.ClassifyBatchPartial(ctx, batch, m, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Partial {
+			t.Fatalf("mixed-codec round %d degraded: %+v", round, p)
+		}
+		outsJSON, _, err := rJSON.ClassifyBatchPartial(ctx, batch, m, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range batch {
+			want, err := distributed.ClassifyCtx(ctx, shards, h, per, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertOutcome(t, i, outsBin[i], want)
+			assertOutcome(t, i, outsJSON[i], want)
+		}
+	}
+
+	if mWireBinaryRPCs.Value() <= binRPCsBefore {
+		t.Fatal("no binary RPCs recorded in a mixed cluster")
+	}
+	if mWireJSONRPCs.Value() <= jsonRPCsBefore {
+		t.Fatal("no JSON RPCs recorded in a mixed cluster")
+	}
+	got := mWireFallbacks.Value() - fallbacksBefore
+	if got < 1 {
+		t.Fatal("pinned shard never triggered a codec fallback")
+	}
+	// Sticky: the binary router renegotiates shard 1 once, not per
+	// round. (The JSON router never offers binary, so never falls
+	// back; Dial read Codecs and may even have pre-pinned.)
+	if got > 2 {
+		t.Fatalf("fallback fired %d times across 3 rounds — the JSON pin is not sticky", got)
+	}
+}
+
+// TestDialPrePinsJSONOnlyReplica: a worker whose info advertises no
+// v2 codec is never offered the binary frame — Dial pins it, so not
+// even the first query pays the renegotiation round trip.
+func TestDialPrePinsJSONOnlyReplica(t *testing.T) {
+	_, shards, _ := fixture(t)
+	w, err := NewWorker(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ForceJSONWire()
+	var binaryPosts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/v1/shard/screen" && req.Header.Get("Content-Type") == ContentTypeScreenV2 {
+			binaryPosts.Add(1)
+		}
+		w.Handler().ServeHTTP(rw, req)
+	}))
+	defer srv.Close()
+
+	// Single-shard map only tiles if this worker covers [0, classes).
+	info := w.Info()
+	if info.Offset != 0 {
+		t.Fatalf("fixture shard 0 offset = %d", info.Offset)
+	}
+	r := dialT(t, RouterConfig{ShardMap: [][]string{{srv.URL}}})
+	if _, _, err := r.ClassifyBatchPartial(context.Background(), [][]float32{make([]float32, fixHidden)}, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n := binaryPosts.Load(); n != 0 {
+		t.Fatalf("router sent %d binary frames to a replica that advertised json-only", n)
+	}
+}
+
+// --- keep-alive regression (the satellite leak fix) ---
+
+// TestKeepAliveConnectionReuse pins the drain-to-EOF fix: Dial plus a
+// series of sequential queries against one replica must ride ONE TCP
+// connection. Before the fix, the JSON decoder left the trailing
+// newline unread, the transport saw an un-drained body, and every
+// RPC opened a fresh connection.
+func TestKeepAliveConnectionReuse(t *testing.T) {
+	for _, codec := range []struct {
+		name     string
+		wireJSON bool
+	}{{"binary", false}, {"json", true}} {
+		t.Run(codec.name, func(t *testing.T) {
+			_, shards, _ := fixture(t)
+			w, err := NewWorker(shards[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var conns atomic.Int64
+			srv := httptest.NewUnstartedServer(w.Handler())
+			srv.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+				if state == http.StateNew {
+					conns.Add(1)
+				}
+			}
+			srv.Start()
+			defer srv.Close()
+
+			r := dialT(t, RouterConfig{
+				ShardMap: [][]string{{srv.URL}},
+				WireJSON: codec.wireJSON,
+				Client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+				Timeout:  5 * time.Second,
+			})
+			batch := [][]float32{make([]float32, fixHidden)}
+			for q := 0; q < 8; q++ {
+				if _, _, err := r.ClassifyBatchPartial(context.Background(), batch, 8, 3); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if n := conns.Load(); n != 1 {
+				t.Fatalf("%d connections for Dial + 8 sequential queries, want 1 (body not drained to EOF?)", n)
+			}
+		})
+	}
+}
+
+// --- router fast-path allocation guard ---
+
+// TestRouterFastPathAllocs bounds the router's per-item garbage on
+// the all-healthy, no-hedge fast path. The absolute number includes
+// net/http client machinery (connection pool bookkeeping, header
+// maps), so the guard is on the MARGINAL allocations per extra batch
+// item — the part the merge loop and codec own. MergeDedup's
+// sort.Slice costs a handful per item; the former per-item `ck :=
+// make(...)` and JSON decode pushed this past 40.
+func TestRouterFastPathAllocs(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	urls, _ := startWorkers(t, shards, 1, nil)
+	r := dialT(t, RouterConfig{ShardMap: urls, Timeout: 5 * time.Second})
+	ctx := context.Background()
+
+	run := func(batch [][]float32) float64 {
+		t.Helper()
+		// Warm: size every pool (encode buffers, decode scratch, order
+		// slices, HTTP connections) before measuring.
+		for i := 0; i < 3; i++ {
+			if _, _, err := r.ClassifyBatchPartial(ctx, batch, 24, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, _, err := r.ClassifyBatchPartial(ctx, batch, 24, 5); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	small := run(inst.Test[:1])
+	big := run(repeatBatch(inst.Test, 17))
+	perItem := (big - small) / 16
+	if perItem > 16 {
+		t.Fatalf("router fast path allocates %.1f/extra-item (batch1=%.0f batch17=%.0f), want ≤ 16", perItem, small, big)
+	}
+	// Coarse absolute ceiling so fixed-cost regressions (per-RPC JSON
+	// bodies, per-query slices) cannot hide behind the marginal guard.
+	if small > 700 {
+		t.Fatalf("router fast path allocates %.0f/op for a 1-item batch across %d shards, want ≤ 700", small, fixShards)
+	}
+}
+
+// repeatBatch tiles src rows until the batch has n items.
+func repeatBatch(src [][]float32, n int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = src[i%len(src)]
+	}
+	return out
+}
+
+// BenchmarkRouterFastPath measures the full scatter-gather round trip
+// against in-process httptest workers — wire codec, HTTP, merge.
+// Run with -benchmem to watch the allocs/op guard's raw number.
+func BenchmarkRouterFastPath(b *testing.B) {
+	inst, shards, _ := fixture(b)
+	urls := make([][]string, len(shards))
+	for i, sh := range shards {
+		w, err := NewWorker(sh)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		b.Cleanup(srv.Close)
+		urls[i] = []string{srv.URL}
+	}
+	r, err := Dial(context.Background(), RouterConfig{ShardMap: urls, HealthInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(r.Close)
+	batch := repeatBatch(inst.Test, 8)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.ClassifyBatchPartial(ctx, batch, 24, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -123,9 +123,9 @@ func LoadLoadgen(patterns string) ([]SourceLoad, error) {
 		if err := rejectTrailing(dec, f); err != nil {
 			return nil, err
 		}
-		if rep.Schema != LoadSchemaV1 {
-			return nil, fmt.Errorf("%s: unsupported loadgen schema %q (want %q)",
-				filepath.Base(f), rep.Schema, LoadSchemaV1)
+		if rep.Schema != LoadSchemaV1 && rep.Schema != LoadSchemaV2 {
+			return nil, fmt.Errorf("%s: unsupported loadgen schema %q (want %q or %q)",
+				filepath.Base(f), rep.Schema, LoadSchemaV1, LoadSchemaV2)
 		}
 		if rep.Requests <= 0 {
 			return nil, fmt.Errorf("%s: loadgen report carries no requests", filepath.Base(f))

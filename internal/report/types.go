@@ -19,6 +19,13 @@ const (
 	MetricClassify     = "classify_ns_op"
 	MetricClassifyInto = "classify_into_ns_op"
 	MetricBatch        = "batch_ns"
+
+	// Wire-codec metrics (`enmc-bench -wire` shapes): binary frame
+	// and JSON encode/decode round trips of the cluster screen RPC.
+	MetricWireEncode     = "wire_encode_ns_op"
+	MetricWireDecode     = "wire_decode_ns_op"
+	MetricWireJSONEncode = "wire_json_encode_ns_op"
+	MetricWireJSONDecode = "wire_json_decode_ns_op"
 )
 
 // PerfSchemaVersion is the current BENCH_*.json record schema.
@@ -46,8 +53,23 @@ type PerfResult struct {
 	AllocsOp         float64 `json:"allocs_op"` // steady-state ClassifyApproxInto
 	BatchQPS         float64 `json:"batch_qps"` // ClassifyBatchVisitCtx, batch 8
 
+	// Wire-codec measurements (`enmc-bench -wire` shapes): one screen
+	// RPC round trip's encode+decode cost and payload size in each
+	// codec, request and response summed. A result carrying these is a
+	// wire shape — it renders in its own trend table, not the kernel
+	// one — and the Δ the acceptance bar cares about (binary vs JSON)
+	// is computed WITHIN one row, so it stays valid even across
+	// machine-fingerprint changes.
+	WireEncodeNsOp     float64 `json:"wire_encode_ns_op,omitempty"`
+	WireDecodeNsOp     float64 `json:"wire_decode_ns_op,omitempty"`
+	WireJSONEncodeNsOp float64 `json:"wire_json_encode_ns_op,omitempty"`
+	WireJSONDecodeNsOp float64 `json:"wire_json_decode_ns_op,omitempty"`
+	WireBinaryBytes    int     `json:"wire_binary_bytes,omitempty"`
+	WireJSONBytes      int     `json:"wire_json_bytes,omitempty"`
+
 	// Governance fields (schema >= 1).
 	Passes int `json:"passes,omitempty"` // interleaved timing passes behind the minima
+
 	// CV maps metric name (Metric* constants) to the coefficient of
 	// variation (stddev/mean) of that metric's per-pass minima — the
 	// run's own noise disclosure. A high CV means the pass minima
@@ -55,6 +77,10 @@ type PerfResult struct {
 	// trusted as a trend point.
 	CV map[string]float64 `json:"cv,omitempty"`
 }
+
+// IsWire reports whether the result is a wire-codec shape rather than
+// a kernel shape; the renderer routes the two to different tables.
+func (r PerfResult) IsWire() bool { return r.WireEncodeNsOp > 0 }
 
 // PerfRecord is one `enmc-bench -perf` invocation. A trajectory file
 // (BENCH_*.json) holds a JSON array of them, oldest first; the trend
@@ -84,11 +110,17 @@ func Comparable(a, b PerfRecord) bool {
 	return a.Fingerprint() == b.Fingerprint()
 }
 
-// LoadSchemaV1 is the accepted `enmc-loadgen -log-json` schema tag.
-// The parser rejects any other value (including absence): a report
-// whose schema we do not recognize could be silently misread, which
-// is exactly what the version field exists to prevent.
-const LoadSchemaV1 = "enmc-loadgen/v1"
+// LoadSchemaV1 and LoadSchemaV2 are the accepted
+// `enmc-loadgen -log-json` schema tags. The parser rejects any other
+// value (including absence): a report whose schema we do not
+// recognize could be silently misread, which is exactly what the
+// version field exists to prevent. v2 adds bytes-on-wire accounting
+// (bytes_out/bytes_in and wire MB/s, total and per target); v1
+// reports remain ingestible — their wire columns render as absent.
+const (
+	LoadSchemaV1 = "enmc-loadgen/v1"
+	LoadSchemaV2 = "enmc-loadgen/v2"
+)
 
 // LoadTarget is the per-target breakdown inside a loadgen report.
 type LoadTarget struct {
@@ -103,6 +135,12 @@ type LoadTarget struct {
 	RetryAfterValues []string `json:"retry_after_values,omitempty"`
 	P50Ms            float64  `json:"p50_ms,omitempty"`
 	P99Ms            float64  `json:"p99_ms,omitempty"`
+
+	// Wire accounting (schema v2): request/response bytes this target
+	// moved and its aggregate throughput over the run.
+	BytesOut     int64   `json:"bytes_out,omitempty"`
+	BytesIn      int64   `json:"bytes_in,omitempty"`
+	WireMBPerSec float64 `json:"wire_mb_per_sec,omitempty"`
 }
 
 // LoadReport is one `enmc-loadgen -log-json` document — the canonical
@@ -124,5 +162,13 @@ type LoadReport struct {
 	P99Ms           float64        `json:"p99_ms,omitempty"`
 	MaxMs           float64        `json:"max_ms,omitempty"`
 	MaxSuccessGapMs float64        `json:"max_success_gap_ms"`
-	Targets         []LoadTarget   `json:"targets"`
+
+	// Wire accounting (schema v2): total request bytes sent, response
+	// bytes received, and combined MB/s over the run — what makes the
+	// JSON-vs-binary payload savings visible in the governed tables.
+	BytesOut     int64   `json:"bytes_out,omitempty"`
+	BytesIn      int64   `json:"bytes_in,omitempty"`
+	WireMBPerSec float64 `json:"wire_mb_per_sec,omitempty"`
+
+	Targets []LoadTarget `json:"targets"`
 }
