@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -160,7 +161,25 @@ type wireBody struct {
 	jsonErr  error
 }
 
+// acquire takes a ref the caller knows is safe: some live ref (the
+// micro-batch's own, held until ClassifyBatchPartial returns) still
+// pins the buffer. tryAcquire is the guarded form for paths with no
+// such guarantee (GetBody replays): once refs hits 0 the pooled
+// buffer may already belong to another micro-batch, so resurrecting
+// the count would hand out foreign bytes — fail instead.
 func (b *wireBody) acquire() { b.refs.Add(1) }
+
+func (b *wireBody) tryAcquire() bool {
+	for {
+		n := b.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if b.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
 
 func (b *wireBody) release() {
 	if b.refs.Add(-1) == 0 && b.bin != nil {
@@ -669,13 +688,23 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, wb *
 		// A pre-v2 worker answers 400 (its JSON decoder chokes on the
 		// binary frame); a worker pinned by -wire json answers 415.
 		// Renegotiate down inline — this consumes no failover attempt,
-		// so negotiation is invisible to retry accounting — and pin
-		// the replica so later queries skip the wasted round trip. The
-		// pin clears on health-probe readmission (see probeLoop), so a
+		// so negotiation is invisible to retry accounting. 415 is an
+		// unambiguous codec refusal, so the replica is pinned jsonOnly
+		// immediately; 400 is ambiguous (a v2 worker also answers 400
+		// to a genuinely bad request, e.g. a feature-length mismatch),
+		// so pin only if the same request then succeeds as JSON —
+		// proof the frame, not the request, was refused. The pin
+		// clears on health-probe readmission (see probeLoop), so a
 		// worker that restarts upgraded gets re-offered the frame.
 		mWireFallbacks.Inc()
-		rep.jsonOnly.Store(true)
+		badFrame := status == http.StatusBadRequest
+		if !badFrame {
+			rep.jsonOnly.Store(true)
+		}
 		sr, sc, _, err = r.screenRPC(actx, s, rep, wb, nItems, false, tc, traced)
+		if badFrame && err == nil {
+			rep.jsonOnly.Store(true)
+		}
 	}
 	if err != nil {
 		return fail(err)
@@ -708,7 +737,12 @@ func (r *Router) rpcOnce(ctx context.Context, s *routerShard, rep *replica, wb *
 			})
 		}
 	}
-	s.version.Store(&sr.Version)
+	// Copy the version out of the response: on the binary path
+	// sr.Version lives inside pooled WireScratch memory, and the next
+	// decode into a recycled scratch would rewrite the field under
+	// concurrent distinctVersions readers.
+	v := sr.Version
+	s.version.Store(&v)
 	return sr, sc, nil
 }
 
@@ -735,9 +769,13 @@ func (r *Router) screenRPC(ctx context.Context, s *routerShard, rep *replica, wb
 	}
 	req.ContentLength = int64(len(payload))
 	// GetBody keeps the transport's silent replay on a stale
-	// keep-alive connection working with our custom ReadCloser.
+	// keep-alive connection working with our custom ReadCloser. A late
+	// replay after every ref is gone (refs 0 → buffer back in the
+	// pool) must not resurrect the payload, hence tryAcquire.
 	req.GetBody = func() (io.ReadCloser, error) {
-		wb.acquire()
+		if !wb.tryAcquire() {
+			return nil, errors.New("cluster: scatter payload already released")
+		}
 		return &reqBody{Reader: bytes.NewReader(payload), wb: wb}, nil
 	}
 	if binary {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -282,6 +284,130 @@ func TestDialPrePinsJSONOnlyReplica(t *testing.T) {
 	}
 	if n := binaryPosts.Load(); n != 0 {
 		t.Fatalf("router sent %d binary frames to a replica that advertised json-only", n)
+	}
+}
+
+// TestLegacy400FallbackPinsAfterJSONSuccess: a worker that speaks no
+// v2 on the screen endpoint (a pre-v2 JSON decoder choking on the
+// frame with 400) triggers the inline JSON retry, and — because the
+// SAME request then succeeds as JSON — pins the replica, so later
+// queries skip the wasted binary round trip.
+func TestLegacy400FallbackPinsAfterJSONSuccess(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	w, err := NewWorker(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var binaryPosts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/v1/shard/screen" && strings.HasPrefix(req.Header.Get("Content-Type"), ContentTypeScreenV2) {
+			binaryPosts.Add(1)
+			// A pre-v2 worker knows nothing of the v2 media type: it
+			// feeds the frame to its JSON decoder and answers 400.
+			req.Header.Set("Content-Type", ContentTypeJSON)
+		}
+		w.Handler().ServeHTTP(rw, req)
+	}))
+	defer srv.Close()
+
+	fallbacksBefore := mWireFallbacks.Value()
+	r := dialT(t, RouterConfig{ShardMap: [][]string{{srv.URL}}})
+	for q := 0; q < 3; q++ {
+		if _, _, err := r.ClassifyBatchPartial(context.Background(), inst.Test[:1], 8, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := binaryPosts.Load(); n != 1 {
+		t.Fatalf("%d binary frames across 3 queries, want 1 (400 + JSON success must pin the replica)", n)
+	}
+	if got := mWireFallbacks.Value() - fallbacksBefore; got != 1 {
+		t.Fatalf("wire_fallbacks advanced by %d, want 1", got)
+	}
+}
+
+// TestGenuine400DoesNotPinJSONOnly: a v2 worker 400-ing a genuinely
+// bad request (wrong feature length) is NOT a codec refusal — the
+// JSON retry fails identically, and the replica must not be degraded
+// to JSON for all later (well-formed) traffic.
+func TestGenuine400DoesNotPinJSONOnly(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	w, err := NewWorker(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	r := dialT(t, RouterConfig{ShardMap: [][]string{{srv.URL}}, MaxAttempts: 2})
+	bad := [][]float32{make([]float32, fixHidden+1)}
+	if _, _, err := r.ClassifyBatchPartial(context.Background(), bad, 8, 3); err == nil {
+		t.Fatal("wrong-geometry batch unexpectedly succeeded")
+	}
+	if r.shards[0].replicas[0].jsonOnly.Load() {
+		t.Fatal("a genuine 400 pinned the replica JSON-only")
+	}
+	// The replica still takes well-formed traffic over the binary codec.
+	binBefore := mWireBinaryRPCs.Value()
+	if _, _, err := r.ClassifyBatchPartial(context.Background(), inst.Test[:1], 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	if mWireBinaryRPCs.Value() <= binBefore {
+		t.Fatal("no binary RPC after a genuine 400 — replica wrongly degraded")
+	}
+}
+
+// TestWireBodyTryAcquireAfterRelease pins the GetBody soundness fix:
+// once every ref is gone the pooled payload may belong to another
+// micro-batch, so a late replay must fail to re-acquire instead of
+// resurrecting the refcount from zero.
+func TestWireBodyTryAcquireAfterRelease(t *testing.T) {
+	wb := &wireBody{}
+	wb.refs.Store(1)
+	if !wb.tryAcquire() {
+		t.Fatal("tryAcquire failed with a live ref")
+	}
+	wb.release()
+	wb.release()
+	if wb.tryAcquire() {
+		t.Fatal("tryAcquire resurrected a fully released payload")
+	}
+}
+
+// TestModelVersionConcurrentWithQueries hammers the version readers
+// while binary-codec queries recycle decode scratch. Before the fix,
+// rpcOnce stored a pointer INTO pooled WireScratch memory, so the
+// next decode into a recycled scratch rewrote the string under
+// distinctVersions — a data race this test trips under -race.
+func TestModelVersionConcurrentWithQueries(t *testing.T) {
+	inst, shards, _ := fixture(t)
+	urls, _ := startWorkers(t, shards, 1, nil)
+	r := dialT(t, RouterConfig{ShardMap: urls, Timeout: 5 * time.Second})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.ModelVersion()
+			_ = r.VersionSkew()
+		}
+	}()
+	for q := 0; q < 20; q++ {
+		if _, _, err := r.ClassifyBatchPartial(ctx, inst.Test[:2], 24, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := r.ModelVersion(); v != "vtest" {
+		t.Fatalf("version = %q, want vtest", v)
 	}
 }
 

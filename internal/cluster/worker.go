@@ -189,6 +189,11 @@ func (w *Worker) handleScreen(rw http.ResponseWriter, r *http.Request) {
 	var req ScreenRequest
 	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeScreenV2) {
 		if w.jsonWire.Load() {
+			// Drain the (possibly multi-MB) frame before refusing it:
+			// Go's server only auto-drains small remainders, so an
+			// unread body would tear down the keep-alive connection the
+			// router is about to reuse for the JSON retry.
+			_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, MaxFrameBytes))
 			rw.Header().Set("Accept", ContentTypeJSON)
 			writeError(rw, http.StatusUnsupportedMediaType, "binary screen codec disabled (-wire json); POST "+ContentTypeJSON)
 			return
