@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf wire-bench vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint report report-check
+.PHONY: all build test race bench bench-smoke bench-perf wire-bench decode-bench decode-bleu decode-smoke vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint report report-check
 
 all: build
 
@@ -76,6 +76,28 @@ wire-bench:
 		-label "wire-bench $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)" \
 		-json $(BENCH_FILE) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE) -maxreg $(MAXREG))
 
+# Streaming-decode harness: one screened autoregressive decode step
+# with the cross-step candidate cache off and on, plus the quality
+# triplet behind it (cache hit rate, windowed survivor overlap,
+# screened-vs-full agreement BLEU), appended to the same governed
+# trajectory. The BLEU floor rides along so a committed record can
+# never claim a decode speedup from a screener that stopped agreeing
+# with full decoding. After a local run: `make report`.
+DECODE_BLEU_FLOOR ?= 0.50
+decode-bench:
+	$(GO) run ./cmd/enmc-bench -decode \
+		-label "decode-bench $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)" \
+		-json $(BENCH_FILE) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE) -maxreg $(MAXREG)) \
+		-bleu-floor $(DECODE_BLEU_FLOOR)
+
+# Fast agreement gate only (no trajectory append): decode the probe
+# corpus screened and full, fail if corpus BLEU drops below the
+# committed floor. This is what CI runs per-PR — it catches screener
+# or decoder changes that silently break per-token screening quality.
+decode-bleu:
+	$(GO) run ./cmd/enmc-bench -decode -passes 1 -label decode-bleu \
+		-bleu-floor $(DECODE_BLEU_FLOOR)
+
 # Benchmark governance (see BENCHMARKING.md): regenerate the committed
 # BENCHMARK.md from the measurement corpus — the BENCH_*.json
 # trajectory plus the loadgen JSON reports under benchdata/loadgen —
@@ -115,6 +137,16 @@ swap-smoke:
 # topology (internal/cluster + cmd/enmc-shard).
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Decode smoke: streaming /v1/decode end-to-end. Phase 1 drives
+# greedy and beam sessions (NDJSON and SSE) against a single-node
+# server under loadgen with zero tolerance for errors or cut streams.
+# Phase 2 rebuilds the 3x2 cluster topology with -decode on the
+# router, SIGKILLs a replica mid-session, and asserts every in-flight
+# stream survived (failover re-pins, cluster_session_repin > 0 on
+# /metrics, zero dropped streams).
+decode-smoke:
+	bash scripts/decode_smoke.sh
 
 # Observability smoke: the same 3x2 cluster with tracing and JSON
 # request logs on, under loadgen. Scrapes /metrics on the router and

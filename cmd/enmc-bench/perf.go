@@ -346,6 +346,8 @@ func comparePerf(rec report.PerfRecord, baselinePath string, maxReg float64) err
 		check("classify_into_ns_op", cur.ClassifyIntoNsOp, b.ClassifyIntoNsOp)
 		check("wire_encode_ns_op", cur.WireEncodeNsOp, b.WireEncodeNsOp)
 		check("wire_decode_ns_op", cur.WireDecodeNsOp, b.WireDecodeNsOp)
+		check("decode_token_ns_op", cur.DecodeTokenNsOp, b.DecodeTokenNsOp)
+		check("decode_cached_token_ns_op", cur.DecodeCachedTokenNsOp, b.DecodeCachedTokenNsOp)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("perf regression vs %s: %s", baselinePath, strings.Join(failures, "; "))

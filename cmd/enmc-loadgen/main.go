@@ -18,6 +18,12 @@
 //	enmc-loadgen -addr localhost:8080 -dim 128 -rate 2000 -duration 10s
 //	enmc-loadgen -addr localhost:8080 -dim 128 -batch 64   # /v1/classify_batch
 //	enmc-loadgen -targets "lb1:8080,lb2:8080" -dim 128     # round-robin a router pool
+//	enmc-loadgen -addr localhost:8080 -dim 128 -decode -rate 20
+//	                                                       # streaming /v1/decode
+//	                                                       # sessions: TTFT and
+//	                                                       # inter-token-gap
+//	                                                       # percentiles, dropped-
+//	                                                       # stream accounting
 //
 // With -targets (comma-separated host:port list) each request
 // round-robins across the pool and the report adds a per-target
@@ -98,6 +104,11 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
 	batch := flag.Int("batch", 0, "send /v1/classify_batch with this many items (0: /v1/classify)")
 	topK := flag.Int("topk", 5, "top_k to request")
+	decodeOn := flag.Bool("decode", false, "drive streaming /v1/decode sessions instead of classify traffic (-rate = session arrivals/s, -concurrency = closed-loop session workers)")
+	decodeTokens := flag.Int("decode-tokens", 0, "tokens to request per decode session (0: session's max length)")
+	decodeMode := flag.String("decode-mode", "greedy", "decode session mode: greedy or beam")
+	decodeWidth := flag.Int("decode-width", 0, "beam width for -decode-mode beam")
+	failOnDropped := flag.Bool("fail-on-dropped", false, "exit 1 if any decode stream was cut before its done frame (cluster failover smoke: failover must re-pin, not drop)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 42, "feature generation seed")
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 if any request gets a non-200 answer (hot-swap smoke: below capacity, every request must succeed)")
@@ -109,6 +120,9 @@ func main() {
 	path := "/v1/classify"
 	if *batch > 0 {
 		path = "/v1/classify_batch"
+	}
+	if *decodeOn {
+		path = "/v1/decode"
 	}
 	hosts := []string{*addr}
 	if *targets != "" {
@@ -131,6 +145,13 @@ func main() {
 	client := &http.Client{
 		Timeout:   *timeout,
 		Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency + 64},
+	}
+
+	if *decodeOn {
+		runDecode(client, p, hosts, *dim, *decodeTokens, *decodeMode, *decodeWidth,
+			*seed, *rate, *concurrency, *duration,
+			*scenario, *failOnError, *failOnDropped, *logJSON)
+		return
 	}
 
 	var (

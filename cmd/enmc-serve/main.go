@@ -17,10 +17,14 @@
 //	enmc-serve -debug-addr :6060           # pprof + /metrics sidecar
 //	enmc-serve -trace -log-json            # distributed tracing +
 //	                                       # JSON request log on stderr
+//	enmc-serve -decode                     # streaming autoregressive
+//	                                       # decode sessions on
+//	                                       # POST /v1/decode (SSE/NDJSON)
 //
-// Endpoints: POST /v1/classify, POST /v1/classify_batch, GET
-// /v1/model, POST /v1/model/reload, GET /v1/slo, GET /metrics
-// (Prometheus text), GET /healthz, GET /readyz.
+// Endpoints: POST /v1/classify, POST /v1/classify_batch, POST
+// /v1/decode (with -decode), GET /v1/model, POST /v1/model/reload,
+// GET /v1/slo, GET /metrics (Prometheus text), GET /healthz, GET
+// /readyz.
 // SIGINT/SIGTERM triggers the graceful sequence: readiness fails,
 // intake stops (503), the queue drains, then the listener shuts down.
 //
@@ -48,6 +52,7 @@ import (
 
 	"enmc/internal/cluster"
 	"enmc/internal/core"
+	"enmc/internal/decode"
 	"enmc/internal/distributed"
 	"enmc/internal/quant"
 	"enmc/internal/registry"
@@ -96,6 +101,16 @@ func main() {
 	epochs := flag.Int("epochs", 4, "demo/shard screener distillation epochs")
 	bits := flag.Int("bits", 4, "demo/shard screening precision: 2, 4 or 8")
 
+	decodeOn := flag.Bool("decode", false, "enable streaming autoregressive decode sessions on POST /v1/decode")
+	decodeMaxSessions := flag.Int("decode-max-sessions", 256, "decode session cap (429 past this)")
+	decodeTTL := flag.Duration("decode-ttl", time.Minute, "idle decode sessions are evicted after this")
+	decodeDeadline := flag.Duration("decode-deadline", 0, "per-token latency budget: the screening budget m degrades toward the floor before missing it (0: off)")
+	decodeMaxLen := flag.Int("decode-maxlen", 64, "decode sequence length cap")
+	decodeSeed := flag.Uint64("decode-seed", 1, "decoder dynamics seed")
+	decodeWidth := flag.Int("decode-width", 8, "maximum beam width")
+	decodeCache := flag.Int("decode-cache", 0, "candidate-cache slots per session (0: auto 4×m, negative: disable)")
+	decodeVerify := flag.Int("decode-verify-every", 64, "exact-recompute cache verification period in steps (negative: off)")
+
 	maxBatch := flag.Int("max-batch", 32, "micro-batch flush size")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch flush delay")
 	queueCap := flag.Int("queue-cap", 256, "admission queue bound (429 past this)")
@@ -115,6 +130,8 @@ func main() {
 	var backend server.Backend
 	var mgr *registry.Manager
 	var router *cluster.Router
+	var localCls *core.Classifier
+	var localScr *core.Screener
 	if *clusterMap != "" {
 		if *clusterWire != "binary" && *clusterWire != "json" {
 			fatalIf(fmt.Errorf("-wire must be binary or json, got %q", *clusterWire))
@@ -159,6 +176,7 @@ func main() {
 	} else {
 		cls, scr, feats := buildModel(*clsPath, *scrPath, *featPath, *demoClasses, *demoDim, *demoSeed, *epochs, *bits)
 		backend = buildBackend(cls, scr, feats, *shards, *bits, *epochs, *demoSeed)
+		localCls, localScr = cls, scr
 	}
 
 	var reqLog *telemetry.RequestLog
@@ -191,6 +209,51 @@ func main() {
 	}
 	if mgr != nil {
 		srv.SetReloader(mgr.Reload)
+	}
+
+	var decodeSvc *decode.Service
+	if *decodeOn {
+		dcfg := decode.Config{
+			MaxSessions: *decodeMaxSessions,
+			TTL:         *decodeTTL,
+			TokenBudget: *decodeDeadline,
+			TopM:        *topM,
+			MFloor:      *mFloor,
+			MaxWidth:    *decodeWidth,
+		}
+		switch {
+		case mgr != nil:
+			fatalIf(fmt.Errorf("-decode is not supported with -model-root (hot swap would invalidate session state)"))
+		case router != nil:
+			// The decoder dynamics need the classifier rows, which a
+			// router never holds — regenerate the demo model the workers
+			// were sharded from. Generate's RNG depends only on the seed,
+			// so matching -demo-* flags reproduce the workers' classifier
+			// bit-for-bit.
+			if router.Categories() != *demoClasses || router.Hidden() != *demoDim {
+				fatalIf(fmt.Errorf("-decode over -cluster: router serves %d×%d but -demo-classes/-demo-dim say %d×%d; point the demo flags at the cluster's model",
+					router.Categories(), router.Hidden(), *demoClasses, *demoDim))
+			}
+			inst := workload.Generate(
+				workload.Spec{Name: "serve-demo", Categories: *demoClasses, Hidden: *demoDim, LatentRank: 32, ZipfS: 1.05},
+				workload.GenOptions{Seed: *demoSeed, Train: 1, Valid: 1, Test: 1})
+			dec := workload.NewDecoderFor(inst.Classifier, *decodeSeed, *decodeMaxLen)
+			decodeSvc = decode.NewService(dcfg, dec, func() decode.Scorer { return router.NewDecodeScorer() })
+			log.Printf("decode sessions enabled over the cluster (per-token scatter, session affinity)")
+		default:
+			if localCls == nil || localScr == nil {
+				fatalIf(fmt.Errorf("-decode needs a local classifier+screener"))
+			}
+			dec := workload.NewDecoderFor(localCls, *decodeSeed, *decodeMaxLen)
+			decodeSvc = decode.NewService(dcfg, dec, func() decode.Scorer {
+				return decode.NewLocalScorer(localCls, localScr, decode.LocalScorerConfig{
+					CacheSlots:  *decodeCache,
+					VerifyEvery: *decodeVerify,
+				})
+			})
+			log.Printf("decode sessions enabled (local scorer, candidate cache)")
+		}
+		srv.SetDecode(decodeSvc)
 	}
 
 	if *debugAddr != "" {
@@ -256,6 +319,11 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 		os.Exit(1)
+	}
+	if decodeSvc != nil {
+		// After Shutdown returns every in-flight stream has completed;
+		// new sessions were already refused once draining began.
+		decodeSvc.Shutdown()
 	}
 	log.Printf("drained cleanly")
 }

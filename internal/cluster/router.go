@@ -445,6 +445,13 @@ func (r *Router) ClassifyBatch(ctx context.Context, batch [][]float32, m, topK i
 // missing shard ids listed. Only all-shards-down (or cancellation)
 // returns an error.
 func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m, topK int) ([]server.Outcome, server.Partial, error) {
+	return r.classifyBatchAffine(ctx, batch, m, topK, nil)
+}
+
+// classifyBatchAffine is ClassifyBatchPartial with an optional decode
+// session affinity: each shard tries the session's pinned replica
+// first and re-pins to whichever replica actually answered.
+func (r *Router) classifyBatchAffine(ctx context.Context, batch [][]float32, m, topK int, aff *Affinity) ([]server.Outcome, server.Partial, error) {
 	if len(batch) == 0 {
 		return nil, server.Partial{}, nil
 	}
@@ -474,7 +481,7 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 		wg.Add(1)
 		go func(i int, s *routerShard) {
 			defer wg.Done()
-			replies[i], scratches[i], errs[i] = r.callShard(ctx, s, wb, len(batch))
+			replies[i], scratches[i], errs[i] = r.callShard(ctx, s, wb, len(batch), aff)
 		}(i, s)
 	}
 	wg.Wait()
@@ -547,13 +554,27 @@ func (r *Router) ClassifyBatchPartial(ctx context.Context, batch [][]float32, m,
 // flight is slower than the shard's recent latency suggests it
 // should be. First success wins; losers are cancelled, and any
 // pooled decode scratch they produce is reaped back to the pool.
-func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nItems int) (*ScreenResponse, *WireScratch, error) {
+func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nItems int, aff *Affinity) (*ScreenResponse, *WireScratch, error) {
 	op := orderPool.Get().(*[]*replica)
 	order := s.replicaOrderInto(*op)
 	defer func() {
 		*op = order[:0]
 		orderPool.Put(op)
 	}()
+	// Session affinity: front the pinned replica while it is healthy.
+	// An ejected pin keeps the normal failover order — the success
+	// path below re-pins the session to whoever answers.
+	if p := aff.pin(s.id); p >= 0 && p < len(s.replicas) {
+		if pinned := s.replicas[p]; pinned.healthy.Load() {
+			for i, rep := range order {
+				if rep == pinned {
+					copy(order[1:i+1], order[:i])
+					order[0] = pinned
+					break
+				}
+			}
+		}
+	}
 	attempts := r.cfg.MaxAttempts
 	if attempts <= 0 {
 		attempts = len(order)
@@ -567,6 +588,7 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nI
 	type attemptResult struct {
 		resp *ScreenResponse
 		sc   *WireScratch
+		rep  *replica
 		err  error
 	}
 	ch := make(chan attemptResult, attempts)
@@ -576,7 +598,7 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nI
 		launched++
 		go func() {
 			resp, sc, err := r.rpcOnce(cctx, s, rep, wb, nItems)
-			ch <- attemptResult{resp, sc, err}
+			ch <- attemptResult{resp, sc, rep, err}
 		}()
 	}
 	launch()
@@ -619,6 +641,14 @@ func (r *Router) callShard(ctx context.Context, s *routerShard, wb *wireBody, nI
 		case ar := <-ch:
 			done++
 			if ar.err == nil {
+				if aff != nil {
+					for idx, rep := range s.replicas {
+						if rep == ar.rep {
+							aff.record(s.id, idx)
+							break
+						}
+					}
+				}
 				reap()
 				return ar.resp, ar.sc, nil
 			}

@@ -1,0 +1,96 @@
+package decode
+
+import (
+	"enmc/internal/core"
+	"enmc/internal/tensor"
+)
+
+// rowCache is the hot-class candidate cache: a packed arena of
+// classifier rows for the classes the screener keeps selecting.
+// Successive decode steps share most of their candidate set (the
+// overlap is measured by BenchmarkCandidateOverlap before being
+// exploited here), so after a step or two the exact-recompute stage
+// runs almost entirely over a compact slots×d block that stays
+// cache-resident, instead of gathering scattered rows of the full
+// l×d weight matrix.
+//
+// The cache is direct-mapped: class y lives in slot y % slots or
+// nowhere. The lookup is one integer compare — an associative design
+// (map + LRU) was measured to spend more per candidate on hashing and
+// bookkeeping than the d-length dot product it fronts, which at
+// decode's one-candidate-at-a-time grain inverts the win. Collisions
+// cost extra misses, never wrong answers.
+//
+// Invariant: a cached row is a byte-for-byte copy of the classifier
+// row, and the logit kernel (tensor.Dot, then += bias) is the same
+// deterministic arithmetic core.Classifier.LogitsRowsInto performs —
+// so cached logits are bit-identical to uncached ones. The cache can
+// change *where* the bytes are read from, never *what* is computed.
+type rowCache struct {
+	cls   *core.Classifier
+	d     int
+	class []int     // slot → class, -1 when free
+	rows  []float32 // slots × d packed row arena
+	bias  []float32 // slot → bias
+}
+
+func newRowCache(cls *core.Classifier, slots int) *rowCache {
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > cls.Categories() {
+		slots = cls.Categories()
+	}
+	c := &rowCache{
+		cls:   cls,
+		d:     cls.Hidden(),
+		class: make([]int, slots),
+		rows:  make([]float32, slots*cls.Hidden()),
+		bias:  make([]float32, slots),
+	}
+	for i := range c.class {
+		c.class[i] = -1
+	}
+	return c
+}
+
+// reset drops every cached row — the verification path calls this on
+// any bit mismatch so a corrupted cache can never influence more than
+// one (already corrected) step.
+func (c *rowCache) reset() {
+	for i := range c.class {
+		c.class[i] = -1
+	}
+}
+
+// ensure returns the slot for class y, filling it on a miss. The
+// second result reports a hit.
+func (c *rowCache) ensure(y int) (int, bool) {
+	s := y % len(c.class)
+	if c.class[s] == y {
+		return s, true
+	}
+	c.class[s] = y
+	copy(c.rows[s*c.d:(s+1)*c.d], c.cls.W.Row(y))
+	c.bias[s] = c.cls.B[y]
+	return s, false
+}
+
+// logitsInto computes dst[j] = <W[cands[j]], h> + B[cands[j]] through
+// the packed arena, returning the step's hit/miss split. It is the
+// cached twin of core.Classifier.LogitsRowsInto.
+func (c *rowCache) logitsInto(dst []float32, cands []int, h []float32) (hits, misses int) {
+	for j, y := range cands {
+		s, hit := c.ensure(y)
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+		dst[j] = tensor.Dot(c.rows[s*c.d:(s+1)*c.d], h)
+		dst[j] += c.bias[s]
+	}
+	mCacheHit.Add(int64(hits))
+	mCacheMiss.Add(int64(misses))
+	return hits, misses
+}

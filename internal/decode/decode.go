@@ -1,0 +1,39 @@
+// Package decode is the streaming autoregressive serving layer: it
+// turns the single-shot screening classifier into a stateful decode
+// service. A session owns the decoder hidden state, an optional beam,
+// a pooled core.Scratch, and a hot-class candidate cache that packs
+// the classes the screener keeps surviving into a compact arena —
+// consecutive tokens share most of their candidate set, so the exact
+// recompute stage can run over rows that are already cache-resident
+// instead of gathering scattered rows of the full l×d matrix every
+// step.
+//
+// The cache is a locality optimization, never a value approximation:
+// cached logits are produced by the same deterministic dot-product
+// kernel over byte-identical row copies, so cached decoding is
+// bit-identical to uncached decoding by construction — and it is
+// *verified*, not assumed: every VerifyEvery steps the session
+// recomputes the candidate logits from the classifier and compares
+// them bit-for-bit, resetting the cache on any mismatch.
+package decode
+
+import "enmc/internal/telemetry"
+
+var (
+	reg = telemetry.Default()
+
+	mCacheHit       = reg.Counter("decode.cache_hit")
+	mCacheMiss      = reg.Counter("decode.cache_miss")
+	mCacheVerified  = reg.Counter("decode.cache_verified")
+	mCacheVerifyBad = reg.Counter("decode.cache_verify_fail")
+
+	mSessionsActive  = reg.Gauge("decode.sessions_active")
+	mSessionsOpened  = reg.Counter("decode.sessions_opened")
+	mSessionsEvicted = reg.Counter("decode.sessions_evicted")
+	mSessionLimit    = reg.Counter("decode.session_limit")
+
+	mTokens       = reg.Counter("decode.tokens_total")
+	mTokenNs      = reg.Histogram("decode.token_ns", telemetry.LatencyBuckets())
+	mDeadlineDown = reg.Counter("decode.deadline_degraded")
+	mDeadlineMiss = reg.Counter("decode.deadline_miss")
+)

@@ -26,6 +26,12 @@ const (
 	MetricWireDecode     = "wire_decode_ns_op"
 	MetricWireJSONEncode = "wire_json_encode_ns_op"
 	MetricWireJSONDecode = "wire_json_decode_ns_op"
+
+	// Streaming-decode metrics (`enmc-bench -decode` shapes): one
+	// screened autoregressive step, with and without the cross-step
+	// candidate cache.
+	MetricDecodeToken       = "decode_token_ns_op"
+	MetricDecodeCachedToken = "decode_cached_token_ns_op"
 )
 
 // PerfSchemaVersion is the current BENCH_*.json record schema.
@@ -67,6 +73,21 @@ type PerfResult struct {
 	WireBinaryBytes    int     `json:"wire_binary_bytes,omitempty"`
 	WireJSONBytes      int     `json:"wire_json_bytes,omitempty"`
 
+	// Streaming-decode measurements (`enmc-bench -decode` shapes): one
+	// screened autoregressive decode step with the candidate cache off
+	// and on, plus the quality/locality companions that make the cached
+	// number interpretable — the measured cache hit rate and windowed
+	// candidate overlap behind it, and the screened-vs-full agreement
+	// BLEU of whole decoded sequences. A result carrying these is a
+	// decode shape and renders in its own trend table; the Δ that
+	// matters (cached vs uncached) is computed WITHIN one row, so it
+	// survives machine-fingerprint changes.
+	DecodeTokenNsOp       float64 `json:"decode_token_ns_op,omitempty"`
+	DecodeCachedTokenNsOp float64 `json:"decode_cached_token_ns_op,omitempty"`
+	DecodeCacheHitRate    float64 `json:"decode_cache_hit_rate,omitempty"`
+	DecodeOverlap         float64 `json:"decode_overlap,omitempty"`
+	DecodeAgreementBLEU   float64 `json:"decode_agreement_bleu,omitempty"`
+
 	// Governance fields (schema >= 1).
 	Passes int `json:"passes,omitempty"` // interleaved timing passes behind the minima
 
@@ -81,6 +102,10 @@ type PerfResult struct {
 // IsWire reports whether the result is a wire-codec shape rather than
 // a kernel shape; the renderer routes the two to different tables.
 func (r PerfResult) IsWire() bool { return r.WireEncodeNsOp > 0 }
+
+// IsDecode reports whether the result is a streaming-decode shape;
+// like wire shapes, these render in their own trend table.
+func (r PerfResult) IsDecode() bool { return r.DecodeTokenNsOp > 0 }
 
 // PerfRecord is one `enmc-bench -perf` invocation. A trajectory file
 // (BENCH_*.json) holds a JSON array of them, oldest first; the trend
@@ -170,5 +195,39 @@ type LoadReport struct {
 	BytesIn      int64   `json:"bytes_in,omitempty"`
 	WireMBPerSec float64 `json:"wire_mb_per_sec,omitempty"`
 
+	// Decode is present only for `-decode` scenario runs (streaming
+	// /v1/decode sessions). Additive: classify reports omit it, so
+	// existing v2 documents are unchanged byte-for-byte.
+	Decode *LoadDecode `json:"decode,omitempty"`
+
 	Targets []LoadTarget `json:"targets"`
+}
+
+// LoadDecode is the streaming-session breakdown of a `-decode`
+// loadgen run: session and token accounting plus the two latency
+// distributions that matter for a token stream — time to first token
+// and the inter-token gap.
+type LoadDecode struct {
+	Sessions int `json:"sessions"`
+	OK       int `json:"ok"`
+	// DroppedStreams counts sessions whose stream ended without a
+	// terminal done frame (transport cut mid-stream) — the number the
+	// cluster failover smoke asserts is zero.
+	DroppedStreams int     `json:"dropped_streams"`
+	Evicted        int     `json:"evicted"`
+	Tokens         int     `json:"tokens"`
+	TokensPerSec   float64 `json:"tokens_per_sec"`
+
+	TokensPerSessionMean float64 `json:"tokens_per_session_mean"`
+	TokensPerSessionMin  int     `json:"tokens_per_session_min"`
+	TokensPerSessionMax  int     `json:"tokens_per_session_max"`
+
+	TTFTP50Ms float64 `json:"ttft_p50_ms"`
+	TTFTP90Ms float64 `json:"ttft_p90_ms"`
+	TTFTP99Ms float64 `json:"ttft_p99_ms"`
+	TTFTMaxMs float64 `json:"ttft_max_ms"`
+
+	GapP50Ms float64 `json:"gap_p50_ms"`
+	GapP99Ms float64 `json:"gap_p99_ms"`
+	GapMaxMs float64 `json:"gap_max_ms"`
 }

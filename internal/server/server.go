@@ -11,6 +11,9 @@
 //	     caller-formed batch, run directly on the backend worker pool
 //	     under the request's context (deadline threads down to
 //	     core.ClassifyApprox item boundaries)
+//	POST /v1/decode          {"h0":[...]} / {"session":"..."} — open or
+//	     continue a streaming decode session (SSE or NDJSON frames,
+//	     one per emitted token; see decode.go and internal/decode)
 //	GET  /healthz            — liveness (always 200 while serving)
 //	GET  /readyz             — readiness (503 once Drain has begun)
 //
@@ -31,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enmc/internal/decode"
 	"enmc/internal/telemetry"
 )
 
@@ -135,15 +139,16 @@ type ReloadFunc func(ctx context.Context, version string) (active string, err er
 // Server is the HTTP serving layer. Create with New, expose with
 // Handler, stop with Drain.
 type Server struct {
-	cfg      Config
-	backend  Backend
-	b        *batcher
-	ready    chan struct{} // closed when draining
-	mux      *http.ServeMux
-	handler  http.Handler // mux wrapped in the instrument middleware
-	reloader atomic.Pointer[ReloadFunc]
-	reqLog   *telemetry.RequestLog
-	slo      *telemetry.SLO
+	cfg       Config
+	backend   Backend
+	b         *batcher
+	ready     chan struct{} // closed when draining
+	mux       *http.ServeMux
+	handler   http.Handler // mux wrapped in the instrument middleware
+	reloader  atomic.Pointer[ReloadFunc]
+	decodeSvc atomic.Pointer[decode.Service]
+	reqLog    *telemetry.RequestLog
+	slo       *telemetry.SLO
 }
 
 // New builds a Server over the backend and starts its batching
@@ -171,6 +176,7 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/classify_batch", s.handleClassifyBatch)
+	s.mux.HandleFunc("/v1/decode", s.handleDecode)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/v1/slo", s.handleSLO)

@@ -1,10 +1,10 @@
 package workload
 
 import (
-	"math"
 	"sort"
 
 	"enmc/internal/activation"
+	"enmc/internal/tensor"
 )
 
 // Beam search over the synthetic decoder. The paper motivates
@@ -23,7 +23,8 @@ type Hypothesis struct {
 
 // ScoreTopK returns, for a hidden state, the top-k classes and their
 // log-probabilities. Implementations: exact softmax over full logits,
-// or screening-based (softmax over the mixed vector).
+// or screening-based (softmax over the mixed vector). Returned slices
+// may alias scorer-owned storage valid until the next call.
 type ScoreTopK func(h []float32) (classes []int, logProbs []float64)
 
 // ExactScorer scores with the full classifier.
@@ -36,85 +37,152 @@ func (inst *Instance) ExactScorer(k int) ScoreTopK {
 
 // topKLogProbs converts logits to the k best (class, logprob) pairs.
 func topKLogProbs(z []float32, k int) ([]int, []float64) {
+	var buf tensor.TopKBuf
+	return TopKLogProbsInto(z, k, &buf, nil, nil)
+}
+
+// TopKLogProbsInto is topKLogProbs on the bounded heap in
+// tensor.TopKInto — O(l log k) instead of the former full sort — with
+// caller-provided storage: classes/lps are reused when their capacity
+// suffices, so a scorer that keeps its buffers selects allocation-
+// free. Ordering follows TopKInto: descending log-probability, ties
+// toward lower class index.
+func TopKLogProbsInto(z []float32, k int, buf *tensor.TopKBuf, classes []int, lps []float64) ([]int, []float64) {
 	lse := activation.LogSumExp(z)
-	type cand struct {
-		idx int
-		lp  float64
+	idx := tensor.TopKInto(z, k, buf)
+	if cap(classes) < len(idx) {
+		classes = make([]int, len(idx))
 	}
-	cands := make([]cand, len(z))
-	for i, v := range z {
-		cands[i] = cand{i, float64(v) - lse}
+	if cap(lps) < len(idx) {
+		lps = make([]float64, len(idx))
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].lp > cands[b].lp })
-	if k > len(cands) {
-		k = len(cands)
-	}
-	classes := make([]int, k)
-	lps := make([]float64, k)
-	for i := 0; i < k; i++ {
-		classes[i] = cands[i].idx
-		lps[i] = cands[i].lp
+	classes, lps = classes[:len(idx)], lps[:len(idx)]
+	for i, c := range idx {
+		classes[i] = c
+		lps[i] = float64(z[c]) - lse
 	}
 	return classes, lps
 }
 
+// BeamScratch owns the reusable storage of BeamDecodeInto: the beam
+// and expansion hypothesis headers plus flat token/state arenas they
+// point into. The zero value is ready to use; the winning Hypothesis
+// aliases the scratch and is overwritten by the next decode through
+// it.
+type BeamScratch struct {
+	cur, next     []Hypothesis
+	curTok        []int     // width × maxLen token arena for the beam
+	nextTok       []int     // width² × maxLen token arena for expansions
+	curState      []float32 // width × d state arena
+	nextState     []float32 // width² × d state arena
+	sorter        hypSorter
+	width, length int
+	dim           int
+}
+
+func (bs *BeamScratch) grow(width, length, dim int) {
+	if width <= bs.width && length <= bs.length && dim <= bs.dim {
+		return
+	}
+	bs.width, bs.length, bs.dim = width, length, dim
+	bs.cur = make([]Hypothesis, 0, width)
+	bs.next = make([]Hypothesis, 0, width*width)
+	bs.curTok = make([]int, width*length)
+	bs.nextTok = make([]int, width*width*length)
+	bs.curState = make([]float32, width*dim)
+	bs.nextState = make([]float32, width*width*dim)
+}
+
+// hypSorter orders hypotheses by descending log-probability — the
+// same comparison BeamDecode always used, behind sort.Sort so the
+// selection allocates nothing.
+type hypSorter struct{ h []Hypothesis }
+
+func (s *hypSorter) Len() int           { return len(s.h) }
+func (s *hypSorter) Less(a, b int) bool { return s.h[a].LogProb > s.h[b].LogProb }
+func (s *hypSorter) Swap(a, b int)      { s.h[a], s.h[b] = s.h[b], s.h[a] }
+
 // BeamDecode runs beam search of the given width for length steps
 // from h0, scoring each expansion with score. It returns the
-// highest-log-probability hypothesis.
+// highest-log-probability hypothesis (caller-owned).
 func (dec *Decoder) BeamDecode(h0 []float32, length, width int, score ScoreTopK) Hypothesis {
+	var bs BeamScratch
+	best := dec.BeamDecodeInto(h0, length, width, score, &bs)
+	// Copy out of the scratch so the result outlives it.
+	return Hypothesis{
+		Tokens:  append([]int(nil), best.Tokens...),
+		LogProb: best.LogProb,
+		state:   append([]float32(nil), best.state...),
+	}
+}
+
+// BeamDecodeInto is BeamDecode running entirely in the caller's
+// scratch: hypothesis tokens and states live in flat arenas that are
+// reused across steps (and across calls), so steady-state beam
+// decoding allocates nothing. The returned Hypothesis aliases bs and
+// stays valid only until the next decode through the same scratch.
+func (dec *Decoder) BeamDecodeInto(h0 []float32, length, width int, score ScoreTopK, bs *BeamScratch) Hypothesis {
 	if width < 1 {
 		width = 1
 	}
 	if length > dec.MaxLen() {
 		length = dec.MaxLen()
 	}
-	start := normalizeStart(h0)
-	beam := []Hypothesis{{state: start}}
+	if length < 1 {
+		length = 1
+	}
+	d := dec.hidden
+	bs.grow(width, length, d)
+	L := bs.length
+
+	bs.cur = bs.cur[:1]
+	start := bs.curState[:d]
+	dec.NormalizeStartInto(start, h0)
+	bs.cur[0] = Hypothesis{Tokens: bs.curTok[:0], state: start}
 
 	for t := 0; t < length; t++ {
-		var expanded []Hypothesis
-		for _, hyp := range beam {
+		bs.next = bs.next[:0]
+		for _, hyp := range bs.cur {
 			classes, lps := score(hyp.state)
 			for i, c := range classes {
 				if i >= width {
 					break
 				}
-				tokens := make([]int, len(hyp.Tokens)+1)
-				copy(tokens, hyp.Tokens)
-				tokens[len(hyp.Tokens)] = c
-				expanded = append(expanded, Hypothesis{
-					Tokens:  tokens,
+				e := len(bs.next)
+				tok := bs.nextTok[e*L : e*L+t+1]
+				copy(tok, hyp.Tokens)
+				tok[t] = c
+				st := bs.nextState[e*d : (e+1)*d]
+				dec.StepInto(st, hyp.state, c, t)
+				bs.next = append(bs.next, Hypothesis{
+					Tokens:  tok,
 					LogProb: hyp.LogProb + lps[i],
-					state:   dec.Step(hyp.state, c, t),
+					state:   st,
 				})
 			}
 		}
-		sort.Slice(expanded, func(a, b int) bool { return expanded[a].LogProb > expanded[b].LogProb })
-		if len(expanded) > width {
-			expanded = expanded[:width]
+		if len(bs.next) == 0 {
+			return Hypothesis{}
 		}
-		beam = expanded
-	}
-	if len(beam) == 0 {
-		return Hypothesis{}
-	}
-	return beam[0]
-}
-
-func normalizeStart(h0 []float32) []float32 {
-	h := make([]float32, len(h0))
-	copy(h, h0)
-	var n float64
-	for _, v := range h {
-		n += float64(v) * float64(v)
-	}
-	if n > 0 {
-		inv := float32(2 / math.Sqrt(n))
-		for i := range h {
-			h[i] *= inv
+		bs.sorter.h = bs.next
+		sort.Sort(&bs.sorter)
+		keep := len(bs.next)
+		if keep > width {
+			keep = width
+		}
+		// Survivors move back into the beam arenas: the expansion
+		// arenas are rewritten next step.
+		bs.cur = bs.cur[:keep]
+		for i := 0; i < keep; i++ {
+			src := bs.next[i]
+			tok := bs.curTok[i*L : i*L+len(src.Tokens)]
+			copy(tok, src.Tokens)
+			st := bs.curState[i*d : (i+1)*d]
+			copy(st, src.state)
+			bs.cur[i] = Hypothesis{Tokens: tok, LogProb: src.LogProb, state: st}
 		}
 	}
-	return h
+	return bs.cur[0]
 }
 
 // ScorerFrom builds a ScoreTopK from any logits function — e.g. a

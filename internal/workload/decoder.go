@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 
+	"enmc/internal/core"
 	"enmc/internal/tensor"
 	"enmc/internal/xrand"
 )
@@ -22,18 +23,29 @@ import (
 // approximate classifier and comparing the token streams with BLEU
 // measures the same quantity the paper plots.
 type Decoder struct {
-	inst  *Instance
-	r     *tensor.Matrix // d×d transition
-	drift []float32      // deterministic excitation stream, len d*maxLen
-	gainR float32
-	gainE float32
+	cls    *core.Classifier
+	hidden int
+	r      *tensor.Matrix // d×d transition
+	drift  []float32      // deterministic excitation stream, len d*maxLen
+	gainR  float32
+	gainE  float32
 }
 
 // NewDecoder derives a decoder from the instance, deterministically
 // from seed. maxLen bounds the drift stream (and thus sentence
 // length).
 func NewDecoder(inst *Instance, seed uint64, maxLen int) *Decoder {
-	d := inst.Spec.Hidden
+	return NewDecoderFor(inst.Classifier, seed, maxLen)
+}
+
+// NewDecoderFor derives the decoder directly from a classifier — the
+// serving path's constructor, where no Instance exists (the model may
+// come from the registry, or be the demo model a cluster's workers
+// sliced). Identical (seed, classifier) pairs yield bit-identical
+// dynamics, which is what lets a cluster front-end regenerate the
+// same decoder its shard workers' global model implies.
+func NewDecoderFor(cls *core.Classifier, seed uint64, maxLen int) *Decoder {
+	d := cls.Hidden()
 	rng := xrand.New(seed ^ 0xdec0de)
 	r := tensor.NewMatrix(d, d)
 	inv := float32(1 / math.Sqrt(float64(d)))
@@ -44,28 +56,49 @@ func NewDecoder(inst *Instance, seed uint64, maxLen int) *Decoder {
 	for i := range drift {
 		drift[i] = 0.4 * rng.NormFloat32()
 	}
-	return &Decoder{inst: inst, r: r, drift: drift, gainR: 0.8, gainE: 1.6}
+	return &Decoder{cls: cls, hidden: d, r: r, drift: drift, gainR: 0.8, gainE: 1.6}
 }
 
 // MaxLen returns the longest decodable sequence.
-func (dec *Decoder) MaxLen() int { return len(dec.drift) / dec.inst.Spec.Hidden }
+func (dec *Decoder) MaxLen() int { return len(dec.drift) / dec.hidden }
+
+// Hidden returns the decoder's state dimension d.
+func (dec *Decoder) Hidden() int { return dec.hidden }
 
 // Step advances the hidden state given the previously emitted token.
 func (dec *Decoder) Step(h []float32, y, t int) []float32 {
-	d := dec.inst.Spec.Hidden
-	next := make([]float32, d)
-	dec.r.MatVec(next, h)
-	row := dec.inst.Classifier.W.Row(y)
+	next := make([]float32, dec.hidden)
+	dec.StepInto(next, h, y, t)
+	return next
+}
+
+// StepInto is Step writing into a caller-provided destination of
+// length d — the allocation-free transition the decode service loops
+// on. dst must not alias h.
+func (dec *Decoder) StepInto(dst, h []float32, y, t int) {
+	d := dec.hidden
+	dec.r.MatVec(dst, h)
+	row := dec.cls.W.Row(y)
 	norm := float32(tensor.Norm2(row))
 	if norm == 0 {
 		norm = 1
 	}
 	dt := dec.drift[t*d : (t+1)*d]
-	for j := range next {
-		v := dec.gainR*next[j] + dec.gainE*row[j]/norm + dt[j]
-		next[j] = float32(math.Tanh(float64(v)))
+	for j := range dst {
+		v := dec.gainR*dst[j] + dec.gainE*row[j]/norm + dt[j]
+		dst[j] = float32(math.Tanh(float64(v)))
 	}
-	return next
+}
+
+// NormalizeStartInto writes h0 scaled into tanh's linear range (norm
+// 2) into dst — the shared start-state convention of every decode
+// entry point.
+func (dec *Decoder) NormalizeStartInto(dst, h0 []float32) {
+	copy(dst, h0)
+	n := float32(tensor.Norm2(dst))
+	if n > 0 {
+		tensor.Scale(dst, 2/n)
+	}
 }
 
 // Decode greedily emits length tokens starting from h0, choosing each
@@ -81,18 +114,14 @@ func (dec *Decoder) Decode(h0 []float32, length int, classify func(h []float32) 
 // DecodeWithStates is Decode but also returns the hidden state fed to
 // the classifier at every step. Screener training uses these states
 // so the screener sees the decoder's state distribution — exactly as
-// the paper trains on the task's own hidden representations.
+// the paper trains on the task's own hidden representations. The
+// returned slices are caller-owned.
 func (dec *Decoder) DecodeWithStates(h0 []float32, length int, classify func(h []float32) int) ([]int, [][]float32) {
 	if length > dec.MaxLen() {
 		length = dec.MaxLen()
 	}
 	h := make([]float32, len(h0))
-	copy(h, h0)
-	// Scale the start state into tanh's linear range.
-	n := float32(tensor.Norm2(h))
-	if n > 0 {
-		tensor.Scale(h, 2/n)
-	}
+	dec.NormalizeStartInto(h, h0)
 	out := make([]int, 0, length)
 	states := make([][]float32, 0, length)
 	for t := 0; t < length; t++ {
@@ -102,4 +131,51 @@ func (dec *Decoder) DecodeWithStates(h0 []float32, length int, classify func(h [
 		h = dec.Step(h, y, t)
 	}
 	return out, states
+}
+
+// DecodeScratch owns the reusable storage of DecodeWithStatesInto:
+// the token slice, a flat state arena and its per-step views, and the
+// rolling hidden state. The zero value is ready to use; results alias
+// the scratch and are overwritten by the next decode through it.
+type DecodeScratch struct {
+	tokens []int
+	states []float32 // flat arena, length*d
+	views  [][]float32
+	cur    []float32 // rolling hidden state
+}
+
+// DecodeWithStatesInto is DecodeWithStates running entirely in the
+// caller's scratch: zero allocations in steady state. The returned
+// token and state slices alias ds and stay valid only until the next
+// decode through the same scratch.
+func (dec *Decoder) DecodeWithStatesInto(h0 []float32, length int, classify func(h []float32) int, ds *DecodeScratch) ([]int, [][]float32) {
+	if length > dec.MaxLen() {
+		length = dec.MaxLen()
+	}
+	d := dec.hidden
+	if cap(ds.tokens) < length {
+		ds.tokens = make([]int, length)
+	}
+	if cap(ds.states) < length*d {
+		ds.states = make([]float32, length*d)
+	}
+	if cap(ds.views) < length {
+		ds.views = make([][]float32, length)
+	}
+	if cap(ds.cur) < d {
+		ds.cur = make([]float32, d)
+	}
+	tokens, arena, views := ds.tokens[:length], ds.states[:length*d], ds.views[:length]
+	cur := ds.cur[:d]
+	dec.NormalizeStartInto(cur, h0)
+	for t := 0; t < length; t++ {
+		slot := arena[t*d : (t+1)*d]
+		copy(slot, cur)
+		views[t] = slot
+		y := classify(slot)
+		tokens[t] = y
+		// slot holds h_t, so the transition can write h_{t+1} over cur.
+		dec.StepInto(cur, slot, y, t)
+	}
+	return tokens, views
 }
