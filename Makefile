@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-perf wire-bench decode-bench decode-bleu decode-smoke vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke train-checkpoint report report-check
+.PHONY: all build test race bench bench-smoke bench-perf wire-bench decode-bench decode-bleu decode-smoke vet fmt check ci cover clean swap-smoke cluster-smoke metrics-smoke qos-smoke train-checkpoint report report-check
 
 all: build
 
@@ -157,6 +157,18 @@ decode-smoke:
 # spans from >= 2 processes.
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
+
+# Multi-tenant QoS smoke: one server, an interactive tenant and a
+# saturating batch tenant driven concurrently. Asserts the batch
+# class absorbs >= 95% of shed/degrade/throttle pressure (per-tenant
+# labeled counters on /metrics) while the interactive tenant sees
+# zero 429/5xx and a bounded p99; flips a quota via SIGHUP
+# tenant-config reload mid-load with zero dropped in-flight requests;
+# and proves two model versions (active + tenant-pinned) serve from
+# one process. The end-to-end proof of internal/tenant + the
+# weighted-fair batcher.
+qos-smoke:
+	bash scripts/qos_smoke.sh
 
 # Checkpoint/resume demo: interrupt a registry training run
 # (-stop-after), resume it from the checkpoint, and verify the

@@ -18,6 +18,12 @@
 //	enmc-loadgen -addr localhost:8080 -dim 128 -rate 2000 -duration 10s
 //	enmc-loadgen -addr localhost:8080 -dim 128 -batch 64   # /v1/classify_batch
 //	enmc-loadgen -targets "lb1:8080,lb2:8080" -dim 128     # round-robin a router pool
+//	enmc-loadgen -addr localhost:8080 -dim 128 \
+//	    -tenant-mix "a:interactive:8,b:batch:2"         # multi-tenant QoS:
+//	                                                    # weighted tenant traffic
+//	                                                    # (X-Enmc-Api-Key = tenant
+//	                                                    # name), per-tenant
+//	                                                    # req/ok/429/503/p50/p99
 //	enmc-loadgen -addr localhost:8080 -dim 128 -decode -rate 20
 //	                                                       # streaming /v1/decode
 //	                                                       # sessions: TTFT and
@@ -49,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +76,7 @@ type result struct {
 	retryAfter string // Retry-After on 429s (admission control)
 	bytesOut   int64  // request body bytes sent
 	bytesIn    int64  // response body bytes received
+	tenant     int    // index into the -tenant-mix entries; -1 single-tenant
 }
 
 // countReader counts the bytes read through it — the fallback for
@@ -95,6 +103,66 @@ func (p *pool) pick() (int, string) {
 	return i, p.urls[i]
 }
 
+// mixEntry is one -tenant-mix entry: the tenant's name (sent as its
+// API key), the class its traffic is expected to land in (reporting
+// only — the server's tenant config is authoritative), and its draw
+// weight.
+type mixEntry struct {
+	name, class string
+	weight      int
+}
+
+// parseMix parses "a:interactive:8,b:batch:2". Weight defaults to 1;
+// class may be empty ("a::3").
+func parseMix(s string) ([]mixEntry, error) {
+	var out []mixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		e := mixEntry{name: strings.TrimSpace(fields[0]), weight: 1}
+		if e.name == "" {
+			return nil, fmt.Errorf("tenant-mix entry %q: empty tenant name", part)
+		}
+		if len(fields) > 1 {
+			e.class = strings.TrimSpace(fields[1])
+		}
+		if len(fields) > 2 {
+			w, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("tenant-mix entry %q: bad weight", part)
+			}
+			e.weight = w
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("tenant-mix entry %q: want name:class:weight", part)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -tenant-mix")
+	}
+	return out, nil
+}
+
+// pickTenant draws a mix index proportional to the entry weights.
+func pickTenant(rng *rand.Rand, mix []mixEntry) int {
+	total := 0
+	for _, e := range mix {
+		total += e.weight
+	}
+	n := rng.Intn(total)
+	for i, e := range mix {
+		n -= e.weight
+		if n < 0 {
+			return i
+		}
+	}
+	return len(mix) - 1
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:8080", "enmc-serve host:port")
 	targets := flag.String("targets", "", "comma-separated host:port pool round-robined per request (overrides -addr)")
@@ -104,6 +172,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0: closed loop)")
 	batch := flag.Int("batch", 0, "send /v1/classify_batch with this many items (0: /v1/classify)")
 	topK := flag.Int("topk", 5, "top_k to request")
+	tenantMix := flag.String("tenant-mix", "", `weighted multi-tenant traffic: comma-separated name:class:weight entries (e.g. "a:interactive:8,b:batch:2"); each request carries X-Enmc-Api-Key = the drawn tenant's name, and the report adds a per-tenant breakdown`)
 	decodeOn := flag.Bool("decode", false, "drive streaming /v1/decode sessions instead of classify traffic (-rate = session arrivals/s, -concurrency = closed-loop session workers)")
 	decodeTokens := flag.Int("decode-tokens", 0, "tokens to request per decode session (0: session's max length)")
 	decodeMode := flag.String("decode-mode", "greedy", "decode session mode: greedy or beam")
@@ -116,6 +185,20 @@ func main() {
 	logJSON := flag.Bool("log-json", false, "emit the report as one JSON document on stdout instead of text (machine-readable for CI and enmc-report ingestion)")
 	scenario := flag.String("scenario", "", "scenario name stamped into the -log-json report (how enmc-report groups and titles load-test rows)")
 	flag.Parse()
+
+	var mix []mixEntry
+	if *tenantMix != "" {
+		var err error
+		mix, err = parseMix(*tenantMix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *decodeOn {
+			fmt.Fprintln(os.Stderr, "-tenant-mix applies to classify traffic, not -decode")
+			os.Exit(2)
+		}
+	}
 
 	path := "/v1/classify"
 	if *batch > 0 {
@@ -168,28 +251,42 @@ func main() {
 	deadline := runStart.Add(*duration)
 	var wg sync.WaitGroup
 	if *rate > 0 {
-		openLoop(&wg, client, p, *dim, *batch, *topK, *seed, *rate, deadline, record)
+		openLoop(&wg, client, p, mix, *dim, *batch, *topK, *seed, *rate, deadline, record)
 	} else {
-		closedLoop(&wg, client, p, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
+		closedLoop(&wg, client, p, mix, *dim, *batch, *topK, *seed, *concurrency, deadline, record)
 	}
 	wg.Wait()
-	summarize(results, hosts, *scenario, *duration, runStart, time.Now(), *failOnError, *failOnPartial, *logJSON)
+	summarize(results, hosts, mix, *scenario, *duration, runStart, time.Now(), *failOnError, *failOnPartial, *logJSON)
 }
 
-func closedLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
+func closedLoop(wg *sync.WaitGroup, client *http.Client, p *pool, mix []mixEntry, dim, batch, topK int, seed int64, workers int, deadline time.Time, record func(result)) {
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(id)))
 			for time.Now().Before(deadline) {
-				record(issue(client, p, payload(rng, dim, batch, topK)))
+				tn, key := drawTenant(rng, mix)
+				r := issue(client, p, payload(rng, dim, batch, topK), key)
+				r.tenant = tn
+				record(r)
 			}
 		}(w)
 	}
 }
 
-func openLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK int, seed int64, rate float64, deadline time.Time, record func(result)) {
+// drawTenant picks this request's tenant identity from the mix: its
+// index (for the per-tenant report) and its API key. No mix means the
+// anonymous single-tenant run the loadgen always supported.
+func drawTenant(rng *rand.Rand, mix []mixEntry) (int, string) {
+	if len(mix) == 0 {
+		return -1, ""
+	}
+	i := pickTenant(rng, mix)
+	return i, mix[i].name
+}
+
+func openLoop(wg *sync.WaitGroup, client *http.Client, p *pool, mix []mixEntry, dim, batch, topK int, seed int64, rate float64, deadline time.Time, record func(result)) {
 	interval := time.Duration(float64(time.Second) / rate)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -205,16 +302,19 @@ func openLoop(wg *sync.WaitGroup, client *http.Client, p *pool, dim, batch, topK
 			return
 		}
 		body := payload(rng, dim, batch, topK)
+		tn, key := drawTenant(rng, mix)
 		select {
 		case sem <- struct{}{}:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(issue(client, p, body))
+				r := issue(client, p, body, key)
+				r.tenant = tn
+				record(r)
 				<-sem
 			}()
 		default:
-			record(result{code: 0}) // shed at the generator
+			record(result{code: 0, tenant: tn}) // shed at the generator
 		}
 	}
 }
@@ -244,10 +344,18 @@ func payload(rng *rand.Rand, dim, batch, topK int) []byte {
 	return buf
 }
 
-func issue(client *http.Client, p *pool, body []byte) result {
+func issue(client *http.Client, p *pool, body []byte, tenantKey string) result {
 	target, url := p.pick()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantKey != "" {
+		req.Header.Set("X-Enmc-Api-Key", tenantKey)
+	}
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(req)
 	if err != nil {
 		return result{code: 0, latency: time.Since(start), done: time.Now(), target: target, bytesOut: int64(len(body))}
 	}
@@ -289,7 +397,7 @@ func issue(client *http.Client, p *pool, body []byte) result {
 	return r
 }
 
-func summarize(results []result, hosts []string, scenario string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
+func summarize(results []result, hosts []string, mix []mixEntry, scenario string, d time.Duration, runStart, runEnd time.Time, failOnError, failOnPartial, logJSON bool) {
 	var ok, degraded, partial, items int
 	var bytesOut, bytesIn int64
 	var lats []time.Duration
@@ -337,8 +445,9 @@ func summarize(results []result, hosts []string, scenario string, d time.Duratio
 		}
 		errByStatus[r.code]++
 	}
+	perTenant := tenantBreakdown(results, mix)
 	if logJSON {
-		reportJSON(results, hosts, scenario, perTarget, errByStatus, lats, successTimes,
+		reportJSON(results, hosts, scenario, perTarget, perTenant, errByStatus, lats, successTimes,
 			ok, degraded, partial, items, d, runStart, runEnd)
 		finish(results, ok, partial, len(errByStatus), failOnError, failOnPartial)
 		return
@@ -403,6 +512,14 @@ func summarize(results []result, hosts []string, scenario string, d time.Duratio
 		fmt.Printf("  max gap between successes: %s\n", maxGap.Round(time.Millisecond))
 	}
 
+	// Per-tenant breakdown of a -tenant-mix run: the QoS split.
+	for _, tn := range perTenant {
+		fmt.Printf("  tenant %-12s %-11s req %-6d ok %-6d 429 %-5d 503 %-4d other %-4d p50 %-9s p99 %s\n",
+			tn.Tenant, tn.Class, tn.Requests, tn.OK, tn.Status429, tn.Status503, tn.OtherErrors,
+			time.Duration(tn.P50Ms*float64(time.Millisecond)).Round(10*time.Microsecond),
+			time.Duration(tn.P99Ms*float64(time.Millisecond)).Round(10*time.Microsecond))
+	}
+
 	// Per-target breakdown: only meaningful (and only printed) when a
 	// -targets pool was given.
 	if len(hosts) > 1 {
@@ -443,13 +560,57 @@ func finish(results []result, ok, partial, errKinds int, failOnError, failOnPart
 	}
 }
 
+// tenantBreakdown folds the results into one report.LoadTenant per
+// mix entry, in mix order.
+func tenantBreakdown(results []result, mix []mixEntry) []report.LoadTenant {
+	if len(mix) == 0 {
+		return nil
+	}
+	out := make([]report.LoadTenant, len(mix))
+	lats := make([][]time.Duration, len(mix))
+	for i, e := range mix {
+		out[i] = report.LoadTenant{Tenant: e.name, Class: e.class, Weight: e.weight}
+	}
+	for _, r := range results {
+		if r.tenant < 0 || r.tenant >= len(mix) {
+			continue
+		}
+		tn := &out[r.tenant]
+		tn.Requests++
+		switch r.code {
+		case http.StatusOK:
+			tn.OK++
+			lats[r.tenant] = append(lats[r.tenant], r.latency)
+			if r.degraded {
+				tn.Degraded++
+			}
+		case http.StatusTooManyRequests:
+			tn.Status429++
+		case http.StatusServiceUnavailable:
+			tn.Status503++
+		default:
+			tn.OtherErrors++
+		}
+	}
+	ms := func(v time.Duration) float64 { return float64(v) / float64(time.Millisecond) }
+	for i := range out {
+		if len(lats[i]) == 0 {
+			continue
+		}
+		sort.Slice(lats[i], func(a, b int) bool { return lats[i][a] < lats[i][b] })
+		out[i].P50Ms = ms(quantile(lats[i], 0.50))
+		out[i].P99Ms = ms(quantile(lats[i], 0.99))
+	}
+	return out
+}
+
 // reportJSON is the -log-json report: one machine-readable document on
 // stdout with the aggregate stats plus the per-target request-ID and
 // Retry-After observations CI smokes assert on. The document is a
 // report.LoadReport — the type the enmc-report parser decodes — and
 // carries the schema tag that parser checks, so a format change here
 // without a matching bump there is caught instead of misread.
-func reportJSON(results []result, hosts []string, scenario string, perTarget []targetStats, errByStatus map[int]int,
+func reportJSON(results []result, hosts []string, scenario string, perTarget []targetStats, perTenant []report.LoadTenant, errByStatus map[int]int,
 	lats []time.Duration, successTimes []time.Time,
 	ok, degraded, partial, items int, d time.Duration, runStart, runEnd time.Time) {
 	var bytesOut, bytesIn int64
@@ -471,6 +632,7 @@ func reportJSON(results []result, hosts []string, scenario string, perTarget []t
 		BytesOut:        bytesOut,
 		BytesIn:         bytesIn,
 		WireMBPerSec:    mbPerSec(bytesOut+bytesIn, d),
+		Tenants:         perTenant,
 	}
 	if len(errByStatus) > 0 {
 		out.Errors = map[string]int{}

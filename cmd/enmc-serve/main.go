@@ -20,11 +20,24 @@
 //	enmc-serve -decode                     # streaming autoregressive
 //	                                       # decode sessions on
 //	                                       # POST /v1/decode (SSE/NDJSON)
+//	enmc-serve -tenants tenants.json       # multi-tenant QoS: API-key
+//	                                       # identity, per-tenant quotas,
+//	                                       # weighted-fair classes,
+//	                                       # pinned model versions
 //
 // Endpoints: POST /v1/classify, POST /v1/classify_batch, POST
 // /v1/decode (with -decode), GET /v1/model, POST /v1/model/reload,
-// GET /v1/slo, GET /metrics (Prometheus text), GET /healthz, GET
-// /readyz.
+// GET /v1/slo, GET /v1/tenants, GET /metrics (Prometheus text), GET
+// /healthz, GET /readyz.
+//
+// With -tenants the server resolves the X-Enmc-Api-Key header against
+// an on-disk tenant config: each tenant gets a QoS class
+// (interactive/standard/batch) scheduled by deficit-round-robin, a
+// token-bucket rate quota (429 + real refill Retry-After), an optional
+// concurrent decode-session cap, and an optional pinned model version
+// (served alongside the active version when -model-root is set).
+// SIGHUP re-reads the tenant config with zero dropped in-flight
+// requests — a bad config keeps the previous one serving.
 // SIGINT/SIGTERM triggers the graceful sequence: readiness fails,
 // intake stops (503), the queue drains, then the listener shuts down.
 //
@@ -58,6 +71,7 @@ import (
 	"enmc/internal/registry"
 	"enmc/internal/server"
 	"enmc/internal/telemetry"
+	"enmc/internal/tenant"
 	"enmc/internal/workload"
 )
 
@@ -110,6 +124,9 @@ func main() {
 	decodeWidth := flag.Int("decode-width", 8, "maximum beam width")
 	decodeCache := flag.Int("decode-cache", 0, "candidate-cache slots per session (0: auto 4×m, negative: disable)")
 	decodeVerify := flag.Int("decode-verify-every", 64, "exact-recompute cache verification period in steps (negative: off)")
+
+	tenantsPath := flag.String("tenants", "", "tenant config JSON (multi-tenant QoS: API keys, classes, quotas, pins; SIGHUP re-reads)")
+	shedFrac := flag.Float64("shed-frac", 0.75, "higher-class queue fraction past which lower classes are shed at admission")
 
 	maxBatch := flag.Int("max-batch", 32, "micro-batch flush size")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch flush delay")
@@ -179,6 +196,15 @@ func main() {
 		localCls, localScr = cls, scr
 	}
 
+	var tenants *tenant.Resolver
+	if *tenantsPath != "" {
+		var err error
+		tenants, err = tenant.LoadResolver(*tenantsPath)
+		fatalIf(err)
+		names := tenants.Tenants()
+		log.Printf("tenant config: %d tenants from %s", len(names), *tenantsPath)
+	}
+
 	var reqLog *telemetry.RequestLog
 	if *logRequests || *logJSON {
 		reqLog = telemetry.NewRequestLog(os.Stderr, telemetry.RequestLogOptions{
@@ -193,16 +219,23 @@ func main() {
 		LatencyTarget:    *sloLatencyTarget,
 	})
 
+	var pinnedBackend func(string) (server.Backend, error)
+	if mgr != nil {
+		pinnedBackend = mgr.BackendFor
+	}
 	srv, err := server.New(backend, server.Config{
-		MaxBatch:     *maxBatch,
-		MaxDelay:     *maxDelay,
-		QueueCap:     *queueCap,
-		FlushWorkers: *flushWorkers,
-		TopM:         *topM,
-		MFloor:       *mFloor,
-		Watermark:    *watermark,
-		RequestLog:   reqLog,
-		SLO:          slo,
+		PinnedBackend: pinnedBackend,
+		MaxBatch:      *maxBatch,
+		MaxDelay:      *maxDelay,
+		QueueCap:      *queueCap,
+		FlushWorkers:  *flushWorkers,
+		TopM:          *topM,
+		MFloor:        *mFloor,
+		Watermark:     *watermark,
+		ShedFrac:      *shedFrac,
+		Tenants:       tenants,
+		RequestLog:    reqLog,
+		SLO:           slo,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -293,11 +326,23 @@ func main() {
 	for {
 		got := <-sig
 		if got == syscall.SIGHUP {
-			// SIGHUP = "reload to newest version". A failed canary or
-			// load keeps the current version serving — rollback is the
-			// default, not an action.
+			// SIGHUP = "re-read config": the tenant file (quotas, keys,
+			// pins — zero dropped in-flight requests, bad config keeps
+			// the previous generation serving) and, with -model-root,
+			// the newest model version. A failed canary or load keeps
+			// the current version serving — rollback is the default,
+			// not an action.
+			if tenants != nil {
+				if err := tenants.Reload(); err != nil {
+					log.Printf("SIGHUP tenant reload failed (previous config still serving): %v", err)
+				} else {
+					log.Printf("SIGHUP tenant reload: %d tenants", len(tenants.Tenants()))
+				}
+			}
 			if mgr == nil {
-				log.Printf("SIGHUP: no -model-root configured, ignoring")
+				if tenants == nil {
+					log.Printf("SIGHUP: no -model-root or -tenants configured, ignoring")
+				}
 				continue
 			}
 			go func() {

@@ -109,6 +109,15 @@ func newSessionID() string {
 // Open admits a new session seeded from h0. Width is clamped to
 // [1, MaxWidth] and ignored for greedy sessions.
 func (s *Service) Open(mode Mode, width int, h0 []float32) (*Session, error) {
+	return s.OpenOwned(mode, width, h0, nil)
+}
+
+// OpenOwned is Open with an owner-accounting hook: release, when
+// non-nil, is invoked exactly once when the session leaves the
+// service (explicit close, TTL eviction, or shutdown) — never on a
+// failed open. It lets a caller count live sessions against a
+// per-tenant quota without missing evictions the caller never sees.
+func (s *Service) OpenOwned(mode Mode, width int, h0 []float32, release func()) (*Session, error) {
 	if mode != Greedy && mode != Beam {
 		return nil, fmt.Errorf("decode: unknown mode %q", mode)
 	}
@@ -151,11 +160,20 @@ func (s *Service) Open(mode Mode, width int, h0 []float32) (*Session, error) {
 		sess.hNext = make([]float32, d)
 		s.dec.NormalizeStartInto(sess.h, h0)
 	}
+	sess.releaseOwner = release
 	sess.touch()
 	s.sessions[sess.ID] = sess
 	mSessionsOpened.Inc()
 	mSessionsActive.Add(1)
 	return sess, nil
+}
+
+// released runs a removed session's owner hook (exactly once per
+// session: every removal path deletes from the map first).
+func released(sess *Session) {
+	if sess.releaseOwner != nil {
+		sess.releaseOwner()
+	}
 }
 
 // Get looks a session up by ID.
@@ -182,6 +200,7 @@ func (s *Service) Close(id string) error {
 		return ErrNotFound
 	}
 	sess.evict()
+	released(sess)
 	return nil
 }
 
@@ -211,6 +230,7 @@ func (s *Service) Shutdown() {
 	close(s.stop)
 	for _, sess := range victims {
 		sess.evict()
+		released(sess)
 	}
 	s.wg.Wait()
 }
@@ -239,6 +259,7 @@ func (s *Service) sweep() {
 		s.mu.Unlock()
 		for _, sess := range victims {
 			sess.evict()
+			released(sess)
 			mSessionsEvicted.Inc()
 		}
 	}

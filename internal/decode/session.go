@@ -80,6 +80,12 @@ type Session struct {
 	// stalled on a slow client.
 	active   atomic.Int32
 	doneOnce sync.Once
+
+	// releaseOwner returns the session's slot to its owner's quota
+	// (per-tenant session accounting); nil for unowned sessions. The
+	// service calls it exactly once, when the session leaves the
+	// session map (close, TTL eviction, or shutdown).
+	releaseOwner func()
 }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }

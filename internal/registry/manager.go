@@ -21,6 +21,7 @@ var (
 	mCanaryReject  = telemetry.Default().Counter("registry.canary_rejected")
 	mLoadFailed    = telemetry.Default().Counter("registry.load_failed")
 	mRetiredTotal  = telemetry.Default().Counter("registry.retired_total")
+	mPinnedLoaded  = telemetry.Default().Counter("registry.pinned_loaded")
 	mActiveVersion = telemetry.Default().Gauge("registry.active_version")
 	mCanaryAgree   = telemetry.Default().Gauge("registry.canary_agreement")
 )
@@ -96,6 +97,12 @@ type Manager struct {
 	active Manifest
 	cur    *Loaded
 	probe  [][]float32
+
+	// pinMu guards the pinned-version cache separately from mu so a
+	// first-touch pin load (checksum decode of a full model) never
+	// stalls Reload or Active.
+	pinMu  sync.Mutex
+	pinned map[string]server.Backend
 }
 
 // NewManager loads the initial version ("" = latest), installs it in
@@ -242,6 +249,57 @@ func (m *Manager) Reload(ctx context.Context, version string) (string, error) {
 	mActiveVersion.Set(float64(loaded.Manifest.Seq))
 	m.logf("registry: swapped %q -> %q (seq %d)", prev, version, loaded.Manifest.Seq)
 	return version, nil
+}
+
+// pinnedLocal is a version-tagged Local backend for tenant pinning:
+// it reports the pinned version through server's Versioned interface
+// so pinned responses carry the model_version actually served.
+type pinnedLocal struct {
+	server.Backend
+	version string
+}
+
+func (p *pinnedLocal) ModelVersion() string { return p.version }
+
+// BackendFor implements server.Config.PinnedBackend: it resolves a
+// model version into a servable backend for tenants pinned to that
+// version. The active version resolves to the serving Swappable (the
+// hot path — pin and swap coincide); any other published version is
+// loaded from the store on first use and cached for the manager's
+// lifetime. The cache is bounded by the number of distinct pinned
+// versions in the tenant config, which is operator-controlled.
+func (m *Manager) BackendFor(version string) (server.Backend, error) {
+	if version == "" {
+		return m.sw, nil
+	}
+	m.mu.Lock()
+	activeVer := m.active.Version
+	m.mu.Unlock()
+	if version == activeVer {
+		return m.sw, nil
+	}
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	if b, ok := m.pinned[version]; ok {
+		return b, nil
+	}
+	loaded, err := m.store.Load(version)
+	if err != nil {
+		mLoadFailed.Inc()
+		return nil, fmt.Errorf("registry: pinned version %q: %w", version, err)
+	}
+	backend, err := server.NewLocal(loaded.Classifier, loaded.Screener)
+	if err != nil {
+		return nil, fmt.Errorf("registry: pinned version %q: %w", version, err)
+	}
+	if m.pinned == nil {
+		m.pinned = make(map[string]server.Backend)
+	}
+	b := &pinnedLocal{Backend: backend, version: version}
+	m.pinned[version] = b
+	mPinnedLoaded.Inc()
+	m.logf("registry: pinned version %q loaded (seq %d)", version, loaded.Manifest.Seq)
+	return b, nil
 }
 
 // agreement computes the canary statistic: the mean over the probe

@@ -11,6 +11,7 @@ import (
 
 	"enmc/internal/core"
 	"enmc/internal/quant"
+	"enmc/internal/server"
 	"enmc/internal/telemetry"
 	"enmc/internal/workload"
 )
@@ -229,5 +230,60 @@ func TestManagerTracerSpans(t *testing.T) {
 		if !seen {
 			t.Fatalf("span %s not recorded", name)
 		}
+	}
+}
+
+// TestManagerBackendFor: pinning resolves the active version to the
+// serving Swappable, older published versions to cached version-tagged
+// backends, and unknown versions to an error — and survives a swap
+// (the old active becomes a pin-loadable version).
+func TestManagerBackendFor(t *testing.T) {
+	store, inst, mgr := managerFixture(t)
+
+	// Empty and active pins take the hot path.
+	b, err := mgr.BackendFor("")
+	if err != nil || b != server.Backend(mgr.Swappable()) {
+		t.Fatalf("BackendFor(\"\") = %T, %v; want the Swappable", b, err)
+	}
+	b, err = mgr.BackendFor("v1")
+	if err != nil || b != server.Backend(mgr.Swappable()) {
+		t.Fatalf("BackendFor(active) = %T, %v; want the Swappable", b, err)
+	}
+
+	// Swap to v2; v1 is now a pinned load.
+	publishGeneration(t, store, "v2", "v1", inst, 4, 200)
+	if _, err := mgr.Reload(context.Background(), "v2"); err != nil {
+		t.Fatal(err)
+	}
+	basePins := telemetry.Default().Counter("registry.pinned_loaded").Value()
+	old, err := mgr.BackendFor("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, ok := old.(interface{ ModelVersion() string })
+	if !ok || ver.ModelVersion() != "v1" {
+		t.Fatalf("pinned backend does not report version v1 (%T)", old)
+	}
+	if old.Hidden() != inst.Classifier.Hidden() {
+		t.Fatalf("pinned backend hidden = %d", old.Hidden())
+	}
+	// Cached: second resolve is the same instance, no second load.
+	again, err := mgr.BackendFor("v1")
+	if err != nil || again != old {
+		t.Fatalf("pin cache miss: %T %v", again, err)
+	}
+	if got := telemetry.Default().Counter("registry.pinned_loaded").Value(); got != basePins+1 {
+		t.Fatalf("pinned_loaded = %d, want %d", got, basePins+1)
+	}
+
+	// The pinned backend actually classifies.
+	out, err := old.ClassifyBatch(context.Background(), [][]float32{inst.Test[0]}, 8, 3)
+	if err != nil || len(out) != 1 || len(out[0].TopK) == 0 {
+		t.Fatalf("pinned classify: %v %+v", err, out)
+	}
+
+	// Unknown version is a load error, not a panic or a fallback.
+	if _, err := mgr.BackendFor("v9"); err == nil {
+		t.Fatal("BackendFor(unknown) succeeded")
 	}
 }

@@ -346,3 +346,32 @@ func TestRenderDisclosure(t *testing.T) {
 		}
 	}
 }
+
+func TestTenantTableRendered(t *testing.T) {
+	rep := LoadReport{
+		Schema: LoadSchemaV2, Scenario: "qos-smoke", Date: "2026-08-08",
+		Requests: 100, OK: 80,
+		Tenants: []LoadTenant{
+			{Tenant: "alice", Class: "interactive", Weight: 8, Requests: 80, OK: 80, P50Ms: 2.5, P99Ms: 9.1},
+			{Tenant: "bob", Class: "batch", Weight: 2, Requests: 20, OK: 0, Status429: 20},
+		},
+	}
+	r := &Report{Loads: []SourceLoad{{File: "run.json", Rep: rep}}}
+	var b strings.Builder
+	r.tenantLoadTable(&b, r.Loads)
+	out := b.String()
+	for _, want := range []string{"| alice | interactive |", "| bob | batch |", "| 20 | 0 | 20 | 0 | 0 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tenant table missing %q:\n%s", want, out)
+		}
+	}
+
+	// No tenants array → no table at all (single-tenant runs are
+	// byte-identical to before).
+	rep.Tenants = nil
+	var b2 strings.Builder
+	(&Report{}).tenantLoadTable(&b2, []SourceLoad{{Rep: rep}})
+	if b2.Len() != 0 {
+		t.Fatalf("tenant table rendered for a tenant-less report:\n%s", b2.String())
+	}
+}

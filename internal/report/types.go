@@ -200,7 +200,35 @@ type LoadReport struct {
 	// existing v2 documents are unchanged byte-for-byte.
 	Decode *LoadDecode `json:"decode,omitempty"`
 
+	// Tenants is present only for `-tenant-mix` runs: the per-tenant
+	// QoS breakdown (who got served, who got throttled or shed, and at
+	// what latency). Additive like Decode — single-tenant reports omit
+	// it unchanged.
+	Tenants []LoadTenant `json:"tenants,omitempty"`
+
 	Targets []LoadTarget `json:"targets"`
+}
+
+// LoadTenant is one tenant's slice of a `-tenant-mix` loadgen run.
+// Status429/Status503 split the rejections the QoS layer hands out
+// (quota/shed vs draining/backend), the split the qos-smoke asserts
+// on: batch tenants absorb the 429s, interactive tenants see none.
+type LoadTenant struct {
+	Tenant   string `json:"tenant"`
+	Class    string `json:"class,omitempty"`
+	Weight   int    `json:"weight,omitempty"`
+	Requests int    `json:"requests"`
+	OK       int    `json:"ok"`
+
+	Status429 int `json:"status_429"`
+	Status503 int `json:"status_503"`
+	// OtherErrors counts transport failures and any status outside
+	// {200, 429, 503}.
+	OtherErrors int `json:"other_errors,omitempty"`
+	Degraded    int `json:"degraded,omitempty"`
+
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 // LoadDecode is the streaming-session breakdown of a `-decode`

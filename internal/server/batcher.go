@@ -8,13 +8,17 @@ import (
 	"time"
 
 	"enmc/internal/telemetry"
+	"enmc/internal/tenant"
 )
 
-// Admission errors. The HTTP layer maps ErrOverloaded to 429 (with
-// Retry-After) and ErrDraining to 503.
+// Admission errors. The HTTP layer maps ErrOverloaded and ErrShed to
+// 429 (with Retry-After) and ErrDraining to 503.
 var (
-	// ErrOverloaded means the bounded admission queue is full.
+	// ErrOverloaded means the request's class queue is full.
 	ErrOverloaded = errors.New("server: admission queue full")
+	// ErrShed means the class was turned away to protect a
+	// higher-priority class's backlog (class-aware load shedding).
+	ErrShed = errors.New("server: load shed for higher-priority traffic")
 	// ErrDraining means the server is shutting down and no longer
 	// accepts work.
 	ErrDraining = errors.New("server: draining")
@@ -25,6 +29,7 @@ var (
 	mQueueDepth = telemetry.Default().Gauge("server.queue.depth")
 	mEnqueued   = telemetry.Default().Counter("server.queue.enqueued")
 	mRejected   = telemetry.Default().Counter("server.queue.rejected")
+	mShed       = telemetry.Default().Counter("server.queue.shed")
 	mExpired    = telemetry.Default().Counter("server.queue.expired")
 	mQueueNs    = telemetry.Default().Histogram("server.queue.wait_ns", telemetry.LatencyBuckets())
 	mFlushSize  = telemetry.Default().Histogram("server.batch.size", telemetry.CountBuckets())
@@ -33,6 +38,16 @@ var (
 	mDegraded   = telemetry.Default().Counter("server.batch.degraded")
 )
 
+// Per-class queue-depth gauges, indexed like tenant.Classes.
+var mClassDepth = func() [tenant.NumClasses]*telemetry.Gauge {
+	var g [tenant.NumClasses]*telemetry.Gauge
+	for i, c := range tenant.Classes {
+		g[i] = telemetry.Default().Gauge(telemetry.LabeledName("server.queue.class_depth",
+			map[string]string{"class": string(c)}))
+	}
+	return g
+}()
+
 // request is one queued single-item classification.
 type request struct {
 	ctx  context.Context
@@ -40,6 +55,13 @@ type request struct {
 	topK int
 	enq  time.Time
 	resp chan reply // buffered(1): the flush worker never blocks on it
+	// class is the owning tenant's priority class — the WFQ queue the
+	// request waits in and the degradation policy applied to it.
+	class tenant.Class
+	// tenantName labels telemetry; pinned routes the flush to a pinned
+	// model version ("" = active model).
+	tenantName string
+	pinned     string
 	// tc is the request's distributed trace context (zero when
 	// untraced). A flush adopts the first live request's tc — one
 	// micro-batch serves many requests, so the batch-level fan-out is
@@ -60,19 +82,21 @@ type reply struct {
 	err      error
 }
 
-// batcher is the dynamic micro-batching queue: single requests are
-// admitted into a bounded channel, a collector goroutine groups them
-// into batches (flushing when MaxBatch accumulate or the oldest has
-// waited MaxDelay), and a small pool of flush workers fans each
-// batch into the backend's worker-pool ClassifyBatch.
+// batcher is the dynamic micro-batching scheduler: single requests
+// are admitted into a per-class weighted-fair queue (deficit round
+// robin — see internal/tenant), a collector goroutine drains it in
+// DRR order into class-homogeneous batches (flushing when MaxBatch
+// accumulate or the oldest has waited MaxDelay), and a small pool of
+// flush workers fans each batch into the backend's worker-pool
+// ClassifyBatch.
 type batcher struct {
 	cfg     Config
 	backend Backend
+	// pinnedBackend resolves a tenant's pinned model version (nil:
+	// pinning unavailable — pinned requests fail).
+	pinnedBackend func(version string) (Backend, error)
 
-	mu     sync.RWMutex // serializes enqueue against close(queue)
-	closed bool
-
-	queue chan *request
+	q     *tenant.WFQ[*request]
 	flush chan []*request
 	wg    sync.WaitGroup // collector + flush workers
 	depth atomic.Int64
@@ -80,10 +104,11 @@ type batcher struct {
 
 func newBatcher(cfg Config, backend Backend) *batcher {
 	b := &batcher{
-		cfg:     cfg,
-		backend: backend,
-		queue:   make(chan *request, cfg.QueueCap),
-		flush:   make(chan []*request),
+		cfg:           cfg,
+		backend:       backend,
+		pinnedBackend: cfg.PinnedBackend,
+		q:             tenant.NewWFQ[*request](cfg.QueueCap, cfg.ClassWeights),
+		flush:         make(chan []*request),
 	}
 	b.wg.Add(1 + cfg.FlushWorkers)
 	go b.collect()
@@ -94,20 +119,23 @@ func newBatcher(cfg Config, backend Backend) *batcher {
 }
 
 // enqueue admits a request or rejects it immediately: ErrDraining
-// once drain has begun, ErrOverloaded when the bounded queue is full.
+// once drain has begun, ErrShed when the ladder is protecting a
+// higher class, ErrOverloaded when the request's class queue is full.
 func (b *batcher) enqueue(r *request) error {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if b.closed {
-		return ErrDraining
+	if b.shouldShed(r.class) {
+		mShed.Inc()
+		return ErrShed
 	}
-	select {
-	case b.queue <- r:
+	switch err := b.q.Push(r.class, r); err {
+	case nil:
 		b.depth.Add(1)
 		mQueueDepth.Add(1)
+		mClassDepth[r.class.Index()].Add(1)
 		mEnqueued.Inc()
 		return nil
-	default:
+	case tenant.ErrClosed:
+		return ErrDraining
+	default: // tenant.ErrQueueFull
 		mRejected.Inc()
 		return ErrOverloaded
 	}
@@ -117,41 +145,58 @@ func (b *batcher) enqueue(r *request) error {
 // blocks until every already-admitted request has been flushed and
 // replied to. Safe to call more than once.
 func (b *batcher) drain() {
-	b.mu.Lock()
-	if !b.closed {
-		b.closed = true
-		close(b.queue)
-	}
-	b.mu.Unlock()
+	b.q.Close()
 	b.wg.Wait()
 }
 
-// collect is the batching loop: it blocks for the first request,
-// then gathers more until the batch is full or MaxDelay has elapsed
-// since the batch opened, and hands the batch to a flush worker.
+// collect is the batching loop: DRR picks the class of the next
+// flush, then the batch is gathered class-homogeneously (PopClass —
+// the class borrows against future quanta for the batch's tail) until
+// it is full or MaxDelay has elapsed, and handed to a flush worker. A
+// flush never mixes classes, so one screening budget applies to the
+// whole batch.
 func (b *batcher) collect() {
 	defer b.wg.Done()
 	for {
-		r, ok := <-b.queue
+		r, class, ok := b.q.Pop()
 		if !ok {
-			close(b.flush)
-			return
+			if _, open := <-b.q.Ready(); !open && b.q.Len() == 0 {
+				close(b.flush)
+				return
+			}
+			continue
 		}
 		b.popped(r)
 		pending := []*request{r}
-		timer := time.NewTimer(b.cfg.MaxDelay)
-	gather:
-		for len(pending) < b.cfg.MaxBatch {
-			select {
-			case r2, ok := <-b.queue:
+		if b.q.Closed() {
+			// Draining: gather what is already queued, never wait.
+			for len(pending) < b.cfg.MaxBatch {
+				r2, ok := b.q.PopClass(class)
 				if !ok {
-					timer.Stop()
-					b.flush <- pending
-					close(b.flush)
-					return
+					break
 				}
 				b.popped(r2)
 				pending = append(pending, r2)
+			}
+			b.flush <- pending
+			continue
+		}
+		timer := time.NewTimer(b.cfg.MaxDelay)
+	gather:
+		for len(pending) < b.cfg.MaxBatch {
+			if r2, ok := b.q.PopClass(class); ok {
+				b.popped(r2)
+				pending = append(pending, r2)
+				continue
+			}
+			// The class queue is momentarily empty: wait for another
+			// arrival (any class signals Ready; only same-class items
+			// join this batch) or the batch deadline.
+			select {
+			case _, open := <-b.q.Ready():
+				if !open {
+					break gather
+				}
 			case <-timer.C:
 				break gather
 			}
@@ -164,6 +209,7 @@ func (b *batcher) collect() {
 func (b *batcher) popped(r *request) {
 	b.depth.Add(-1)
 	mQueueDepth.Add(-1)
+	mClassDepth[r.class.Index()].Add(-1)
 	mQueueNs.Observe(float64(time.Since(r.enq)))
 }
 
@@ -177,10 +223,12 @@ func (b *batcher) flushWorker() {
 // doFlush classifies one collected batch. Requests whose context has
 // already expired are answered with their context error without
 // touching the model; the rest run under the batcher's own lifetime
-// context so a graceful drain always completes admitted work.
+// context so a graceful drain always completes admitted work. The
+// screening budget is the flush class's — batches are class-
+// homogeneous by construction.
 func (b *batcher) doFlush(batch []*request) {
 	start := time.Now()
-	m, degraded := b.effectiveM()
+	m, degraded := b.effectiveM(batch[0].class)
 	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
@@ -193,26 +241,59 @@ func (b *batcher) doFlush(batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	hs := make([][]float32, len(live))
-	maxK := 1
 	fctx := context.Background()
-	adopted := false
-	for i, r := range live {
+	for _, r := range live {
+		// Batch-level trace adoption: the flush runs under the first
+		// traced request in the batch, so cluster RPC spans land in a
+		// trace (requests batched behind it share the timeline).
+		if r.tc.Valid() {
+			fctx = telemetry.WithTraceCtx(fctx, r.tc)
+			break
+		}
+	}
+	// Partition by pinned model version (insertion-ordered; almost
+	// always the single "" group serving the active model) so one
+	// flush can serve tenants pinned to different registry versions.
+	versions := []string{}
+	groups := map[string][]*request{}
+	for _, r := range live {
+		if _, ok := groups[r.pinned]; !ok {
+			versions = append(versions, r.pinned)
+		}
+		groups[r.pinned] = append(groups[r.pinned], r)
+	}
+	for _, ver := range versions {
+		b.flushGroup(fctx, groups[ver], ver, m, degraded, start, len(live))
+	}
+	mFlushSize.Observe(float64(len(live)))
+	mFlushNs.Observe(float64(time.Since(start)))
+}
+
+// flushGroup classifies the subset of a flush bound to one model
+// version ("" = the active backend) and answers its requests.
+func (b *batcher) flushGroup(fctx context.Context, group []*request, pinned string, m int, degraded bool, start time.Time, batchSize int) {
+	backend := b.backend
+	if pinned != "" {
+		var err error
+		backend, err = b.resolvePinned(pinned)
+		if err != nil {
+			for _, r := range group {
+				r.resp <- reply{err: err}
+			}
+			return
+		}
+	}
+	hs := make([][]float32, len(group))
+	maxK := 1
+	for i, r := range group {
 		hs[i] = r.h
 		if r.topK > maxK {
 			maxK = r.topK
 		}
-		// Batch-level trace adoption: the flush runs under the first
-		// traced request in the batch, so cluster RPC spans land in a
-		// trace (requests batched behind it share the timeline).
-		if !adopted && r.tc.Valid() {
-			fctx = telemetry.WithTraceCtx(fctx, r.tc)
-			adopted = true
-		}
 	}
-	outs, version, partial, err := classifyTagged(fctx, b.backend, hs, m, maxK)
-	for i, r := range live {
-		rep := reply{m: m, degraded: degraded, batch: len(live), queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, partial: partial, err: err}
+	outs, version, partial, err := classifyTagged(fctx, backend, hs, m, maxK)
+	for i, r := range group {
+		rep := reply{m: m, degraded: degraded, batch: batchSize, queuedNs: start.Sub(r.enq).Nanoseconds(), version: version, partial: partial, err: err}
 		if err == nil {
 			rep.out = outs[i]
 			if r.topK < len(rep.out.TopK) {
@@ -221,6 +302,12 @@ func (b *batcher) doFlush(batch []*request) {
 		}
 		r.resp <- rep
 	}
-	mFlushSize.Observe(float64(len(live)))
-	mFlushNs.Observe(float64(time.Since(start)))
+}
+
+// resolvePinned maps a pinned model version to its serving backend.
+func (b *batcher) resolvePinned(version string) (Backend, error) {
+	if b.pinnedBackend == nil {
+		return nil, errors.New("server: no pinned-model resolver configured (tenant pin requires -model-root)")
+	}
+	return b.pinnedBackend(version)
 }

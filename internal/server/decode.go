@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"enmc/internal/decode"
@@ -121,20 +120,36 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		if mode == "" {
 			mode = decode.Greedy
 		}
+		// A new session is one admission: it charges the owner tenant's
+		// rate quota and counts against its concurrent-session cap until
+		// the session leaves the service (close, eviction, shutdown).
+		ten := s.tenantFor(r)
+		ts := s.tstats.For(ten)
+		if !s.allowQuota(w, ten, ts, 1) {
+			return
+		}
+		if !ten.AcquireSession() {
+			ts.Throttled.Inc()
+			mStatus429.Inc()
+			s.retryAfterHeader(w)
+			writeErrorReason(w, http.StatusTooManyRequests, "session_quota",
+				fmt.Sprintf("tenant %s at its session cap (%d)", ten.Name, ten.MaxSessions()))
+			return
+		}
 		var err error
-		sess, err = svc.Open(mode, body.Width, body.H0)
+		sess, err = svc.OpenOwned(mode, body.Width, body.H0, ten.ReleaseSession)
 		switch {
 		case err == nil:
+			ts.Admitted.Inc()
 		case errors.Is(err, decode.ErrSessionLimit):
-			secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			ten.ReleaseSession()
+			ts.Throttled.Inc()
 			mStatus429.Inc()
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			s.retryAfterHeader(w)
+			writeErrorReason(w, http.StatusTooManyRequests, "session_limit", err.Error())
 			return
 		default:
+			ten.ReleaseSession()
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}

@@ -1,26 +1,59 @@
 package server
 
-// effectiveM is the graceful-degradation policy: the screening
-// budget for the next flush given current queue pressure. Below the
-// watermark the configured TopM is used unchanged; above it the
-// budget shrinks linearly toward MFloor as the queue approaches
-// capacity, trading a little candidate recall for per-item latency —
-// the knob the paper's screening/recompute split uniquely exposes
-// (fewer candidates ⇒ proportionally fewer exact rows).
+import (
+	"enmc/internal/telemetry"
+	"enmc/internal/tenant"
+)
+
+// Per-class effective-budget gauges, indexed like tenant.Classes.
+var mClassBudget = func() [tenant.NumClasses]*telemetry.Gauge {
+	var g [tenant.NumClasses]*telemetry.Gauge
+	for i, c := range tenant.Classes {
+		g[i] = telemetry.Default().Gauge(telemetry.LabeledName("server.batch.class_m",
+			map[string]string{"class": string(c)}))
+	}
+	return g
+}()
+
+// Class-aware graceful degradation. The screening budget m is the
+// paper's accuracy/latency dial (fewer screened candidates ⇒
+// proportionally fewer exact recompute rows), and the ladder spends
+// it by priority class instead of globally:
 //
-// The returned bool reports whether degradation is active; both the
-// budget and the event count are surfaced in telemetry
-// (server.batch.m, server.batch.degraded) and in every response body
-// so clients can observe quality, not just latency.
-func (b *batcher) effectiveM() (int, bool) {
-	m := b.cfg.TopM
-	depth := int(b.depth.Load())
-	wm := int(b.cfg.Watermark * float64(b.cfg.QueueCap))
-	if depth <= wm || b.cfg.MFloor >= m {
-		mBudget.Set(float64(m))
+//  1. A class's own backlog shrinks only that class's budget: past
+//     Watermark×QueueCap on its own queue, m falls linearly from TopM
+//     to MFloor at capacity — exactly the old global policy, scoped
+//     per class.
+//  2. A higher-priority class's backlog degrades lower classes first:
+//     when any strictly-higher class is past its watermark, lower
+//     classes drop straight to MFloor, and past ShedFrac of capacity
+//     they are shed outright at admission (429 + Retry-After).
+//
+// The asymmetry is the point: a batch flood fills only the batch
+// queue, so batch traffic absorbs the 429s and budget cuts while
+// interactive requests see full quality, and an interactive surge
+// degrades batch before it touches interactive.
+
+// classPressure is one consistent snapshot of per-class queue depth
+// against the shared per-class capacity.
+func effectiveMPolicy(cfg Config, depths [tenant.NumClasses]int, capPer int, c tenant.Class) (int, bool) {
+	m := cfg.TopM
+	idx := c.Index()
+	wm := int(cfg.Watermark * float64(capPer))
+
+	// Rule 2: a backlogged higher class floors every class below it.
+	for i := 0; i < idx; i++ {
+		if depths[i] > wm {
+			return cfg.MFloor, cfg.MFloor < m
+		}
+	}
+
+	// Rule 1: own-queue linear shrink past the watermark.
+	depth := depths[idx]
+	if depth <= wm || cfg.MFloor >= m {
 		return m, false
 	}
-	span := b.cfg.QueueCap - wm
+	span := capPer - wm
 	frac := 1.0
 	if span > 0 {
 		frac = float64(depth-wm) / float64(span)
@@ -28,11 +61,45 @@ func (b *batcher) effectiveM() (int, bool) {
 			frac = 1
 		}
 	}
-	m -= int(frac * float64(m-b.cfg.MFloor))
-	if m < b.cfg.MFloor {
-		m = b.cfg.MFloor
+	m -= int(frac * float64(m-cfg.MFloor))
+	if m < cfg.MFloor {
+		m = cfg.MFloor
 	}
-	mBudget.Set(float64(m))
-	mDegraded.Inc()
 	return m, true
+}
+
+// effectiveM applies the ladder to the next flush of class c, from a
+// single locked snapshot of the class queues. The chosen budget and
+// any degradation event are surfaced in telemetry (server.batch.m,
+// server.batch.class_m{class=...}, server.batch.degraded) and in
+// every response body so clients can observe quality, not just
+// latency.
+func (b *batcher) effectiveM(c tenant.Class) (int, bool) {
+	depths, capPer := b.q.Depths()
+	m, degraded := effectiveMPolicy(b.cfg, depths, capPer, c)
+	mBudget.Set(float64(m))
+	mClassBudget[c.Index()].Set(float64(m))
+	if degraded {
+		mDegraded.Inc()
+	}
+	return m, degraded
+}
+
+// shouldShed reports whether class c must be turned away at admission
+// to protect a strictly-higher class whose queue is past ShedFrac of
+// capacity. The highest backlogged class itself is never shed by this
+// rule — it is bounded by its own queue capacity (ErrOverloaded).
+func (b *batcher) shouldShed(c tenant.Class) bool {
+	idx := c.Index()
+	if idx == 0 {
+		return false
+	}
+	depths, capPer := b.q.Depths()
+	limit := int(b.cfg.ShedFrac * float64(capPer))
+	for i := 0; i < idx; i++ {
+		if depths[i] > limit {
+			return true
+		}
+	}
+	return false
 }

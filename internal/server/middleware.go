@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"enmc/internal/telemetry"
+	"enmc/internal/tenant"
 )
 
 // Observability middleware: every /v1/* request gets a request ID
@@ -28,6 +29,9 @@ type reqMeta struct {
 	partial  bool
 	missing  []int
 	errMsg   string
+	// tenant is the identity the middleware resolved from the API key
+	// before invoking the handler — one resolution per request.
+	tenant *tenant.Tenant
 }
 
 type reqMetaKey struct{}
@@ -74,7 +78,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			spanStart = tr.Now()
 		}
 
-		meta := &reqMeta{}
+		meta := &reqMeta{tenant: s.tenants.Resolve(r.Header.Get(tenant.HeaderAPIKey))}
 		ctx = context.WithValue(ctx, reqMetaKey{}, meta)
 		sw := &telemetry.StatusRecorder{ResponseWriter: w}
 		next.ServeHTTP(sw, r.WithContext(ctx))
@@ -82,20 +86,31 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		status := sw.Status()
 		latency := time.Since(start)
 		s.slo.Observe(r.URL.Path, status, latency)
+		// The tenant's own SLO window rolls alongside the global one.
+		s.tstats.For(meta.tenant).Observe(r.URL.Path, status, latency)
+		tenantName := meta.tenant.Name
+		if meta.tenant.Anonymous() {
+			// Back-compat: an explicit X-Enmc-Tenant label still tags
+			// logs for callers without an API key.
+			if h := r.Header.Get("X-Enmc-Tenant"); h != "" {
+				tenantName = h
+			}
+		}
 		if tr.Enabled() {
 			tr.Add(telemetry.Span{
-				Name:  "HTTP " + r.URL.Path,
-				Cat:   "http",
-				TID:   telemetry.TrackHTTP,
-				Start: spanStart,
-				Dur:   tr.Now() - spanStart,
-				Trace: tc.TraceID,
+				Name:   "HTTP " + r.URL.Path,
+				Cat:    "http",
+				TID:    telemetry.TrackHTTP,
+				Start:  spanStart,
+				Dur:    tr.Now() - spanStart,
+				Trace:  tc.TraceID,
+				Tenant: tenantName,
 			})
 		}
 		s.reqLog.Log(telemetry.RequestEvent{
 			RequestID:     reqID,
 			TraceID:       tc.TraceID,
-			Tenant:        r.Header.Get("X-Enmc-Tenant"),
+			Tenant:        tenantName,
 			Method:        r.Method,
 			Path:          r.URL.Path,
 			Status:        status,

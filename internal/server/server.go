@@ -14,15 +14,21 @@
 //	POST /v1/decode          {"h0":[...]} / {"session":"..."} — open or
 //	     continue a streaming decode session (SSE or NDJSON frames,
 //	     one per emitted token; see decode.go and internal/decode)
+//	GET  /v1/tenants         — per-tenant QoS counters + SLO windows
 //	GET  /healthz            — liveness (always 200 while serving)
 //	GET  /readyz             — readiness (503 once Drain has begun)
 //
-// Load behavior: when the bounded queue is full the service answers
-// 429 with Retry-After instead of queueing unboundedly; when queue
-// depth crosses the configured watermark the screening budget TopM
-// shrinks toward MFloor (see degrade.go), surfaced per-response as
-// "m"/"degraded" and in telemetry. Drain fails readiness first, stops
-// intake (503), and completes every admitted request.
+// Load behavior: requests resolve to a tenant (X-Enmc-Api-Key against
+// the hot-reloadable tenant config) whose priority class picks the
+// admission queue — a deficit-round-robin weighted-fair scheduler
+// across interactive/standard/batch (see internal/tenant). A full
+// class queue answers 429 with Retry-After instead of queueing
+// unboundedly; past the watermark the screening budget TopM shrinks
+// toward MFloor class-aware (batch first, interactive last — see
+// degrade.go), surfaced per-response as "m"/"degraded"/"class" and in
+// telemetry. Every 429/503 carries Retry-After and a machine-readable
+// "reason". Drain fails readiness first, stops intake (503), and
+// completes every admitted request.
 package server
 
 import (
@@ -36,6 +42,7 @@ import (
 
 	"enmc/internal/decode"
 	"enmc/internal/telemetry"
+	"enmc/internal/tenant"
 )
 
 // Per-endpoint instruments on the default telemetry registry.
@@ -62,8 +69,8 @@ type Config struct {
 	// long (default 2ms) — the latency bound a single idle request
 	// pays for batching.
 	MaxDelay time.Duration
-	// QueueCap bounds the admission queue; a full queue answers 429
-	// (default 256).
+	// QueueCap bounds each priority class's admission queue; a full
+	// class queue answers 429 (default 256).
 	QueueCap int
 	// FlushWorkers is the number of batches that may be in flight on
 	// the backend concurrently (default 2).
@@ -89,6 +96,21 @@ type Config struct {
 	// SLO is the rolling-window tracker behind GET /v1/slo and the
 	// slo_* gauges on /metrics (nil: a default 5m/99.9% tracker).
 	SLO *telemetry.SLO
+	// Tenants resolves API keys to tenant identities (nil: a built-in
+	// single-tenant resolver — every request is the anonymous
+	// standard-class tenant with no quota).
+	Tenants *tenant.Resolver
+	// ClassWeights overrides the DRR quantum per priority class,
+	// indexed like tenant.Classes (zero entries take
+	// tenant.DefaultWeights: 8/4/1).
+	ClassWeights [tenant.NumClasses]int
+	// ShedFrac is the fraction of a higher class's queue capacity past
+	// which lower classes are shed at admission (default 0.75).
+	ShedFrac float64
+	// PinnedBackend resolves a tenant's pinned model version to a
+	// serving backend (typically registry.Manager.BackendFor). Nil
+	// rejects pinned tenants' requests with an explanatory error.
+	PinnedBackend func(version string) (Backend, error)
 }
 
 func (c *Config) defaults(categories int) {
@@ -128,6 +150,9 @@ func (c *Config) defaults(categories int) {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ShedFrac <= 0 || c.ShedFrac >= 1 {
+		c.ShedFrac = 0.75
+	}
 }
 
 // ReloadFunc triggers a model reload: version "" means "newest
@@ -149,6 +174,8 @@ type Server struct {
 	decodeSvc atomic.Pointer[decode.Service]
 	reqLog    *telemetry.RequestLog
 	slo       *telemetry.SLO
+	tenants   *tenant.Resolver
+	tstats    *tenant.Stats
 }
 
 // New builds a Server over the backend and starts its batching
@@ -165,6 +192,16 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	if slo == nil {
 		slo = telemetry.NewSLO(telemetry.SLOConfig{})
 	}
+	tenants := cfg.Tenants
+	if tenants == nil {
+		// Single-tenant fallback: everything resolves to the built-in
+		// anonymous identity, so the tenancy path is uniform.
+		var err error
+		tenants, err = tenant.NewResolver(tenant.File{})
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		backend: backend,
@@ -173,6 +210,8 @@ func New(backend Backend, cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		reqLog:  cfg.RequestLog,
 		slo:     slo,
+		tenants: tenants,
+		tstats:  tenant.NewStats(telemetry.Default(), telemetry.SLOConfig{}),
 	}
 	s.mux.HandleFunc("/v1/classify", s.handleClassify)
 	s.mux.HandleFunc("/v1/classify_batch", s.handleClassifyBatch)
@@ -180,6 +219,7 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/model/reload", s.handleModelReload)
 	s.mux.HandleFunc("/v1/slo", s.handleSLO)
+	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.Handle("/metrics", telemetry.PrometheusHandler(telemetry.Default(),
@@ -252,6 +292,11 @@ type ClassifyResponse struct {
 	Degraded  bool        `json:"degraded"`
 	BatchSize int         `json:"batch_size"`
 	QueueUs   int64       `json:"queue_us"`
+	// Tenant/QoSClass report the QoS identity the request was served
+	// under — which weighted-fair queue it waited in and which rung of
+	// the degradation ladder chose m.
+	Tenant   string `json:"tenant,omitempty"`
+	QoSClass string `json:"qos_class,omitempty"`
 	// ModelVersion is the registry version that served this request
 	// (empty for unversioned backends); during a hot swap it names
 	// the model the batch actually ran on. VersionSkew reports a
@@ -282,6 +327,8 @@ type ClassifyBatchResponse struct {
 	Results       []BatchItem `json:"results"`
 	M             int         `json:"m"`
 	Degraded      bool        `json:"degraded"`
+	Tenant        string      `json:"tenant,omitempty"`
+	QoSClass      string      `json:"qos_class,omitempty"`
 	ModelVersion  string      `json:"model_version,omitempty"`
 	VersionSkew   bool        `json:"version_skew,omitempty"`
 	Partial       bool        `json:"partial"`
@@ -314,6 +361,10 @@ type ReloadResponse struct {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Reason is the machine-readable rejection class, set on every
+	// 429/503: "overloaded", "shed", "quota", "session_limit",
+	// "session_quota", "draining", "backend".
+	Reason string `json:"reason,omitempty"`
 }
 
 // --- handlers ---
@@ -337,18 +388,29 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	topK := s.clampTopK(body.TopK)
+	ten := s.tenantFor(r)
+	ts := s.tstats.For(ten)
+	if !s.allowQuota(w, ten, ts, 1) {
+		return
+	}
 
 	req := &request{
-		ctx:  r.Context(),
-		h:    body.H,
-		topK: topK,
-		enq:  time.Now(),
-		resp: make(chan reply, 1),
+		ctx:        r.Context(),
+		h:          body.H,
+		topK:       topK,
+		enq:        time.Now(),
+		resp:       make(chan reply, 1),
+		class:      ten.Class,
+		tenantName: ten.Name,
+		pinned:     ten.Pinned,
 	}
 	if tc, ok := telemetry.TraceCtxFrom(r.Context()); ok {
 		req.tc = tc
 	}
 	if err := s.b.enqueue(req); err != nil {
+		if err == ErrOverloaded || err == ErrShed {
+			ts.Shed.Inc()
+		}
 		s.writeUnavailable(w, err)
 		return
 	}
@@ -369,8 +431,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		if rep.err != nil {
 			mStatus5xx.Inc()
-			writeError(w, http.StatusServiceUnavailable, rep.err.Error())
+			s.retryAfterHeader(w)
+			writeErrorReason(w, http.StatusServiceUnavailable, "backend", rep.err.Error())
 			return
+		}
+		ts.Admitted.Inc()
+		if rep.degraded {
+			ts.Degraded.Inc()
 		}
 		writeJSON(w, http.StatusOK, ClassifyResponse{
 			Class:         rep.out.Class,
@@ -379,6 +446,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			Degraded:      rep.degraded,
 			BatchSize:     rep.batch,
 			QueueUs:       rep.queuedNs / 1e3,
+			Tenant:        ten.Name,
+			QoSClass:      string(ten.Class),
 			ModelVersion:  rep.version,
 			VersionSkew:   s.versionSkew(),
 			Partial:       rep.partial.Partial,
@@ -429,13 +498,37 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	topK := s.clampTopK(body.TopK)
+	ten := s.tenantFor(r)
+	ts := s.tstats.For(ten)
+	// A caller-formed batch charges its item count against the quota —
+	// one bucket token per classified item.
+	if !s.allowQuota(w, ten, ts, float64(len(body.Batch))) {
+		return
+	}
+	if s.b.shouldShed(ten.Class) {
+		ts.Shed.Inc()
+		mShed.Inc()
+		s.writeUnavailable(w, ErrShed)
+		return
+	}
 
 	// Caller-formed batches bypass the micro-batcher (they already
-	// amortize) but share the degradation policy, and run under the
-	// request's own context so a client deadline aborts between
-	// items.
-	m, degraded := s.b.effectiveM()
-	outs, version, partial, err := classifyTagged(r.Context(), s.backend, body.Batch, m, topK)
+	// amortize) but share the class-aware degradation policy, and run
+	// under the request's own context so a client deadline aborts
+	// between items.
+	backend := s.backend
+	if ten.Pinned != "" {
+		var perr error
+		backend, perr = s.b.resolvePinned(ten.Pinned)
+		if perr != nil {
+			mStatus5xx.Inc()
+			s.retryAfterHeader(w)
+			writeErrorReason(w, http.StatusServiceUnavailable, "backend", perr.Error())
+			return
+		}
+	}
+	m, degraded := s.b.effectiveM(ten.Class)
+	outs, version, partial, err := classifyTagged(r.Context(), backend, body.Batch, m, topK)
 	if meta := metaFrom(r.Context()); meta != nil {
 		meta.items = len(body.Batch)
 		meta.version = version
@@ -451,8 +544,13 @@ func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGatewayTimeout, err.Error())
 		return
 	}
+	ts.Admitted.Inc()
+	if degraded {
+		ts.Degraded.Inc()
+	}
 	resp := ClassifyBatchResponse{
 		Results: make([]BatchItem, len(outs)), M: m, Degraded: degraded,
+		Tenant: ten.Name, QoSClass: string(ten.Class),
 		ModelVersion: version, VersionSkew: s.versionSkew(),
 		Partial: partial.Partial, MissingShards: partial.MissingShards,
 	}
@@ -573,24 +671,42 @@ func (s *Server) clampTopK(k int) int {
 	return k
 }
 
-// writeUnavailable maps admission errors: full queue → 429, draining
-// → 503, both with a Retry-After hint.
-func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+// retryAfterHeader sets the configured Retry-After hint (whole
+// seconds, min 1) — every 429/503 carries one.
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
 	secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// writeUnavailable maps admission errors: full class queue or load
+// shed → 429, draining → 503, all with a Retry-After hint and a
+// machine-readable reason.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	s.retryAfterHeader(w)
 	code := http.StatusServiceUnavailable
-	if err == ErrOverloaded {
+	reason := "draining"
+	switch err {
+	case ErrOverloaded:
 		code = http.StatusTooManyRequests
+		reason = "overloaded"
+		mStatus429.Inc()
+	case ErrShed:
+		code = http.StatusTooManyRequests
+		reason = "shed"
 		mStatus429.Inc()
 	}
-	writeError(w, code, err.Error())
+	writeErrorReason(w, code, reason, err.Error())
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeErrorReason(w http.ResponseWriter, code int, reason, msg string) {
+	writeJSON(w, code, errorBody{Error: msg, Reason: reason})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

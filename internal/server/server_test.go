@@ -14,6 +14,7 @@ import (
 	"enmc/internal/core"
 	"enmc/internal/distributed"
 	"enmc/internal/quant"
+	"enmc/internal/tenant"
 	"enmc/internal/workload"
 )
 
@@ -346,16 +347,20 @@ func TestDrainZeroFailures(t *testing.T) {
 	}
 }
 
-// TestDegradationPolicy exercises effectiveM directly across the
-// depth range: full budget below the watermark, linear shrink above
-// it, never below the floor.
+// TestDegradationPolicy exercises the class-aware ladder directly:
+// a class's own backlog shrinks only its own budget (full budget
+// below the watermark, linear shrink above it, never below the
+// floor), and a backlogged higher class floors every class below it
+// while leaving classes above untouched.
 func TestDegradationPolicy(t *testing.T) {
-	fb := &fakeBackend{hidden: 8, categories: 256}
 	cfg := Config{TopM: 16, MFloor: 2, QueueCap: 100, Watermark: 0.5}
-	cfg.defaults(fb.categories)
-	b := &batcher{cfg: cfg, backend: fb}
+	cfg.defaults(256)
 
-	cases := []struct {
+	ix := tenant.Interactive.Index()
+	bx := tenant.Batch.Index()
+
+	// Rule 1: own-queue pressure, other classes idle.
+	own := []struct {
 		depth    int
 		want     int
 		degraded bool
@@ -366,16 +371,67 @@ func TestDegradationPolicy(t *testing.T) {
 		{100, 2, true},    // full queue: floor
 		{10_000, 2, true}, // beyond capacity still clamps to the floor
 	}
-	for _, c := range cases {
-		b.depth.Store(int64(c.depth))
-		m, degraded := b.effectiveM()
-		if m != c.want || degraded != c.degraded {
-			t.Fatalf("depth %d: m=%d degraded=%v, want m=%d degraded=%v",
-				c.depth, m, degraded, c.want, c.degraded)
+	for _, c := range own {
+		for _, class := range tenant.Classes {
+			var depths [tenant.NumClasses]int
+			depths[class.Index()] = c.depth
+			m, degraded := effectiveMPolicy(cfg, depths, cfg.QueueCap, class)
+			if m != c.want || degraded != c.degraded {
+				t.Fatalf("class %s depth %d: m=%d degraded=%v, want m=%d degraded=%v",
+					class, c.depth, m, degraded, c.want, c.degraded)
+			}
+			if m < cfg.MFloor {
+				t.Fatalf("depth %d: budget %d under floor %d", c.depth, m, cfg.MFloor)
+			}
 		}
-		if m < cfg.MFloor {
-			t.Fatalf("depth %d: budget %d under floor %d", c.depth, m, cfg.MFloor)
+	}
+
+	// Rule 2: an interactive backlog floors batch immediately but
+	// leaves interactive's own budget governed by its own queue.
+	var depths [tenant.NumClasses]int
+	depths[ix] = 60 // past the watermark
+	if m, degraded := effectiveMPolicy(cfg, depths, cfg.QueueCap, tenant.Batch); m != 2 || !degraded {
+		t.Fatalf("batch under interactive pressure: m=%d degraded=%v, want floor 2", m, degraded)
+	}
+	if m, _ := effectiveMPolicy(cfg, depths, cfg.QueueCap, tenant.Interactive); m != 14 {
+		t.Fatalf("interactive at depth 60: m=%d, want 14 (own linear shrink)", m)
+	}
+
+	// The asymmetric case that motivates the ladder: a batch flood
+	// must not touch interactive quality at all.
+	depths = [tenant.NumClasses]int{}
+	depths[bx] = 100
+	if m, degraded := effectiveMPolicy(cfg, depths, cfg.QueueCap, tenant.Interactive); m != 16 || degraded {
+		t.Fatalf("interactive under batch flood: m=%d degraded=%v, want full budget", m, degraded)
+	}
+	if m, _ := effectiveMPolicy(cfg, depths, cfg.QueueCap, tenant.Batch); m != 2 {
+		t.Fatalf("batch flood's own budget: m=%d, want floor 2", m)
+	}
+}
+
+// TestShedPolicy: lower classes are shed at admission once a
+// strictly-higher class's queue passes ShedFrac of capacity; the
+// backlogged class itself is never shed by the rule.
+func TestShedPolicy(t *testing.T) {
+	cfg := Config{QueueCap: 100, ShedFrac: 0.75}
+	cfg.defaults(64)
+	// A bare batcher (no collector) so pushed depths stay put.
+	b := &batcher{cfg: cfg, q: tenant.NewWFQ[*request](cfg.QueueCap, cfg.ClassWeights)}
+
+	if b.shouldShed(tenant.Batch) || b.shouldShed(tenant.Interactive) {
+		t.Fatal("shed with empty queues")
+	}
+	// Simulate an interactive backlog past the shed threshold.
+	for i := 0; i < 80; i++ {
+		if err := b.q.Push(tenant.Interactive, &request{class: tenant.Interactive}); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if !b.shouldShed(tenant.Batch) || !b.shouldShed(tenant.Standard) {
+		t.Fatal("lower classes not shed under interactive backlog")
+	}
+	if b.shouldShed(tenant.Interactive) {
+		t.Fatal("the backlogged class shed itself")
 	}
 }
 

@@ -91,13 +91,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			PID:  s.PID,
 			TID:  s.TID,
 		}
-		if s.Bytes != 0 || s.Trace != "" {
+		if s.Bytes != 0 || s.Trace != "" || s.Tenant != "" {
 			ev.Args = map[string]interface{}{}
 			if s.Bytes != 0 {
 				ev.Args["bytes"] = s.Bytes
 			}
 			if s.Trace != "" {
 				ev.Args["trace"] = s.Trace
+			}
+			if s.Tenant != "" {
+				ev.Args["tenant"] = s.Tenant
 			}
 		}
 		events = append(events, ev)

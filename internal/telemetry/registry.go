@@ -174,22 +174,27 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		Sum:   math.Float64frombits(h.sumBits.Load()),
+		Sum: math.Float64frombits(h.sumBits.Load()),
 	}
-	if s.Count > 0 {
-		s.Mean = s.Sum / float64(s.Count)
-		s.Min = math.Float64frombits(h.minBits.Load())
-		s.Max = math.Float64frombits(h.maxBits.Load())
-	}
+	// Count is the sum of the bucket reads, not the separate count
+	// atomic: Observe bumps the bucket first, so a scrape racing an
+	// in-flight observation could otherwise report a _count one short
+	// of its own +Inf cumulative bucket — Prometheus requires the two
+	// to agree within one exposition.
 	s.Buckets = make([]Bucket, 0, len(h.counts))
 	for i := range h.counts {
 		n := h.counts[i].Load()
+		s.Count += n
 		if i < len(h.bounds) {
 			s.Buckets = append(s.Buckets, Bucket{UpperBound: h.bounds[i], Count: n})
 		} else {
 			s.Buckets = append(s.Buckets, Bucket{Overflow: true, Count: n})
 		}
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
 	return s
 }

@@ -52,6 +52,10 @@ type Span struct {
 	// = untraced). Exported as an arg so one Perfetto capture can be
 	// filtered down to a single propagated request.
 	Trace string
+	// Tenant names the tenant the span's request resolved to (empty =
+	// no tenancy). Exported as an arg so a capture can be filtered to
+	// one tenant's traffic.
+	Tenant string
 }
 
 // Tracer collects spans. The zero value is NOT ready; use NewTracer.

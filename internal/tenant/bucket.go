@@ -1,0 +1,71 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity `burst` tokens, refilled at
+// `rate` tokens/second. Take is mutex-guarded (one tenant's admission
+// path, not the classify hot path) and, on rejection, computes the
+// actual wait until the requested tokens will exist — the value the
+// serving layer puts in Retry-After, so a throttled client learns the
+// real backoff instead of a fixed hint.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// NewBucket builds a bucket starting full. rate must be > 0; burst
+// values below 1 are clamped to 1 (a bucket that can never fire is a
+// config error, not a feature).
+func NewBucket(rate float64, burst int) *Bucket {
+	b := float64(burst)
+	if b < 1 {
+		// Default burst: one second's refill, at least one token.
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &Bucket{rate: rate, burst: b, tokens: b, now: time.Now}
+}
+
+// Take removes n tokens if available. On refusal it reports how long
+// until n tokens will have accumulated — the Retry-After value.
+func (b *Bucket) Take(n float64) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	// Need (n - tokens) more tokens at `rate` per second. Even a
+	// request larger than the burst gets a finite (if hopeless) hint;
+	// the caller's validation should have rejected it earlier.
+	need := n - b.tokens
+	wait := time.Duration(need / b.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// Rate returns the configured refill rate (tokens/second).
+func (b *Bucket) Rate() float64 { return b.rate }
+
+// Burst returns the bucket capacity.
+func (b *Bucket) Burst() float64 { return b.burst }

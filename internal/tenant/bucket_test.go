@@ -1,0 +1,97 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock gives tests a hand-cranked bucket clock.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time                    { return f.t }
+func (f *fakeClock) advance(d time.Duration) time.Time { f.t = f.t.Add(d); return f.t }
+
+func newTestBucket(rate float64, burst int) (*Bucket, *fakeClock) {
+	b := NewBucket(rate, burst)
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	b.now = fc.now
+	return b, fc
+}
+
+func TestBucketStartsFullAndRefills(t *testing.T) {
+	b, fc := newTestBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.Take(1); !ok {
+			t.Fatalf("take %d from full bucket refused", i)
+		}
+	}
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("take from empty bucket admitted")
+	}
+	// 1 token at 10/s: 100ms.
+	if wait != 100*time.Millisecond {
+		t.Fatalf("retry wait %v, want 100ms", wait)
+	}
+	fc.advance(100 * time.Millisecond)
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("take after exact refill refused")
+	}
+}
+
+func TestBucketClampsToBurst(t *testing.T) {
+	b, fc := newTestBucket(100, 3)
+	b.Take(3) // empty it
+	fc.advance(time.Hour)
+	// An hour's refill still caps at burst.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.Take(1); !ok {
+			t.Fatalf("take %d after long idle refused", i)
+		}
+	}
+	if ok, _ := b.Take(1); ok {
+		t.Fatal("burst clamp violated: 4th take admitted")
+	}
+}
+
+func TestBucketRetryAfterIsRealRefillTime(t *testing.T) {
+	b, _ := newTestBucket(0.5, 1) // one token every 2s
+	b.Take(1)
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait != 2*time.Second {
+		t.Fatalf("retry wait %v, want 2s (1 token at 0.5/s)", wait)
+	}
+}
+
+func TestBucketDefaultBurst(t *testing.T) {
+	// No burst: defaults to one second's refill...
+	b := NewBucket(7, 0)
+	if b.Burst() != 7 {
+		t.Fatalf("default burst %v, want rate (7)", b.Burst())
+	}
+	// ...but never below one token, even at fractional rates.
+	b = NewBucket(0.2, 0)
+	if b.Burst() != 1 {
+		t.Fatalf("default burst %v, want 1", b.Burst())
+	}
+}
+
+func TestTenantAllowCeilsRetrySeconds(t *testing.T) {
+	ten := &Tenant{Name: "x", Class: Batch, bucket: NewBucket(0.4, 1)}
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	ten.bucket.now = fc.now
+	if ok, _ := ten.Allow(1); !ok {
+		t.Fatal("first take refused")
+	}
+	ok, retry := ten.Allow(1)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	// 1 token at 0.4/s = 2.5s, ceiled to 3 whole seconds.
+	if retry != 3 {
+		t.Fatalf("Retry-After %d, want 3", retry)
+	}
+}

@@ -1,0 +1,154 @@
+// Package tenant is the multi-tenant QoS layer between HTTP admission
+// and batch execution: per-tenant identity resolved from an API key
+// against a hot-reloadable on-disk config, token-bucket rate limiting
+// whose rejections carry the bucket's actual refill time, a
+// deficit-round-robin weighted-fair scheduler across priority classes
+// (interactive / standard / batch), and per-tenant telemetry + SLO
+// windows.
+//
+// The design premise comes straight from the paper: the screening
+// budget m is a per-query accuracy/latency dial, so under pressure the
+// server should spend it per tenant *class* — shed or shrink-TopM for
+// batch traffic first, and touch interactive traffic only as a last
+// resort — instead of shrinking it globally and letting one abusive
+// batch client degrade every interactive user.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HeaderAPIKey is the request header carrying the tenant's API key.
+const HeaderAPIKey = "X-Enmc-Api-Key"
+
+// Class is a priority class of service. Classes order strictly:
+// Interactive > Standard > Batch.
+type Class string
+
+const (
+	// Interactive is latency-sensitive user-facing traffic: served
+	// first, degraded last.
+	Interactive Class = "interactive"
+	// Standard is the default class for unclassified tenants.
+	Standard Class = "standard"
+	// Batch is throughput-oriented offline traffic: first to be shed
+	// or degraded under pressure.
+	Batch Class = "batch"
+)
+
+// Classes lists every class in strict priority order (highest first).
+// Index into per-class arrays with Class.Index.
+var Classes = [...]Class{Interactive, Standard, Batch}
+
+// NumClasses is the number of priority classes.
+const NumClasses = len(Classes)
+
+// Index returns the class's position in Classes (0 = highest
+// priority). Unknown classes map to Standard's index.
+func (c Class) Index() int {
+	switch c {
+	case Interactive:
+		return 0
+	case Batch:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// ParseClass validates a config string. The empty string means
+// Standard.
+func ParseClass(s string) (Class, error) {
+	switch Class(s) {
+	case Interactive, Standard, Batch:
+		return Class(s), nil
+	case "":
+		return Standard, nil
+	default:
+		return "", fmt.Errorf("tenant: unknown class %q (want interactive, standard or batch)", s)
+	}
+}
+
+// DefaultWeights is the DRR quantum per class, highest priority
+// first: when every class is backlogged, interactive drains 8
+// requests for every 4 standard and 1 batch.
+var DefaultWeights = [NumClasses]int{8, 4, 1}
+
+// Errors surfaced to the serving layer, which maps them onto HTTP
+// statuses (429 with Retry-After for quota and shed rejections).
+var (
+	// ErrQueueFull: the class's admission queue is at capacity.
+	ErrQueueFull = errors.New("tenant: class queue full")
+	// ErrClosed: the scheduler is draining; no new admissions.
+	ErrClosed = errors.New("tenant: scheduler closed")
+)
+
+// Spec is one tenant entry of the on-disk config file: the API key it
+// is resolved by, its priority class, its token-bucket quota, and the
+// optional registry model version its traffic is pinned to.
+type Spec struct {
+	// Name identifies the tenant in telemetry, logs and reports.
+	Name string `json:"name"`
+	// Key is the X-Enmc-Api-Key value that resolves to this tenant.
+	Key string `json:"key"`
+	// Class is "interactive", "standard" or "batch" (default standard).
+	Class string `json:"class,omitempty"`
+	// Rate is the token-bucket refill in requests/second; 0 means
+	// unlimited (no bucket).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity (default: max(1, ceil(Rate))).
+	Burst int `json:"burst,omitempty"`
+	// ModelVersion pins this tenant's traffic to a registry version;
+	// empty serves the active model.
+	ModelVersion string `json:"model_version,omitempty"`
+	// MaxSessions caps this tenant's concurrent decode sessions; 0
+	// means no per-tenant cap (the service-wide cap still applies).
+	MaxSessions int `json:"max_sessions,omitempty"`
+}
+
+// File is the on-disk tenant config: a list of keyed tenants plus the
+// policy for requests whose key is unknown or absent.
+type File struct {
+	Tenants []Spec `json:"tenants"`
+	// Default, when present, is the tenant unknown/absent keys resolve
+	// to (its Key field is ignored). When nil, unknown traffic gets
+	// the built-in anonymous tenant: standard class, no quota, no pin.
+	Default *Spec `json:"default,omitempty"`
+}
+
+// Validate checks the file for duplicate keys/names and bad classes.
+func (f *File) Validate() error {
+	keys := map[string]int{}
+	names := map[string]int{}
+	for i, t := range f.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("tenant: tenants[%d] has no name", i)
+		}
+		if t.Key == "" {
+			return fmt.Errorf("tenant: tenant %q has no key", t.Name)
+		}
+		if j, dup := keys[t.Key]; dup {
+			return fmt.Errorf("tenant: tenants[%d] and [%d] share key %q", j, i, t.Key)
+		}
+		if j, dup := names[t.Name]; dup {
+			return fmt.Errorf("tenant: tenants[%d] and [%d] share name %q", j, i, t.Name)
+		}
+		keys[t.Key], names[t.Name] = i, i
+		if _, err := ParseClass(t.Class); err != nil {
+			return fmt.Errorf("tenant %q: %w", t.Name, err)
+		}
+		if t.Rate < 0 {
+			return fmt.Errorf("tenant %q: negative rate", t.Name)
+		}
+	}
+	if f.Default != nil {
+		if _, err := ParseClass(f.Default.Class); err != nil {
+			return fmt.Errorf("tenant default: %w", err)
+		}
+		if f.Default.Rate < 0 {
+			return fmt.Errorf("tenant default: negative rate")
+		}
+	}
+	return nil
+}

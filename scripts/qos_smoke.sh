@@ -1,0 +1,223 @@
+#!/usr/bin/env bash
+# Multi-tenant QoS smoke test: one enmc-serve process, a registry with
+# two published versions, and a tenant config with an interactive
+# tenant (alice), a saturating batch tenant (bob), and a tenant pinned
+# to the older model version (frozen). Two concurrent `enmc-loadgen
+# -tenant-mix` runs — a paced interactive stream and a saturating
+# batch flood — drive both classes at once while the script asserts
+# the QoS contract:
+#
+#   1. pressure attribution — the batch class absorbs >= 95% of all
+#      shed/degrade/throttle events (scraped from the per-tenant
+#      labeled counters on /metrics); the interactive tenant sees
+#      zero 429s, zero 5xx, and a p99 inside the budget;
+#   2. hot reload — mid-load, the tenant config is rewritten to
+#      crush bob's quota and SIGHUP'd in: the server must flip the
+#      quota (bob starts drawing 429s from the token bucket) with
+#      zero dropped in-flight requests (no transport errors in the
+#      loadgen report, interactive still all-200);
+#   3. pinning — requests keyed as frozen are served by model v1
+#      while alice is served by the active v2: two distinct
+#      model_version values from one process.
+#
+# Exercises: API-key tenant resolution, per-class weighted-fair
+# queues, class-aware shed/degrade, token-bucket quotas with real
+# Retry-After, SIGHUP tenant-config reload, per-tenant pinned-model
+# routing, per-tenant labeled telemetry, and the loadgen -tenant-mix
+# report.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+ART="${SMOKE_ARTIFACTS:-}"
+if [ -n "$ART" ]; then
+    mkdir -p "$ART"
+    ART="$(cd "$ART" && pwd)"
+fi
+DUR="${SMOKE_DURATION:-10s}"
+P99_BUDGET_MS="${QOS_P99_BUDGET_MS:-500}"
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    [ -n "$SERVE_PID" ] && wait "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building =="
+cd "$ROOT"
+go build -o "$WORK/enmc-train" ./cmd/enmc-train
+go build -o "$WORK/enmc-serve" ./cmd/enmc-serve
+go build -o "$WORK/enmc-loadgen" ./cmd/enmc-loadgen
+
+echo "== generating demo model, publishing v1 and v2 =="
+cd "$WORK"
+./enmc-train -demo >/dev/null
+REG="$WORK/models"
+./enmc-train -classifier demo-cls.bin -features demo-feats.bin \
+    -registry "$REG" -version v1 -epochs 2 -k 32 >/dev/null
+./enmc-train -classifier demo-cls.bin -features demo-feats.bin \
+    -registry "$REG" -version v2 -parent v1 -epochs 3 -k 32 >/dev/null
+
+# Tenant config, generation 1: everyone has quota headroom, so the
+# only pressure source is the batch flood against the tiny queue.
+# Keys equal names because loadgen -tenant-mix sends the tenant name
+# as its API key.
+TENANTS="$WORK/tenants.json"
+cat >"$TENANTS" <<'JSON'
+{
+  "tenants": [
+    {"name": "alice",  "key": "alice",  "class": "interactive", "rate": 5000, "burst": 500},
+    {"name": "bob",    "key": "bob",    "class": "batch",       "rate": 5000, "burst": 500},
+    {"name": "frozen", "key": "frozen", "class": "standard",    "rate": 100,  "model_version": "v1"}
+  ]
+}
+JSON
+
+echo "== starting enmc-serve (v2 active, tiny per-class queue) =="
+./enmc-serve -model-root "$REG" -model-version v2 -canary-floor 0.5 \
+    -tenants "$TENANTS" \
+    -queue-cap 8 -max-batch 8 -flush-workers 1 -max-delay 2ms \
+    -addr 127.0.0.1:0 -port-file "$WORK/port" \
+    -debug-addr 127.0.0.1:0 -debug-port-file "$WORK/dbgport" \
+    >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && [ -s "$WORK/dbgport" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$WORK/serve.log"; echo "FAIL: server died"; exit 1; }
+    sleep 0.1
+done
+PORT="$(cat "$WORK/port")"
+DBGPORT="$(cat "$WORK/dbgport")"
+BASE="http://127.0.0.1:$PORT"
+echo "   serving on $BASE (metrics on :$DBGPORT)"
+
+echo "== concurrent load: paced interactive alice vs saturating batch bob =="
+# Alice is a paced open-loop stream — the latency-sensitive tenant the
+# contract protects. Bob is a 32-worker closed-loop flood against an
+# 8-slot batch queue — guaranteed shed (queue overflow) and degrade
+# (queue depth past the watermark) on his own class.
+./enmc-loadgen -addr "127.0.0.1:$PORT" -dim 128 -duration "$DUR" -rate 100 \
+    -tenant-mix "alice:interactive:1" \
+    -log-json -scenario qos-interactive >"$WORK/alice-load.json" 2>&1 &
+ALICE_PID=$!
+./enmc-loadgen -addr "127.0.0.1:$PORT" -dim 128 -duration "$DUR" -concurrency 32 \
+    -tenant-mix "bob:batch:1" \
+    -log-json -scenario qos-batch-flood >"$WORK/bob-load.json" 2>&1 &
+BOB_PID=$!
+
+# Mid-load: flip bob's quota to a trickle and SIGHUP the config in.
+# The reload must not drop anything in flight.
+sleep 4
+cat >"$TENANTS" <<'JSON'
+{
+  "tenants": [
+    {"name": "alice",  "key": "alice",  "class": "interactive", "rate": 5000, "burst": 500},
+    {"name": "bob",    "key": "bob",    "class": "batch",       "rate": 5,    "burst": 1},
+    {"name": "frozen", "key": "frozen", "class": "standard",    "rate": 100,  "model_version": "v1"}
+  ]
+}
+JSON
+kill -HUP "$SERVE_PID"
+echo "-- SIGHUP sent: bob's quota flipped 5000/s -> 5/s mid-load"
+
+if ! wait "$ALICE_PID"; then
+    cat "$WORK/alice-load.json"
+    echo "FAIL: interactive loadgen run failed"
+    exit 1
+fi
+if ! wait "$BOB_PID"; then
+    cat "$WORK/bob-load.json"
+    echo "FAIL: batch loadgen run failed"
+    exit 1
+fi
+
+grep -q 'SIGHUP tenant reload' "$WORK/serve.log" \
+    || { tail -20 "$WORK/serve.log"; echo "FAIL: server never logged the tenant reload"; exit 1; }
+
+# tenant_field <file> <tenant> <json-key>: pull one per-tenant value
+# out of a loadgen -log-json report (indented JSON, "tenant" leads
+# each entry of the tenants array).
+tenant_field() {
+    awk -v tenant="$2" -v field="\"$3\":" '
+        /"tenant": "/ { cur = $0; gsub(/.*"tenant": "|".*/, "", cur) }
+        index($0, field) && cur == tenant {
+            v = $0; sub(/.*: /, "", v); sub(/,$/, "", v); print v; exit
+        }' "$1"
+}
+
+echo "== asserting the QoS contract from the loadgen reports =="
+ALICE_REQ="$(tenant_field "$WORK/alice-load.json" alice requests)"
+ALICE_OK="$(tenant_field "$WORK/alice-load.json" alice ok)"
+ALICE_429="$(tenant_field "$WORK/alice-load.json" alice status_429)"
+ALICE_503="$(tenant_field "$WORK/alice-load.json" alice status_503)"
+ALICE_OTHER="$(tenant_field "$WORK/alice-load.json" alice other_errors)"; ALICE_OTHER="${ALICE_OTHER:-0}"
+ALICE_P99="$(tenant_field "$WORK/alice-load.json" alice p99_ms)"
+BOB_REQ="$(tenant_field "$WORK/bob-load.json" bob requests)"
+BOB_429="$(tenant_field "$WORK/bob-load.json" bob status_429)"
+echo "   alice: req=$ALICE_REQ ok=$ALICE_OK 429=$ALICE_429 503=$ALICE_503 other=$ALICE_OTHER p99=${ALICE_P99}ms"
+echo "   bob:   req=$BOB_REQ 429=$BOB_429"
+
+[ "$ALICE_REQ" -gt 0 ] || { echo "FAIL: alice sent no traffic"; exit 1; }
+[ "$ALICE_429" = "0" ] || { echo "FAIL: interactive tenant drew $ALICE_429 429s"; exit 1; }
+[ "$ALICE_503" = "0" ] || { echo "FAIL: interactive tenant drew $ALICE_503 503s"; exit 1; }
+[ "$ALICE_OTHER" = "0" ] || { echo "FAIL: interactive tenant had $ALICE_OTHER transport/other errors"; exit 1; }
+[ "$ALICE_OK" = "$ALICE_REQ" ] || { echo "FAIL: alice ok=$ALICE_OK != req=$ALICE_REQ"; exit 1; }
+awk -v p99="$ALICE_P99" -v budget="$P99_BUDGET_MS" \
+    'BEGIN { exit (p99+0 <= budget+0) ? 0 : 1 }' \
+    || { echo "FAIL: interactive p99 ${ALICE_P99}ms over the ${P99_BUDGET_MS}ms budget"; exit 1; }
+[ "$BOB_429" -gt 0 ] || { echo "FAIL: the saturating batch tenant never drew a 429 (quota flip + queue pressure both missed?)"; exit 1; }
+# Zero dropped in-flight requests across the SIGHUP: neither loadgen
+# saw a transport-level failure anywhere in the run.
+for f in "$WORK/alice-load.json" "$WORK/bob-load.json"; do
+    if grep -q '"transport":' "$f"; then
+        cat "$f"
+        echo "FAIL: transport errors in $f (dropped in-flight requests?)"
+        exit 1
+    fi
+done
+
+echo "== asserting pressure attribution on /metrics =="
+curl -s "http://127.0.0.1:$DBGPORT/metrics" >"$WORK/metrics.txt"
+grep -q 'tenant_admitted{class="interactive",tenant="alice"}' "$WORK/metrics.txt" \
+    || { echo "FAIL: no labeled admitted counter for alice"; exit 1; }
+# >= 95% of shed+degraded+throttled events must carry class="batch".
+awk '
+    /^tenant_(shed|degraded|throttled)\{/ {
+        total += $2
+        if ($0 ~ /class="batch"/) batch += $2
+    }
+    END {
+        if (total == 0) { print "FAIL: no pressure events recorded at all"; exit 1 }
+        frac = batch / total
+        printf "   pressure events: %d total, %d batch-class (%.1f%%)\n", total, batch, 100 * frac
+        if (frac < 0.95) { print "FAIL: batch class absorbed less than 95% of the pressure"; exit 1 }
+    }' "$WORK/metrics.txt"
+
+echo "== asserting per-tenant pinned-model routing =="
+H="$(awk 'BEGIN { printf "["; for (i = 0; i < 128; i++) printf "%s0.1", (i ? "," : ""); printf "]" }')"
+curl -s -H 'Content-Type: application/json' -H 'X-Enmc-Api-Key: alice' \
+    -d "{\"h\":$H,\"top_k\":1}" "$BASE/v1/classify" >"$WORK/alice.json"
+curl -s -H 'Content-Type: application/json' -H 'X-Enmc-Api-Key: frozen' \
+    -d "{\"h\":$H,\"top_k\":1}" "$BASE/v1/classify" >"$WORK/frozen.json"
+grep -q '"model_version":"v2"' "$WORK/alice.json" \
+    || { cat "$WORK/alice.json"; echo "FAIL: alice not served by active v2"; exit 1; }
+grep -q '"model_version":"v1"' "$WORK/frozen.json" \
+    || { cat "$WORK/frozen.json"; echo "FAIL: frozen not served by pinned v1"; exit 1; }
+grep -q '"tenant":"frozen"' "$WORK/frozen.json" \
+    || { cat "$WORK/frozen.json"; echo "FAIL: response does not carry the tenant identity"; exit 1; }
+echo "   alice -> v2 (active), frozen -> v1 (pinned): two versions from one process"
+
+echo "== asserting /v1/tenants =="
+curl -s "$BASE/v1/tenants" >"$WORK/tenants-out.json"
+grep -q '"tenant": *"alice"' "$WORK/tenants-out.json" \
+    || { cat "$WORK/tenants-out.json"; echo "FAIL: /v1/tenants missing alice"; exit 1; }
+grep -q '"tenant": *"bob"' "$WORK/tenants-out.json" \
+    || { cat "$WORK/tenants-out.json"; echo "FAIL: /v1/tenants missing bob"; exit 1; }
+
+if [ -n "$ART" ]; then
+    cp "$WORK/alice-load.json" "$ART/qos-interactive_$(date -u +%Y-%m-%d).json"
+    cp "$WORK/bob-load.json" "$ART/qos-batch-flood_$(date -u +%Y-%m-%d).json"
+    echo "   loadgen reports -> $ART/qos-{interactive,batch-flood}_$(date -u +%Y-%m-%d).json"
+fi
+echo "qos-smoke OK: batch class absorbed the pressure, interactive stayed clean through a SIGHUP quota flip, pinned + active model versions served side by side"
